@@ -1,0 +1,64 @@
+// Command cocodeploy runs the CoCoPeLia deployment phase (the paper's
+// Section IV-A micro-benchmarks) on one or both simulated testbeds, prints
+// the fitted transfer sub-models in the format of the paper's Table II,
+// and writes the deployment databases to JSON files for reuse by cocoeval
+// and cocorun.
+//
+// Usage:
+//
+//	cocodeploy [-testbed I|II|both] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cocopelia/internal/machine"
+	"cocopelia/internal/microbench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cocodeploy: ")
+	testbed := flag.String("testbed", "both", "testbed to deploy: I, II or both")
+	out := flag.String("out", "results", "output directory for deployment JSON files")
+	flag.Parse()
+
+	var tbs []*machine.Testbed
+	switch strings.ToUpper(*testbed) {
+	case "I":
+		tbs = []*machine.Testbed{machine.TestbedI()}
+	case "II":
+		tbs = []*machine.Testbed{machine.TestbedII()}
+	case "BOTH":
+		tbs = machine.Testbeds()
+	default:
+		log.Fatalf("unknown testbed %q (want I, II or both)", *testbed)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	var deps []*microbench.Deployment
+	for _, tb := range tbs {
+		fmt.Printf("deploying on %s (%s, %s)...\n", tb.Name, tb.GPU.Name, tb.PCIe)
+		dep := microbench.Run(tb, microbench.DefaultConfig())
+		fmt.Printf("  micro-benchmarks consumed %.1f virtual minutes\n", dep.VirtualSeconds/60)
+		path := filepath.Join(*out, deployFileName(tb.Name))
+		if err := dep.Save(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", path)
+		deps = append(deps, dep)
+	}
+	fmt.Println()
+	fmt.Print(microbench.TableII(deps...))
+}
+
+func deployFileName(testbedName string) string {
+	return "deploy-" + strings.ReplaceAll(strings.ToLower(testbedName), " ", "-") + ".json"
+}

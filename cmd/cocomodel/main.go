@@ -1,0 +1,156 @@
+// Command cocomodel queries the CoCoPeLia prediction models directly: it
+// prints every model's predicted offload time across the feasible tiling
+// sizes for one problem, marks each model's arg-min selection, and shows
+// the measured execution for reference.
+//
+// Examples:
+//
+//	cocomodel -routine dgemm -size 8192
+//	cocomodel -routine dgemm -m 26112 -n 26112 -k 6656 -locs HHH -testbed I
+//	cocomodel -routine daxpy -n 67108864 -locs HH
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"cocopelia/internal/eval"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/microbench"
+	"cocopelia/internal/model"
+	"cocopelia/internal/predictor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cocomodel: ")
+	testbed := flag.String("testbed", "II", "testbed: I or II")
+	routine := flag.String("routine", "dgemm", "routine: dgemm, sgemm or daxpy")
+	size := flag.Int("size", 8192, "square problem size (sets m=n=k)")
+	m := flag.Int("m", 0, "gemm M (overrides -size)")
+	n := flag.Int("n", 0, "gemm N / daxpy length (overrides -size)")
+	k := flag.Int("k", 0, "gemm K (overrides -size)")
+	locs := flag.String("locs", "HHH", "operand locations (gemm: ABC; daxpy: XY)")
+	measure := flag.Bool("measure", true, "also run the simulated execution per tile")
+	extended := flag.Bool("extended", false, "include the Werkhoven/ablation model variants")
+	coarsen := flag.Int("coarsen", 4, "tile grid subsampling factor")
+	flag.Parse()
+
+	tb, err := machine.ByName("Testbed " + strings.ToUpper(*testbed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	M, N, K := *size, *size, *size
+	if *m > 0 {
+		M = *m
+	}
+	if *n > 0 {
+		N = *n
+	}
+	if *k > 0 {
+		K = *k
+	}
+
+	p := eval.Problem{Routine: *routine, Dtype: kernelmodel.F64, M: M, N: N, K: K}
+	if *routine == "sgemm" {
+		p.Dtype = kernelmodel.F32
+	}
+	want := 3
+	if *routine == "daxpy" {
+		want = 2
+		p.M, p.K = 0, 0
+	}
+	if len(*locs) != want {
+		log.Fatalf("-locs needs %d characters for %s", want, *routine)
+	}
+	for _, ch := range strings.ToUpper(*locs) {
+		switch ch {
+		case 'H':
+			p.Locs = append(p.Locs, model.OnHost)
+		case 'D':
+			p.Locs = append(p.Locs, model.OnDevice)
+		default:
+			log.Fatalf("bad location %q", ch)
+		}
+	}
+
+	fmt.Printf("deploying on %s...\n", tb.Name)
+	dep := microbench.Run(tb, microbench.DefaultConfig())
+	pred := predictor.New(dep)
+	runner := eval.NewRunner(tb)
+	runner.Reps = 1
+
+	prm := p.Params()
+	sm, err := pred.SubModels(p.Routine, runner.FullKernelTime(p))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kinds := model.Kinds()
+	if *extended {
+		kinds = append(kinds,
+			model.WerkSerial, model.Werk2Way, model.Werk1Engine,
+			model.AblBTSUnidir, model.AblDRInteger)
+	}
+
+	grid := microbench.GemmTileGrid()
+	if *routine == "daxpy" {
+		grid = microbench.AxpyTileGrid()
+	}
+	tiles := eval.SweepTiles(p, grid, *coarsen)
+	if len(tiles) == 0 {
+		log.Fatalf("no feasible tiles for %s", p.Name())
+	}
+
+	// Header.
+	fmt.Printf("\n%s on %s\n", p.Name(), tb.Name)
+	fmt.Printf("%8s", "T")
+	for _, kind := range kinds {
+		fmt.Printf(" %12s", kind)
+	}
+	if *measure {
+		fmt.Printf(" %12s", "measured")
+	}
+	fmt.Println()
+
+	best := map[model.Kind]struct {
+		T int
+		v float64
+	}{}
+	for _, T := range tiles {
+		fmt.Printf("%8d", T)
+		for _, kind := range kinds {
+			v, err := model.PredictExtended(kind, &prm, sm, T)
+			if err != nil {
+				fmt.Printf(" %12s", "-")
+				continue
+			}
+			fmt.Printf(" %12.5f", v)
+			if b, ok := best[kind]; !ok || v < b.v {
+				best[kind] = struct {
+					T int
+					v float64
+				}{T, v}
+			}
+		}
+		if *measure {
+			lib := eval.LibCoCoPeLia
+			res, err := runner.Measure(lib, p, T)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %12.5f", res.Seconds)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\narg-min selections:")
+	for _, kind := range kinds {
+		if b, ok := best[kind]; ok {
+			fmt.Printf("  %-14s T=%-6d predicted %.5fs\n", kind, b.T, b.v)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Command cocorun executes a single BLAS routine invocation on a simulated
+// testbed through any of the implemented libraries, with automatic or
+// explicit tiling, and reports timing, traffic and (optionally) the engine
+// timeline.
+//
+// Examples:
+//
+//	cocorun -routine dgemm -m 8192 -n 8192 -k 8192 -locs HHH
+//	cocorun -routine dgemm -size 8192 -lib cublasxt -T 2048 -trace
+//	cocorun -routine daxpy -n 67108864 -locs HH -lib unified
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cocopelia/internal/cudart"
+	"cocopelia/internal/device"
+	"cocopelia/internal/eval"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/libs/blasx"
+	"cocopelia/internal/libs/cublasxt"
+	"cocopelia/internal/libs/unified"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/microbench"
+	"cocopelia/internal/model"
+	"cocopelia/internal/operand"
+	"cocopelia/internal/predictor"
+	"cocopelia/internal/sched"
+	"cocopelia/internal/sim"
+	"cocopelia/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cocorun: ")
+	testbed := flag.String("testbed", "II", "testbed: I or II")
+	routine := flag.String("routine", "dgemm", "routine: dgemm, sgemm or daxpy")
+	size := flag.Int("size", 8192, "square problem size (sets m=n=k)")
+	m := flag.Int("m", 0, "gemm M (overrides -size)")
+	n := flag.Int("n", 0, "gemm N / daxpy length (overrides -size)")
+	k := flag.Int("k", 0, "gemm K (overrides -size)")
+	locs := flag.String("locs", "HHH", "operand locations, H(ost)/D(evice) per operand (gemm: ABC; daxpy: XY)")
+	lib := flag.String("lib", "cocopelia", "library: cocopelia, noreuse, cublasxt, blasx, unified")
+	tile := flag.Int("T", 0, "tiling size (0 = automatic for cocopelia)")
+	doTrace := flag.Bool("trace", false, "print the engine timeline")
+	traceFile := flag.String("tracefile", "", "write the timeline as a Chrome/Perfetto trace JSON to this path")
+	seed := flag.Int64("seed", 42, "measurement-noise seed")
+	flag.Parse()
+
+	tb, err := machine.ByName("Testbed " + strings.ToUpper(*testbed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	M, N, K := *size, *size, *size
+	if *m > 0 {
+		M = *m
+	}
+	if *n > 0 {
+		N = *n
+	}
+	if *k > 0 {
+		K = *k
+	}
+
+	locVals, err := parseLocs(*locs, *routine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := eval.Problem{Routine: *routine, Dtype: kernelmodel.F64, M: M, N: N, K: K, Locs: locVals}
+	if *routine == "sgemm" {
+		p.Dtype = kernelmodel.F32
+	}
+	if *routine == "daxpy" {
+		p.M, p.K = 0, 0
+	}
+
+	// Automatic tile selection for the CoCoPeLia library.
+	T := *tile
+	if T == 0 && (*lib == "cocopelia" || *lib == "noreuse") {
+		fmt.Printf("deploying model on %s...\n", tb.Name)
+		dep := microbench.Run(tb, microbench.DefaultConfig())
+		pred := predictor.New(dep)
+		prm := p.Params()
+		kind := model.DR
+		if *routine == "daxpy" {
+			kind = model.BTS
+		}
+		sel, err := pred.Select(kind, &prm)
+		if err != nil {
+			log.Fatalf("tile selection: %v", err)
+		}
+		T = sel.T
+		fmt.Printf("selected T=%d (%s model predicts %.4fs)\n", T, kind, sel.Predicted)
+	}
+	if T == 0 && *lib != "blasx" && *lib != "unified" {
+		log.Fatal("this library needs -T")
+	}
+
+	eng := sim.New()
+	dev := device.New(eng, tb, *seed, false)
+	var tr *trace.Trace
+	if *doTrace || *traceFile != "" {
+		tr = trace.Attach(dev)
+	}
+	rt := cudart.New(dev)
+
+	res, err := runOnce(rt, *lib, p, T)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s %s on %s\n", *lib, p.Name(), tb.Name)
+	fmt.Printf("  time       %.6f s (virtual)\n", res.Seconds)
+	if *routine != "daxpy" {
+		fmt.Printf("  perf       %.0f GFLOP/s\n", res.Gflops(M, N, K))
+	} else {
+		fmt.Printf("  perf       %.1f GB/s effective\n", float64(res.BytesH2D+res.BytesD2H)/res.Seconds/1e9)
+	}
+	fmt.Printf("  tile       T=%d, %d sub-kernels\n", res.T, res.Subkernels)
+	fmt.Printf("  traffic    h2d %.1f MiB, d2h %.1f MiB\n",
+		float64(res.BytesH2D)/(1<<20), float64(res.BytesD2H)/(1<<20))
+	if tr != nil && *doTrace {
+		fmt.Println()
+		fmt.Print(tr.Gantt(100))
+		fmt.Printf("overlap: %.0f%% of the run had >=2 engines busy\n", 100*tr.OverlapFraction())
+	}
+	if tr != nil && *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Chrome/Perfetto trace to %s\n", *traceFile)
+	}
+}
+
+func parseLocs(s, routine string) ([]model.Loc, error) {
+	want := 3
+	if routine == "daxpy" {
+		want = 2
+	}
+	if len(s) != want {
+		return nil, fmt.Errorf("-locs needs %d characters for %s", want, routine)
+	}
+	out := make([]model.Loc, want)
+	for i, ch := range strings.ToUpper(s) {
+		switch ch {
+		case 'H':
+			out[i] = model.OnHost
+		case 'D':
+			out[i] = model.OnDevice
+		default:
+			return nil, fmt.Errorf("bad location %q (want H or D)", ch)
+		}
+	}
+	return out, nil
+}
+
+// runOnce mirrors the eval runner but on a caller-supplied runtime so the
+// trace attaches to the same device.
+func runOnce(rt *cudart.Runtime, lib string, p eval.Problem, T int) (operand.Result, error) {
+	if p.Routine == "daxpy" {
+		x, y := vec(rt, p, 0), vec(rt, p, 1)
+		switch lib {
+		case "cocopelia":
+			return sched.NewContext(rt, false).Axpy(sched.AxpyOpts{N: p.N, Alpha: 1.1, X: x, Y: y, T: T})
+		case "unified":
+			return unified.Daxpy(rt, p.N, 1.1, x, y, false)
+		}
+		return operand.Result{}, fmt.Errorf("library %s has no daxpy", lib)
+	}
+	a, b, c := mat(rt, p, 0, p.M, p.K), mat(rt, p, 1, p.K, p.N), mat(rt, p, 2, p.M, p.N)
+	switch lib {
+	case "cocopelia":
+		return sched.NewContext(rt, false).Gemm(sched.GemmOpts{
+			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K, Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T})
+	case "noreuse":
+		return sched.NewContext(rt, false).GemmNoReuse(sched.GemmOpts{
+			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K, Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T})
+	case "cublasxt":
+		return cublasxt.New(rt, 0, false).Gemm(cublasxt.GemmOpts{
+			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K, Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T})
+	case "blasx":
+		return blasx.New(rt, false).Gemm(blasx.GemmOpts{
+			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K, Alpha: 1, Beta: 1, A: a, B: b, C: c})
+	}
+	return operand.Result{}, fmt.Errorf("unknown library %s", lib)
+}
+
+func mat(rt *cudart.Runtime, p eval.Problem, op, rows, cols int) *operand.Matrix {
+	if p.Locs[op] == model.OnHost {
+		return &operand.Matrix{Rows: rows, Cols: cols, Loc: model.OnHost, HostLd: rows}
+	}
+	buf, err := rt.Malloc(p.Dtype, int64(rows)*int64(cols), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &operand.Matrix{Rows: rows, Cols: cols, Loc: model.OnDevice, Dev: buf, DevLd: rows}
+}
+
+func vec(rt *cudart.Runtime, p eval.Problem, op int) *operand.Vector {
+	if p.Locs[op] == model.OnHost {
+		return &operand.Vector{N: p.N, Loc: model.OnHost}
+	}
+	buf, err := rt.Malloc(kernelmodel.F64, int64(p.N), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &operand.Vector{N: p.N, Loc: model.OnDevice, Dev: buf}
+}

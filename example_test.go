@@ -1,0 +1,74 @@
+package cocopelia_test
+
+import (
+	"fmt"
+	"log"
+
+	"cocopelia"
+)
+
+// ExampleOpen shows the minimal session: deploy on a simulated testbed and
+// run an auto-tuned functional dgemm.
+func ExampleOpen() {
+	lib, err := cocopelia.Open(cocopelia.TestbedII(), cocopelia.Options{Backed: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lib.Close()
+
+	n := 64
+	a := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i+i*n] = 3 // A = 3*I
+	}
+	_, err = lib.Dgemm(n, n, n, 1.0,
+		cocopelia.HostMatrix(n, n, a),
+		cocopelia.HostMatrix(n, n, a),
+		0.0, cocopelia.HostMatrix(n, n, c))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("c[0][0] = %.0f\n", c[0])
+	// Output: c[0][0] = 9
+}
+
+// ExampleLibrary_SelectGemmTile shows runtime tile selection: the DR model
+// picks the tiling size for a paper-scale problem.
+func ExampleLibrary_SelectGemmTile() {
+	lib, err := cocopelia.Open(cocopelia.TestbedII(), cocopelia.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lib.Close()
+
+	A := cocopelia.HostMatrix(8192, 8192, nil) // timing-only descriptor
+	sel, err := lib.SelectGemmTile("dgemm", 8192, 8192, 8192, A, A, A)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sel.T >= 256 && float64(sel.T) <= 8192/1.5)
+	// Output: true
+}
+
+// ExampleLibrary_Daxpy shows the level-1 path with automatic chunking.
+func ExampleLibrary_Daxpy() {
+	lib, err := cocopelia.Open(cocopelia.TestbedII(), cocopelia.Options{Backed: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lib.Close()
+
+	n := 1000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 2
+		y[i] = 1
+	}
+	if _, err := lib.Daxpy(n, 10, cocopelia.HostVector(n, x), cocopelia.HostVector(n, y)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("y[999] = %.0f\n", y[999])
+	// Output: y[999] = 21
+}

@@ -1,0 +1,141 @@
+// Blocked Cholesky factorization on top of the CoCoPeLia public API — the
+// kind of higher-level computation the paper's introduction motivates
+// ("domain experts rely on standardized and performance-optimized
+// [BLAS] libraries to build more complex simulations").
+//
+// The right-looking blocked algorithm factors a symmetric positive-
+// definite A = L·Lᵀ in panels: the small diagonal block factors on the
+// host, the panel solve runs on the host (trsm), and the large trailing
+// update — the FLOP-dominant step — offloads through CoCoPeLia's
+// auto-tuned syrk/gemm with 3-way overlap on the simulated GPU.
+//
+//	go run ./examples/cholesky [-n 768] [-nb 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"cocopelia"
+	"cocopelia/internal/blas"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int("n", 768, "matrix order")
+	nb := flag.Int("nb", 128, "panel width")
+	flag.Parse()
+	N, NB := *n, *nb
+
+	lib, err := cocopelia.Open(cocopelia.TestbedII(), cocopelia.Options{Backed: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lib.Close()
+
+	// Build a well-conditioned SPD matrix A = M·Mᵀ + N·I.
+	rng := rand.New(rand.NewSource(7))
+	m := make([]float64, N*N)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	a := make([]float64, N*N)
+	if err := blas.Dgemm(blas.NoTrans, blas.Trans, N, N, N, 1, m, N, m, N, 0, a, N); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < N; i++ {
+		a[i+i*N] += float64(N)
+	}
+	orig := append([]float64(nil), a...)
+
+	fmt.Printf("blocked Cholesky of a %dx%d SPD matrix, panel %d\n", N, N, NB)
+	offloaded := 0.0
+	panels := 0
+	for j := 0; j < N; j += NB {
+		jb := min(NB, N-j)
+
+		// 1. Factor the diagonal block on the host (unblocked Cholesky).
+		if err := cholUnblocked(a, N, j, jb); err != nil {
+			log.Fatalf("panel %d: %v", j/NB, err)
+		}
+
+		if j+jb >= N {
+			break
+		}
+		rest := N - j - jb
+
+		// 2. Panel solve on the host: L21 = A21 · L11^-T.
+		if err := blas.Trsm(blas.Right, blas.Lower, blas.Trans, blas.NonUnit,
+			rest, jb, 1, a[j+j*N:], N, a[(j+jb)+j*N:], N); err != nil {
+			log.Fatal(err)
+		}
+
+		// 3. Trailing update on the GPU through CoCoPeLia:
+		//    A22 -= L21 · L21ᵀ  (syrk with alpha = -1, beta = 1).
+		l21 := &cocopelia.Matrix{
+			Rows: rest, Cols: jb, Loc: cocopelia.OnHost,
+			HostF64: a[(j+jb)+j*N:], HostLd: N,
+		}
+		a22 := &cocopelia.Matrix{
+			Rows: rest, Cols: rest, Loc: cocopelia.OnHost,
+			HostF64: a[(j+jb)+(j+jb)*N:], HostLd: N,
+		}
+		res, err := lib.Dsyrk('N', rest, jb, -1, l21, 1, a22)
+		if err != nil {
+			log.Fatal(err)
+		}
+		offloaded += res.Seconds
+		panels++
+	}
+
+	// Verify: zero the strict upper triangle, compute L·Lᵀ and compare.
+	l := append([]float64(nil), a...)
+	for j := 0; j < N; j++ {
+		for i := 0; i < j; i++ {
+			l[i+j*N] = 0
+		}
+	}
+	check := make([]float64, N*N)
+	if err := blas.Dgemm(blas.NoTrans, blas.Trans, N, N, N, 1, l, N, l, N, 0, check, N); err != nil {
+		log.Fatal(err)
+	}
+	maxErr, ref := 0.0, 0.0
+	for i := range check {
+		maxErr = math.Max(maxErr, math.Abs(check[i]-orig[i]))
+		ref = math.Max(ref, math.Abs(orig[i]))
+	}
+	fmt.Printf("  %d trailing updates offloaded, %.3f ms simulated GPU time\n", panels, offloaded*1e3)
+	fmt.Printf("  residual ||L*L^T - A||_max / ||A||_max = %.2e\n", maxErr/ref)
+	if maxErr/ref > 1e-10 {
+		log.Fatal("factorization verification FAILED")
+	}
+	fmt.Println("  factorization verified against the original matrix")
+}
+
+// cholUnblocked factors the jb x jb diagonal block at (j, j) in place
+// (lower triangle), referencing columns below it for the already-updated
+// panel.
+func cholUnblocked(a []float64, lda, j, jb int) error {
+	for p := j; p < j+jb; p++ {
+		d := a[p+p*lda]
+		for l := j; l < p; l++ {
+			d -= a[p+l*lda] * a[p+l*lda]
+		}
+		if d <= 0 {
+			return fmt.Errorf("matrix not positive definite at %d (pivot %g)", p, d)
+		}
+		d = math.Sqrt(d)
+		a[p+p*lda] = d
+		for i := p + 1; i < j+jb; i++ {
+			s := a[i+p*lda]
+			for l := j; l < p; l++ {
+				s -= a[i+l*lda] * a[p+l*lda]
+			}
+			a[i+p*lda] = s / d
+		}
+	}
+	return nil
+}

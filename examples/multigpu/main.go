@@ -1,0 +1,89 @@
+// Multi-GPU scaling: the paper's future-work direction, implemented on the
+// simulated substrate. One dgemm splits into per-GPU column panels; each
+// GPU runs the reuse-aware tile scheduler behind its own PCIe link, and
+// the cluster-extended DR model picks the tile size.
+//
+//	go run ./examples/multigpu [-size 16384]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cocopelia/internal/hybrid"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/microbench"
+	"cocopelia/internal/multigpu"
+	"cocopelia/internal/operand"
+	"cocopelia/internal/predictor"
+)
+
+func main() {
+	log.SetFlags(0)
+	size := flag.Int("size", 16384, "square gemm size (m=n=k)")
+	flag.Parse()
+	m := *size
+
+	tb := machine.TestbedII()
+	fmt.Printf("deploying on %s...\n", tb.Name)
+	dep := microbench.Run(tb, microbench.DefaultConfig())
+	sm, err := predictor.New(dep).SubModels("dgemm", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ndgemm %d^3, full offload, per-GPU links (%s class)\n\n", m, tb.GPU.Name)
+	fmt.Printf("%6s %8s %12s %12s %12s %10s\n", "GPUs", "T(model)", "pred (s)", "meas (s)", "GFLOP/s", "scaling")
+	base := 0.0
+	for _, gpus := range []int{1, 2, 4, 8} {
+		sel, err := multigpu.SelectT(sm, "dgemm", 8, m, m, m, gpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl, err := multigpu.NewCluster(tb, gpus, 17, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cl.Gemm(multigpu.GemmOpts{
+			Dtype: kernelmodel.F64, M: m, N: m, K: m, Alpha: 1, Beta: 1,
+			A: operand.HostMatrix(m, m, nil),
+			B: operand.HostMatrix(m, m, nil),
+			C: operand.HostMatrix(m, m, nil),
+			T: sel.T,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if gpus == 1 {
+			base = res.Seconds
+		}
+		fmt.Printf("%6d %8d %12.4f %12.4f %12.0f %9.2fx\n",
+			gpus, sel.T, sel.Predicted, res.Seconds, res.Gflops(m, m, m), base/res.Seconds)
+	}
+	fmt.Println("\nscaling saturates once every panel is transfer-bound on its own link;")
+	fmt.Println("the cluster-extended DR model predicts exactly that crossover.")
+
+	// Host-assisted execution: the CPU takes a model-balanced column panel.
+	plan, err := hybrid.PlanSplit(sm, tb, "dgemm", 8, m, m, m, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := multigpu.NewCluster(tb, 1, 23, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := hybrid.Gemm(cl, hybrid.GemmOpts{
+		Dtype: kernelmodel.F64, M: m, N: m, K: m, Alpha: 1, Beta: 1,
+		A:    operand.HostMatrix(m, m, nil),
+		B:    operand.HostMatrix(m, m, nil),
+		C:    operand.HostMatrix(m, m, nil),
+		Plan: plan,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhost-assisted (1 GPU + CPU): host takes %d of %d columns -> %.4fs (%.0f GFLOP/s)\n",
+		plan.HostCols, m, res.Seconds, res.Gflops(m, m, m))
+}

@@ -1,0 +1,89 @@
+// Tiling explorer: sweep the tiling size for one gemm problem on both
+// simulated testbeds and visualize the performance curve the paper's
+// Fig. 1 motivates — including where the CoCoPeLia model's automatic
+// selection lands relative to the measured optimum.
+//
+//	go run ./examples/tiling-explorer [-size 8192]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"cocopelia"
+)
+
+func main() {
+	log.SetFlags(0)
+	size := flag.Int("size", 8192, "square gemm size (m=n=k)")
+	flag.Parse()
+	M := *size
+
+	type point struct {
+		T      int
+		gflops float64
+	}
+
+	for _, tb := range []*cocopelia.Testbed{cocopelia.TestbedI(), cocopelia.TestbedII()} {
+		fmt.Printf("=== %s (%s) ===\n", tb.Name, tb.GPU.Name)
+		lib, err := cocopelia.Open(tb, cocopelia.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		A := cocopelia.HostMatrix(M, M, nil)
+		sel, err := lib.SelectGemmTile("dgemm", M, M, M, A, A, A)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var pts []point
+		best := point{}
+		maxT := int(float64(M) / 1.5)
+		for T := 512; T <= maxT; T += 512 {
+			res, err := lib.DgemmTile(M, M, M, 1.0, A, A, 1.0, A, T)
+			if err != nil {
+				log.Fatal(err)
+			}
+			g := 2 * float64(M) * float64(M) * float64(M) / res.Seconds / 1e9
+			pts = append(pts, point{T, g})
+			if g > best.gflops {
+				best = point{T, g}
+			}
+		}
+
+		for _, p := range pts {
+			bar := strings.Repeat("*", int(46*p.gflops/best.gflops))
+			notes := ""
+			if p.T == best.T {
+				notes += "  <- measured optimum"
+			}
+			nearSel, dist := 0, 1<<31
+			for _, q := range pts {
+				d := q.T - sel.T
+				if d < 0 {
+					d = -d
+				}
+				if d < dist {
+					nearSel, dist = q.T, d
+				}
+			}
+			if p.T == nearSel {
+				notes += fmt.Sprintf("  <- model selects T=%d", sel.T)
+			}
+			fmt.Printf("  T=%5d %7.0f GF/s |%-46s|%s\n", p.T, p.gflops, bar, notes)
+		}
+		atSel, err := lib.DgemmTile(M, M, M, 1.0, A, A, 1.0, A, sel.T)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gSel := 2 * float64(M) * float64(M) * float64(M) / atSel.Seconds / 1e9
+		fmt.Printf("  model choice achieves %.0f GF/s = %.1f%% of the measured optimum\n\n",
+			gSel, 100*gSel/best.gflops)
+		if err := lib.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package cocopelia
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDgemmTransFunctional(t *testing.T) {
+	lib := openBacked(t)
+	defer lib.Close()
+	m, n, k := 80, 64, 72
+	rng := rand.New(rand.NewSource(51))
+	// A stored K x M (transposed), B stored N x K (transposed).
+	a := make([]float64, k*m)
+	b := make([]float64, n*k)
+	c := make([]float64, m*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, m*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += a[l+i*k] * b[j+l*n]
+			}
+			ref[i+j*m] = s
+		}
+	}
+	if _, err := lib.DgemmTrans('T', 'T', m, n, k, 1,
+		HostMatrix(k, m, a), HostMatrix(n, k, b), 0, HostMatrix(m, n, c)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Abs(c[i]-ref[i]) > 1e-10 {
+			t.Fatalf("c[%d] = %g, want %g", i, c[i], ref[i])
+		}
+	}
+}
+
+func TestDsyrkFunctional(t *testing.T) {
+	lib := openBacked(t)
+	defer lib.Close()
+	n, k := 64, 48
+	rng := rand.New(rand.NewSource(52))
+	a := make([]float64, n*k)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	c := make([]float64, n*n)
+	res, err := lib.Dsyrk('N', n, k, 1, HostMatrix(n, k, a), 0, HostMatrix(n, n, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C must be symmetric and match A*A^T.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(c[i+j*n]-c[j+i*n]) > 1e-10 {
+				t.Fatalf("syrk result not symmetric at (%d,%d)", i, j)
+			}
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += a[i+l*n] * a[j+l*n]
+			}
+			if math.Abs(c[i+j*n]-s) > 1e-10 {
+				t.Fatalf("c[%d,%d] = %g, want %g", i, j, c[i+j*n], s)
+			}
+		}
+	}
+	if res.Subkernels <= 0 {
+		t.Error("no subkernels")
+	}
+}
+
+func TestDsyrkBadFlag(t *testing.T) {
+	lib := openTiming(t)
+	defer lib.Close()
+	A := HostMatrix(64, 64, nil)
+	if _, err := lib.Dsyrk('Q', 64, 64, 1, A, 1, A); err == nil {
+		t.Error("bad syrk flag should error")
+	}
+}
+
+func TestSchedulerOutOfMemoryPropagates(t *testing.T) {
+	// Failure injection: a device too small for even one tile must
+	// surface a clean error, not a panic or deadlock.
+	tiny := TestbedII()
+	tiny.GPU.MemBytes = 1 << 20 // 1 MiB
+	lib, err := Open(tiny, Options{Deployment: sharedDeployment(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Close()
+	A := HostMatrix(4096, 4096, nil)
+	if _, err := lib.DgemmTile(4096, 4096, 4096, 1, A, A, 1, A, 1024); err == nil {
+		t.Error("OOM should propagate as an error")
+	}
+}

@@ -1,0 +1,87 @@
+package cocopelia
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDgemvAutoTileFunctional(t *testing.T) {
+	lib := openBacked(t)
+	defer lib.Close()
+	m, n := 96, 80
+	rng := rand.New(rand.NewSource(31))
+	a := make([]float64, m*n)
+	x := make([]float64, n)
+	y := make([]float64, m)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, m)
+	for i := 0; i < m; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a[i+j*m] * x[j]
+		}
+		ref[i] = 2 * s
+	}
+	res, err := lib.Dgemv(m, n, 2.0, HostMatrix(m, n, a), HostVector(n, x), 0.0, HostVector(m, y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Abs(y[i]-ref[i]) > 1e-10 {
+			t.Fatalf("y[%d] = %g, want %g", i, y[i], ref[i])
+		}
+	}
+	if res.Subkernels <= 0 || res.T <= 0 {
+		t.Errorf("implausible result %+v", res)
+	}
+}
+
+func TestDgemvSelectionFromGrid(t *testing.T) {
+	lib := openTiming(t)
+	defer lib.Close()
+	A := HostMatrix(16384, 16384, nil)
+	x := HostVector(16384, nil)
+	sel, err := lib.SelectGemvTile(16384, 16384, A, x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.T < 256 || float64(sel.T) > 16384/1.5 {
+		t.Errorf("gemv tile %d outside feasible range", sel.T)
+	}
+	res, err := lib.Dgemv(16384, 16384, 1, A, x, 1, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T != sel.T {
+		t.Errorf("auto tile %d != selection %d", res.T, sel.T)
+	}
+	// gemv is transfer-bound: makespan within a few percent of the A
+	// matrix h2d time.
+	h2d := float64(res.BytesH2D) / lib.Testbed().H2D.BandwidthBps
+	if res.Seconds > 1.1*h2d {
+		t.Errorf("gemv %g poorly overlapped (h2d bound %g)", res.Seconds, h2d)
+	}
+}
+
+func TestDgemvTileExplicit(t *testing.T) {
+	lib := openTiming(t)
+	defer lib.Close()
+	A := HostMatrix(4096, 4096, nil)
+	x := HostVector(4096, nil)
+	res, err := lib.DgemvTile(4096, 4096, 1, A, x, 1, x, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T != 1024 || res.Subkernels != 16 {
+		t.Errorf("explicit gemv tile wrong: %+v", res)
+	}
+	if _, err := lib.DgemvTile(64, 64, 1, A, x, 1, x, 0); err == nil {
+		t.Error("T=0 should error")
+	}
+}

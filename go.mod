@@ -1,0 +1,3 @@
+module cocopelia
+
+go 1.22

@@ -1,0 +1,587 @@
+// Package blas provides reference CPU implementations of the dense BLAS
+// routines the CoCoPeLia framework offloads. They follow the Fortran BLAS
+// conventions: column-major storage with explicit leading dimensions, and
+// the standard transpose flags.
+//
+// These implementations serve two purposes: they are the functional payload
+// of simulated GPU kernels (so the tile scheduler's decomposition,
+// K-dimension accumulation and write-back logic are verified with real
+// numerics), and they are the ground truth that integration tests compare
+// tiled executions against.
+package blas
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Float is the element-type constraint of the generic kernels.
+type Float interface {
+	~float32 | ~float64
+}
+
+// Transpose flags, matching the BLAS character convention.
+const (
+	// NoTrans selects op(X) = X.
+	NoTrans byte = 'N'
+	// Trans selects op(X) = X^T.
+	Trans byte = 'T'
+)
+
+// ErrShape is wrapped by all dimension/stride validation failures.
+var ErrShape = errors.New("blas: bad shape")
+
+func badShape(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrShape, fmt.Sprintf(format, args...))
+}
+
+// checkMatrix validates a column-major rows x cols matrix with leading
+// dimension ld backed by data.
+func checkMatrix[F Float](name string, rows, cols, ld int, data []F) error {
+	if rows < 0 || cols < 0 {
+		return badShape("%s: negative dimensions %dx%d", name, rows, cols)
+	}
+	if ld < max(1, rows) {
+		return badShape("%s: ld=%d < rows=%d", name, ld, rows)
+	}
+	if rows == 0 || cols == 0 {
+		return nil
+	}
+	need := (cols-1)*ld + rows
+	if len(data) < need {
+		return badShape("%s: backing slice too short: have %d, need %d", name, len(data), need)
+	}
+	return nil
+}
+
+// checkVector validates a length-n vector with stride inc (inc != 0).
+func checkVector[F Float](name string, n, inc int, data []F) error {
+	if n < 0 {
+		return badShape("%s: negative length %d", name, n)
+	}
+	if inc == 0 {
+		return badShape("%s: zero increment", name)
+	}
+	if n == 0 {
+		return nil
+	}
+	need := (n-1)*abs(inc) + 1
+	if len(data) < need {
+		return badShape("%s: backing slice too short: have %d, need %d", name, len(data), need)
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// vecIdx returns the slice index of logical element i of a strided vector.
+func vecIdx(i, n, inc int) int {
+	if inc >= 0 {
+		return i * inc
+	}
+	return (n - 1 - i) * -inc
+}
+
+// Axpy computes y += alpha*x over length-n strided vectors.
+func Axpy[F Float](n int, alpha F, x []F, incx int, y []F, incy int) error {
+	if err := checkVector("x", n, incx, x); err != nil {
+		return err
+	}
+	if err := checkVector("y", n, incy, y); err != nil {
+		return err
+	}
+	if n == 0 || alpha == 0 {
+		return nil
+	}
+	if incx == 1 && incy == 1 {
+		for i := 0; i < n; i++ {
+			y[i] += alpha * x[i]
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		y[vecIdx(i, n, incy)] += alpha * x[vecIdx(i, n, incx)]
+	}
+	return nil
+}
+
+// Scal computes x *= alpha over a length-n strided vector.
+func Scal[F Float](n int, alpha F, x []F, incx int) error {
+	if err := checkVector("x", n, incx, x); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		x[vecIdx(i, n, incx)] *= alpha
+	}
+	return nil
+}
+
+// Copy copies x into y over length-n strided vectors.
+func Copy[F Float](n int, x []F, incx int, y []F, incy int) error {
+	if err := checkVector("x", n, incx, x); err != nil {
+		return err
+	}
+	if err := checkVector("y", n, incy, y); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		y[vecIdx(i, n, incy)] = x[vecIdx(i, n, incx)]
+	}
+	return nil
+}
+
+// Swap exchanges x and y over length-n strided vectors.
+func Swap[F Float](n int, x []F, incx int, y []F, incy int) error {
+	if err := checkVector("x", n, incx, x); err != nil {
+		return err
+	}
+	if err := checkVector("y", n, incy, y); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		xi, yi := vecIdx(i, n, incx), vecIdx(i, n, incy)
+		x[xi], y[yi] = y[yi], x[xi]
+	}
+	return nil
+}
+
+// Dot returns the inner product of two length-n strided vectors.
+func Dot[F Float](n int, x []F, incx int, y []F, incy int) (F, error) {
+	if err := checkVector("x", n, incx, x); err != nil {
+		return 0, err
+	}
+	if err := checkVector("y", n, incy, y); err != nil {
+		return 0, err
+	}
+	var s F
+	for i := 0; i < n; i++ {
+		s += x[vecIdx(i, n, incx)] * y[vecIdx(i, n, incy)]
+	}
+	return s, nil
+}
+
+// Nrm2 returns the Euclidean norm of a length-n strided vector, using the
+// scaled accumulation that avoids overflow.
+func Nrm2[F Float](n int, x []F, incx int) (F, error) {
+	if err := checkVector("x", n, incx, x); err != nil {
+		return 0, err
+	}
+	var scale, ssq float64 = 0, 1
+	for i := 0; i < n; i++ {
+		v := math.Abs(float64(x[vecIdx(i, n, incx)]))
+		if v == 0 {
+			continue
+		}
+		if scale < v {
+			r := scale / v
+			ssq = 1 + ssq*r*r
+			scale = v
+		} else {
+			r := v / scale
+			ssq += r * r
+		}
+	}
+	return F(scale * math.Sqrt(ssq)), nil
+}
+
+// Asum returns the sum of absolute values of a length-n strided vector.
+func Asum[F Float](n int, x []F, incx int) (F, error) {
+	if err := checkVector("x", n, incx, x); err != nil {
+		return 0, err
+	}
+	var s F
+	for i := 0; i < n; i++ {
+		v := x[vecIdx(i, n, incx)]
+		if v < 0 {
+			v = -v
+		}
+		s += v
+	}
+	return s, nil
+}
+
+// Iamax returns the index (0-based, into the logical vector) of the element
+// with the largest absolute value, or -1 for an empty vector.
+func Iamax[F Float](n int, x []F, incx int) (int, error) {
+	if err := checkVector("x", n, incx, x); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return -1, nil
+	}
+	best, bestAbs := 0, F(-1)
+	for i := 0; i < n; i++ {
+		v := x[vecIdx(i, n, incx)]
+		if v < 0 {
+			v = -v
+		}
+		if v > bestAbs {
+			best, bestAbs = i, v
+		}
+	}
+	return best, nil
+}
+
+// opDims returns the (rows, cols) of op(X) for an rows x cols stored X.
+func opDims(trans byte, rows, cols int) (int, int) {
+	if trans == Trans {
+		return cols, rows
+	}
+	return rows, cols
+}
+
+func checkTrans(name string, trans byte) error {
+	if trans != NoTrans && trans != Trans {
+		return badShape("%s: bad transpose flag %q", name, trans)
+	}
+	return nil
+}
+
+// Gemv computes y = alpha*op(A)*x + beta*y for an m x n stored matrix A.
+func Gemv[F Float](trans byte, m, n int, alpha F, a []F, lda int, x []F, incx int, beta F, y []F, incy int) error {
+	if err := checkTrans("gemv", trans); err != nil {
+		return err
+	}
+	if err := checkMatrix("A", m, n, lda, a); err != nil {
+		return err
+	}
+	rows, cols := opDims(trans, m, n) // op(A) is rows x cols
+	if err := checkVector("x", cols, incx, x); err != nil {
+		return err
+	}
+	if err := checkVector("y", rows, incy, y); err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		yi := vecIdx(i, rows, incy)
+		var acc F
+		for j := 0; j < cols; j++ {
+			var aij F
+			if trans == Trans {
+				aij = a[j+i*lda]
+			} else {
+				aij = a[i+j*lda]
+			}
+			acc += aij * x[vecIdx(j, cols, incx)]
+		}
+		y[yi] = alpha*acc + beta*y[yi]
+	}
+	return nil
+}
+
+// Ger computes A += alpha * x * y^T for an m x n matrix A.
+func Ger[F Float](m, n int, alpha F, x []F, incx int, y []F, incy int, a []F, lda int) error {
+	if err := checkMatrix("A", m, n, lda, a); err != nil {
+		return err
+	}
+	if err := checkVector("x", m, incx, x); err != nil {
+		return err
+	}
+	if err := checkVector("y", n, incy, y); err != nil {
+		return err
+	}
+	for j := 0; j < n; j++ {
+		yj := alpha * y[vecIdx(j, n, incy)]
+		col := a[j*lda:]
+		for i := 0; i < m; i++ {
+			col[i] += x[vecIdx(i, m, incx)] * yj
+		}
+	}
+	return nil
+}
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C where op(A) is m x k,
+// op(B) is k x n and C is m x n, all column-major.
+func Gemm[F Float](transA, transB byte, m, n, k int, alpha F, a []F, lda int, b []F, ldb int, beta F, c []F, ldc int) error {
+	if err := checkTrans("gemm(A)", transA); err != nil {
+		return err
+	}
+	if err := checkTrans("gemm(B)", transB); err != nil {
+		return err
+	}
+	if m < 0 || n < 0 || k < 0 {
+		return badShape("gemm: negative dimensions m=%d n=%d k=%d", m, n, k)
+	}
+	// Stored shapes depend on the transpose flags.
+	aRows, aCols := m, k
+	if transA == Trans {
+		aRows, aCols = k, m
+	}
+	bRows, bCols := k, n
+	if transB == Trans {
+		bRows, bCols = n, k
+	}
+	if err := checkMatrix("A", aRows, aCols, lda, a); err != nil {
+		return err
+	}
+	if err := checkMatrix("B", bRows, bCols, ldb, b); err != nil {
+		return err
+	}
+	if err := checkMatrix("C", m, n, ldc, c); err != nil {
+		return err
+	}
+	if m == 0 || n == 0 {
+		return nil
+	}
+	// Scale C by beta first; then accumulate the product.
+	for j := 0; j < n; j++ {
+		col := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range col {
+				col[i] = 0
+			}
+		} else if beta != 1 {
+			for i := range col {
+				col[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return nil
+	}
+	at := func(i, l int) F {
+		if transA == Trans {
+			return a[l+i*lda]
+		}
+		return a[i+l*lda]
+	}
+	bt := func(l, j int) F {
+		if transB == Trans {
+			return b[j+l*ldb]
+		}
+		return b[l+j*ldb]
+	}
+	// Loop order j-l-i keeps the inner loop streaming down a C column for
+	// the common NoTrans-A case.
+	for j := 0; j < n; j++ {
+		cCol := c[j*ldc : j*ldc+m]
+		for l := 0; l < k; l++ {
+			blj := alpha * bt(l, j)
+			if blj == 0 {
+				continue
+			}
+			if transA == NoTrans {
+				aCol := a[l*lda : l*lda+m]
+				for i := 0; i < m; i++ {
+					cCol[i] += aCol[i] * blj
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					cCol[i] += at(i, l) * blj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Syrk computes C = alpha*A*A^T + beta*C (trans=NoTrans) or
+// C = alpha*A^T*A + beta*C (trans=Trans) for the full n x n matrix C
+// (both triangles are written; the framework has no packed storage).
+func Syrk[F Float](trans byte, n, k int, alpha F, a []F, lda int, beta F, c []F, ldc int) error {
+	if err := checkTrans("syrk", trans); err != nil {
+		return err
+	}
+	if trans == NoTrans {
+		return Gemm(NoTrans, Trans, n, n, k, alpha, a, lda, a, lda, beta, c, ldc)
+	}
+	return Gemm(Trans, NoTrans, n, n, k, alpha, a, lda, a, lda, beta, c, ldc)
+}
+
+// Side and triangle flags for symm/trsm, matching the BLAS character
+// convention.
+const (
+	// Left selects op on the left: C = alpha*A*B + ...
+	Left byte = 'L'
+	// Right selects op on the right: C = alpha*B*A + ...
+	Right byte = 'R'
+	// Upper selects the upper triangle of a triangular/symmetric matrix.
+	Upper byte = 'U'
+	// Lower selects the lower triangle.
+	Lower byte = 'L'
+	// Unit marks an implicit unit diagonal.
+	Unit byte = 'U'
+	// NonUnit marks an explicit diagonal.
+	NonUnit byte = 'N'
+)
+
+// Symm computes C = alpha*A*B + beta*C (side Left) or
+// C = alpha*B*A + beta*C (side Right), where A is symmetric with the
+// referenced triangle given by uplo. C is m x n; A is m x m (Left) or
+// n x n (Right).
+func Symm[F Float](side, uplo byte, m, n int, alpha F, a []F, lda int, b []F, ldb int, beta F, c []F, ldc int) error {
+	if side != Left && side != Right {
+		return badShape("symm: bad side %q", side)
+	}
+	if uplo != Upper && uplo != Lower {
+		return badShape("symm: bad uplo %q", uplo)
+	}
+	na := m
+	if side == Right {
+		na = n
+	}
+	if err := checkMatrix("A", na, na, lda, a); err != nil {
+		return err
+	}
+	if err := checkMatrix("B", m, n, ldb, b); err != nil {
+		return err
+	}
+	if err := checkMatrix("C", m, n, ldc, c); err != nil {
+		return err
+	}
+	// at reads the full symmetric A from its referenced triangle.
+	at := func(i, j int) F {
+		if (uplo == Upper && i > j) || (uplo == Lower && i < j) {
+			i, j = j, i
+		}
+		return a[i+j*lda]
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s F
+			if side == Left {
+				for l := 0; l < m; l++ {
+					s += at(i, l) * b[l+j*ldb]
+				}
+			} else {
+				for l := 0; l < n; l++ {
+					s += b[i+l*ldb] * at(l, j)
+				}
+			}
+			c[i+j*ldc] = alpha*s + beta*c[i+j*ldc]
+		}
+	}
+	return nil
+}
+
+// Trsm solves op(A)*X = alpha*B (side Left) or X*op(A) = alpha*B (side
+// Right) for X, overwriting B, where A is triangular per uplo/diag and
+// B is m x n.
+func Trsm[F Float](side, uplo, transA, diag byte, m, n int, alpha F, a []F, lda int, b []F, ldb int) error {
+	if side != Left && side != Right {
+		return badShape("trsm: bad side %q", side)
+	}
+	if uplo != Upper && uplo != Lower {
+		return badShape("trsm: bad uplo %q", uplo)
+	}
+	if err := checkTrans("trsm", transA); err != nil {
+		return err
+	}
+	if diag != Unit && diag != NonUnit {
+		return badShape("trsm: bad diag %q", diag)
+	}
+	na := m
+	if side == Right {
+		na = n
+	}
+	if err := checkMatrix("A", na, na, lda, a); err != nil {
+		return err
+	}
+	if err := checkMatrix("B", m, n, ldb, b); err != nil {
+		return err
+	}
+	// Effective triangle orientation after the transpose.
+	lower := uplo == Lower
+	if transA == Trans {
+		lower = !lower
+	}
+	at := func(i, j int) F {
+		if transA == Trans {
+			i, j = j, i
+		}
+		return a[i+j*lda]
+	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				b[i+j*ldb] *= alpha
+			}
+		}
+	}
+	solveCol := func(x []F, stride, k int) {
+		// Solves the k x k system op(A)*y = x in place, where x is strided.
+		if lower {
+			for i := 0; i < k; i++ {
+				var s F
+				for l := 0; l < i; l++ {
+					s += at(i, l) * x[l*stride]
+				}
+				x[i*stride] -= s
+				if diag == NonUnit {
+					x[i*stride] /= at(i, i)
+				}
+			}
+		} else {
+			for i := k - 1; i >= 0; i-- {
+				var s F
+				for l := i + 1; l < k; l++ {
+					s += at(i, l) * x[l*stride]
+				}
+				x[i*stride] -= s
+				if diag == NonUnit {
+					x[i*stride] /= at(i, i)
+				}
+			}
+		}
+	}
+	if side == Left {
+		for j := 0; j < n; j++ {
+			solveCol(b[j*ldb:], 1, m)
+		}
+	} else {
+		// X*op(A) = B  <=>  op(A)^T * X^T = B^T: solve rows of B against
+		// the transposed triangle.
+		lower = !lower
+		origAt := at
+		at = func(i, j int) F { return origAt(j, i) }
+		for i := 0; i < m; i++ {
+			solveCol(b[i:], ldb, n)
+		}
+	}
+	return nil
+}
+
+// Named double/single precision wrappers, matching the BLAS naming scheme
+// used throughout the paper.
+
+// Daxpy is Axpy for float64.
+func Daxpy(n int, alpha float64, x []float64, incx int, y []float64, incy int) error {
+	return Axpy(n, alpha, x, incx, y, incy)
+}
+
+// Saxpy is Axpy for float32.
+func Saxpy(n int, alpha float32, x []float32, incx int, y []float32, incy int) error {
+	return Axpy(n, alpha, x, incx, y, incy)
+}
+
+// Dgemm is Gemm for float64.
+func Dgemm(transA, transB byte, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) error {
+	return Gemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// Sgemm is Gemm for float32.
+func Sgemm(transA, transB byte, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) error {
+	return Gemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// Dgemv is Gemv for float64.
+func Dgemv(trans byte, m, n int, alpha float64, a []float64, lda int, x []float64, incx int, beta float64, y []float64, incy int) error {
+	return Gemv(trans, m, n, alpha, a, lda, x, incx, beta, y, incy)
+}
+
+// Ddot is Dot for float64.
+func Ddot(n int, x []float64, incx int, y []float64, incy int) (float64, error) {
+	return Dot(n, x, incx, y, incy)
+}
+
+// Dnrm2 is Nrm2 for float64.
+func Dnrm2(n int, x []float64, incx int) (float64, error) { return Nrm2(n, x, incx) }
+
+// Dscal is Scal for float64.
+func Dscal(n int, alpha float64, x []float64, incx int) error { return Scal(n, alpha, x, incx) }

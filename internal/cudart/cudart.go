@@ -1,0 +1,513 @@
+// Package cudart provides the CUDA-runtime-like programming model that all
+// GPU BLAS libraries in this repository are written against: in-order
+// streams, events, asynchronous host-device copies and asynchronous kernel
+// launches, on top of the discrete-event device simulator.
+//
+// Semantics mirror the CUDA runtime closely:
+//
+//   - operations submitted to one stream execute in submission order;
+//   - operations in different streams may overlap, subject to engine
+//     availability (one h2d copy engine, one d2h copy engine, one compute
+//     engine);
+//   - Stream.WaitEvent orders all subsequently submitted work in the
+//     stream after the event;
+//   - Stream.Record returns an event that completes when all work
+//     submitted to the stream so far has completed.
+//
+// Every operation optionally carries a functional payload that performs the
+// real arithmetic/data movement on backed buffers, so schedulers are
+// verified numerically and timed by the same code path.
+package cudart
+
+import (
+	"errors"
+	"fmt"
+
+	"cocopelia/internal/blas"
+	"cocopelia/internal/device"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/sim"
+)
+
+// Event is a completion marker, as in CUDA. The zero value is not useful;
+// events come from Stream.Record or are pre-completed via DoneEvent.
+type Event struct {
+	done    bool
+	waiters []*op
+}
+
+// DoneEvent returns an already-completed event.
+func DoneEvent() *Event { return &Event{done: true} }
+
+// Done reports whether the event has completed.
+func (e *Event) Done() bool { return e.done }
+
+// op is one scheduled stream operation.
+type op struct {
+	rt       *Runtime
+	deps     int
+	submit   func(done func())
+	complete *Event
+}
+
+func (o *op) depSatisfied() {
+	o.deps--
+	if o.deps == 0 {
+		o.rt.launch(o)
+	}
+}
+
+// Runtime owns the streams and buffers of one simulated process.
+type Runtime struct {
+	dev         *device.Device
+	outstanding int
+	streams     int
+}
+
+// New creates a runtime bound to a device.
+func New(dev *device.Device) *Runtime { return &Runtime{dev: dev} }
+
+// Device returns the underlying simulated device.
+func (rt *Runtime) Device() *device.Device { return rt.dev }
+
+// Engine returns the simulation engine.
+func (rt *Runtime) Engine() *sim.Engine { return rt.dev.Engine() }
+
+// Now returns the current virtual time.
+func (rt *Runtime) Now() sim.Time { return rt.dev.Engine().Now() }
+
+// launch hands a ready op to the hardware.
+func (rt *Runtime) launch(o *op) {
+	o.submit(func() {
+		rt.outstanding--
+		fire(o.complete)
+	})
+}
+
+// fire completes an event and releases its waiters.
+func fire(e *Event) {
+	if e.done {
+		return
+	}
+	e.done = true
+	ws := e.waiters
+	e.waiters = nil
+	for _, w := range ws {
+		w.depSatisfied()
+	}
+}
+
+// addWaiter registers o to run after e (no-op when e already completed;
+// the caller must have counted the dependency before calling).
+func addWaiter(e *Event, o *op) bool {
+	if e == nil || e.done {
+		return false
+	}
+	e.waiters = append(e.waiters, o)
+	return true
+}
+
+// Stream is an in-order command queue.
+type Stream struct {
+	rt    *Runtime
+	id    int
+	tail  *Event
+	waits []*Event
+}
+
+// NewStream creates a stream.
+func (rt *Runtime) NewStream() *Stream {
+	rt.streams++
+	return &Stream{rt: rt, id: rt.streams, tail: DoneEvent()}
+}
+
+// ID returns a small integer identifying the stream (useful in traces).
+func (s *Stream) ID() int { return s.id }
+
+// WaitEvent orders all work submitted to s after this call behind ev.
+func (s *Stream) WaitEvent(ev *Event) {
+	if ev == nil || ev.done {
+		return
+	}
+	s.waits = append(s.waits, ev)
+}
+
+// Record returns an event that completes when all work submitted to s so
+// far has completed.
+func (s *Stream) Record() *Event { return s.tail }
+
+// enqueue appends an operation to the stream. submit is invoked when all
+// dependencies are satisfied and must call its argument exactly once, when
+// the hardware operation completes.
+func (s *Stream) enqueue(submit func(done func())) *Event {
+	o := &op{rt: s.rt, submit: submit, complete: &Event{}}
+	s.rt.outstanding++
+	deps := 0
+	if addWaiter(s.tail, o) {
+		deps++
+	}
+	for _, w := range s.waits {
+		if addWaiter(w, o) {
+			deps++
+		}
+	}
+	s.waits = nil
+	s.tail = o.complete
+	if deps == 0 {
+		o.deps = 1
+		// Defer through the engine so submission order among independent
+		// ops is preserved and callers never re-enter the hardware model.
+		s.rt.Engine().After(0, o.depSatisfied)
+	} else {
+		o.deps = deps
+	}
+	return o.complete
+}
+
+// Callback enqueues a zero-duration host function that runs in stream
+// order (like cudaLaunchHostFunc).
+func (s *Stream) Callback(fn func()) *Event {
+	return s.enqueue(func(done func()) {
+		if fn != nil {
+			fn()
+		}
+		done()
+	})
+}
+
+// Sync runs the simulation until every submitted operation has completed.
+// It returns the virtual time, or an error if operations remain blocked on
+// dependencies that can never fire (a scheduling bug: a dependency cycle or
+// an event that is never recorded).
+func (rt *Runtime) Sync() (sim.Time, error) {
+	end := rt.Engine().Run()
+	if rt.outstanding != 0 {
+		return end, fmt.Errorf("cudart: deadlock: %d operations still blocked after drain", rt.outstanding)
+	}
+	return end, nil
+}
+
+// DevBuffer is typed device memory. Backed buffers carry real element
+// storage for functional runs; unbacked buffers are accounting-only and are
+// used for paper-scale timing runs.
+type DevBuffer struct {
+	mem   *device.Buffer
+	dt    kernelmodel.Dtype
+	elems int64
+	f64   []float64
+	f32   []float32
+}
+
+// Dtype returns the buffer element type.
+func (b *DevBuffer) Dtype() kernelmodel.Dtype { return b.dt }
+
+// Elems returns the buffer capacity in elements.
+func (b *DevBuffer) Elems() int64 { return b.elems }
+
+// Backed reports whether the buffer carries real storage.
+func (b *DevBuffer) Backed() bool { return b.f64 != nil || b.f32 != nil }
+
+// F64 exposes the backing storage of a backed float64 buffer (nil
+// otherwise). Intended for test verification, not scheduler logic.
+func (b *DevBuffer) F64() []float64 { return b.f64 }
+
+// F32 exposes the backing storage of a backed float32 buffer.
+func (b *DevBuffer) F32() []float32 { return b.f32 }
+
+// Malloc allocates a device buffer of elems elements. When backed is true
+// the buffer carries real storage (functional mode).
+func (rt *Runtime) Malloc(dt kernelmodel.Dtype, elems int64, backed bool) (*DevBuffer, error) {
+	if elems < 0 {
+		return nil, fmt.Errorf("cudart: negative element count %d", elems)
+	}
+	mem, err := rt.dev.Malloc(elems * dt.Size())
+	if err != nil {
+		return nil, err
+	}
+	b := &DevBuffer{mem: mem, dt: dt, elems: elems}
+	if backed {
+		if dt == kernelmodel.F64 {
+			b.f64 = make([]float64, elems)
+		} else {
+			b.f32 = make([]float32, elems)
+		}
+	}
+	return b, nil
+}
+
+// Free releases a device buffer.
+func (rt *Runtime) Free(b *DevBuffer) error {
+	if b == nil {
+		return errors.New("cudart: free of nil buffer")
+	}
+	b.f64, b.f32 = nil, nil
+	return rt.dev.Free(b.mem)
+}
+
+// memcpyBounds validates an elems-sized access at off into b.
+func memcpyBounds(b *DevBuffer, off, elems int64, what string) error {
+	if b == nil {
+		return fmt.Errorf("cudart: %s: nil device buffer", what)
+	}
+	if off < 0 || elems < 0 || off+elems > b.elems {
+		return fmt.Errorf("cudart: %s: range [%d, %d) outside buffer of %d elems",
+			what, off, off+elems, b.elems)
+	}
+	return nil
+}
+
+// MemcpyH2DAsync enqueues a 1-D host-to-device copy of elems elements from
+// hostF64/hostF32 (per the buffer dtype) into dst at dstOff.
+func (s *Stream) MemcpyH2DAsync(dst *DevBuffer, dstOff int64, hostF64 []float64, hostF32 []float32, elems int64) (*Event, error) {
+	if err := memcpyBounds(dst, dstOff, elems, "h2d"); err != nil {
+		return nil, err
+	}
+	bytes := elems * dst.dt.Size()
+	payload := func() {
+		switch {
+		case dst.f64 != nil && hostF64 != nil:
+			copy(dst.f64[dstOff:dstOff+elems], hostF64[:elems])
+		case dst.f32 != nil && hostF32 != nil:
+			copy(dst.f32[dstOff:dstOff+elems], hostF32[:elems])
+		}
+	}
+	ev := s.enqueue(func(done func()) {
+		s.rt.dev.Link().Submit(machine.H2D, bytes, func() {
+			payload()
+			done()
+		})
+	})
+	return ev, nil
+}
+
+// MemcpyD2HAsync enqueues a 1-D device-to-host copy.
+func (s *Stream) MemcpyD2HAsync(hostF64 []float64, hostF32 []float32, src *DevBuffer, srcOff, elems int64) (*Event, error) {
+	if err := memcpyBounds(src, srcOff, elems, "d2h"); err != nil {
+		return nil, err
+	}
+	bytes := elems * src.dt.Size()
+	payload := func() {
+		switch {
+		case src.f64 != nil && hostF64 != nil:
+			copy(hostF64[:elems], src.f64[srcOff:srcOff+elems])
+		case src.f32 != nil && hostF32 != nil:
+			copy(hostF32[:elems], src.f32[srcOff:srcOff+elems])
+		}
+	}
+	ev := s.enqueue(func(done func()) {
+		s.rt.dev.Link().Submit(machine.D2H, bytes, func() {
+			payload()
+			done()
+		})
+	})
+	return ev, nil
+}
+
+// matrixArgs describes one side of a 2-D (sub)matrix copy, in the manner of
+// cublasSetMatrixAsync / cublasGetMatrixAsync: rows x cols elements,
+// column-major with a leading dimension.
+func check2D(rows, cols int, ld int, what string) error {
+	if rows < 0 || cols < 0 {
+		return fmt.Errorf("cudart: %s: negative dims %dx%d", what, rows, cols)
+	}
+	if ld < max(1, rows) {
+		return fmt.Errorf("cudart: %s: ld %d < rows %d", what, ld, rows)
+	}
+	return nil
+}
+
+// SetMatrixAsync enqueues a 2-D h2d copy of a rows x cols column-major
+// submatrix from host (leading dimension ldh) into dst at element offset
+// dstOff with leading dimension ldd. Exactly one of hostF64/hostF32 must
+// match the buffer dtype in functional runs.
+func (s *Stream) SetMatrixAsync(rows, cols int, hostF64 []float64, hostF32 []float32, ldh int, dst *DevBuffer, dstOff int64, ldd int) (*Event, error) {
+	if err := check2D(rows, cols, ldh, "setmatrix host"); err != nil {
+		return nil, err
+	}
+	if err := check2D(rows, cols, ldd, "setmatrix device"); err != nil {
+		return nil, err
+	}
+	need := int64(0)
+	if cols > 0 {
+		need = int64(cols-1)*int64(ldd) + int64(rows)
+	}
+	if err := memcpyBounds(dst, dstOff, need, "setmatrix"); err != nil {
+		return nil, err
+	}
+	bytes := int64(rows) * int64(cols) * dst.dt.Size()
+	payload := func() {
+		for j := 0; j < cols; j++ {
+			d := dstOff + int64(j)*int64(ldd)
+			h := j * ldh
+			switch {
+			case dst.f64 != nil && hostF64 != nil:
+				copy(dst.f64[d:d+int64(rows)], hostF64[h:h+rows])
+			case dst.f32 != nil && hostF32 != nil:
+				copy(dst.f32[d:d+int64(rows)], hostF32[h:h+rows])
+			}
+		}
+	}
+	ev := s.enqueue(func(done func()) {
+		s.rt.dev.Link().Submit(machine.H2D, bytes, func() {
+			payload()
+			done()
+		})
+	})
+	return ev, nil
+}
+
+// GetMatrixAsync enqueues a 2-D d2h copy (the cublasGetMatrixAsync analog).
+func (s *Stream) GetMatrixAsync(rows, cols int, src *DevBuffer, srcOff int64, lds int, hostF64 []float64, hostF32 []float32, ldh int) (*Event, error) {
+	if err := check2D(rows, cols, lds, "getmatrix device"); err != nil {
+		return nil, err
+	}
+	if err := check2D(rows, cols, ldh, "getmatrix host"); err != nil {
+		return nil, err
+	}
+	need := int64(0)
+	if cols > 0 {
+		need = int64(cols-1)*int64(lds) + int64(rows)
+	}
+	if err := memcpyBounds(src, srcOff, need, "getmatrix"); err != nil {
+		return nil, err
+	}
+	bytes := int64(rows) * int64(cols) * src.dt.Size()
+	payload := func() {
+		for j := 0; j < cols; j++ {
+			d := srcOff + int64(j)*int64(lds)
+			h := j * ldh
+			switch {
+			case src.f64 != nil && hostF64 != nil:
+				copy(hostF64[h:h+rows], src.f64[d:d+int64(rows)])
+			case src.f32 != nil && hostF32 != nil:
+				copy(hostF32[h:h+rows], src.f32[d:d+int64(rows)])
+			}
+		}
+	}
+	ev := s.enqueue(func(done func()) {
+		s.rt.dev.Link().Submit(machine.D2H, bytes, func() {
+			payload()
+			done()
+		})
+	})
+	return ev, nil
+}
+
+// KernelAsync enqueues a generic kernel with an explicit duration and an
+// optional functional payload. Comparator libraries use it to model their
+// own runtime overheads (e.g. tile-management work) on the compute engine.
+func (s *Stream) KernelAsync(name string, duration float64, payload func()) (*Event, error) {
+	if duration < 0 {
+		return nil, fmt.Errorf("cudart: negative kernel duration %g", duration)
+	}
+	ev := s.enqueue(func(done func()) {
+		s.rt.dev.LaunchKernel(name, duration, payload, done)
+	})
+	return ev, nil
+}
+
+// GemmAsync enqueues C = alpha*op(A)*op(B) + beta*C on the stream, where
+// the operands are column-major submatrices of device buffers. Timing comes
+// from the kernel ground-truth model; arithmetic runs on backed buffers.
+func (s *Stream) GemmAsync(transA, transB byte, m, n, k int,
+	alpha float64, a *DevBuffer, offA int64, lda int,
+	b *DevBuffer, offB int64, ldb int,
+	beta float64, c *DevBuffer, offC int64, ldc int) (*Event, error) {
+
+	dt := c.dt
+	if a.dt != dt || b.dt != dt {
+		return nil, errors.New("cudart: gemm operand dtype mismatch")
+	}
+	dur := kernelmodel.GemmTime(&s.rt.dev.Testbed().GPU, dt, m, n, k)
+	name := "dgemm"
+	if dt == kernelmodel.F32 {
+		name = "sgemm"
+	}
+	var payload func()
+	if c.Backed() {
+		payload = func() {
+			var err error
+			if dt == kernelmodel.F64 {
+				err = blas.Dgemm(transA, transB, m, n, k, alpha,
+					a.f64[offA:], lda, b.f64[offB:], ldb, beta, c.f64[offC:], ldc)
+			} else {
+				err = blas.Sgemm(transA, transB, m, n, k, float32(alpha),
+					a.f32[offA:], lda, b.f32[offB:], ldb, float32(beta), c.f32[offC:], ldc)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("cudart: gemm payload: %v", err))
+			}
+		}
+	}
+	ev := s.enqueue(func(done func()) {
+		s.rt.dev.LaunchKernel(name, dur, payload, done)
+	})
+	return ev, nil
+}
+
+// AxpyAsync enqueues y += alpha*x over device vectors.
+func (s *Stream) AxpyAsync(n int, alpha float64, x *DevBuffer, offX int64, y *DevBuffer, offY int64) (*Event, error) {
+	if x.dt != y.dt {
+		return nil, errors.New("cudart: axpy operand dtype mismatch")
+	}
+	if err := memcpyBounds(x, offX, int64(n), "axpy x"); err != nil {
+		return nil, err
+	}
+	if err := memcpyBounds(y, offY, int64(n), "axpy y"); err != nil {
+		return nil, err
+	}
+	dt := y.dt
+	dur := kernelmodel.AxpyTime(&s.rt.dev.Testbed().GPU, dt, n)
+	name := "daxpy"
+	if dt == kernelmodel.F32 {
+		name = "saxpy"
+	}
+	var payload func()
+	if y.Backed() {
+		payload = func() {
+			var err error
+			if dt == kernelmodel.F64 {
+				err = blas.Daxpy(n, alpha, x.f64[offX:], 1, y.f64[offY:], 1)
+			} else {
+				err = blas.Saxpy(n, float32(alpha), x.f32[offX:], 1, y.f32[offY:], 1)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("cudart: axpy payload: %v", err))
+			}
+		}
+	}
+	ev := s.enqueue(func(done func()) {
+		s.rt.dev.LaunchKernel(name, dur, payload, done)
+	})
+	return ev, nil
+}
+
+// GemvAsync enqueues y = alpha*op(A)*x + beta*y over device operands.
+func (s *Stream) GemvAsync(trans byte, m, n int, alpha float64,
+	a *DevBuffer, offA int64, lda int, x *DevBuffer, offX int64,
+	beta float64, y *DevBuffer, offY int64) (*Event, error) {
+	if a.dt != x.dt || x.dt != y.dt {
+		return nil, errors.New("cudart: gemv operand dtype mismatch")
+	}
+	dt := y.dt
+	dur := kernelmodel.GemvTime(&s.rt.dev.Testbed().GPU, dt, m, n)
+	var payload func()
+	if y.Backed() {
+		payload = func() {
+			var err error
+			if dt == kernelmodel.F64 {
+				err = blas.Dgemv(trans, m, n, alpha, a.f64[offA:], lda, x.f64[offX:], 1, beta, y.f64[offY:], 1)
+			} else {
+				err = blas.Gemv(trans, m, n, float32(alpha), a.f32[offA:], lda, x.f32[offX:], 1, float32(beta), y.f32[offY:], 1)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("cudart: gemv payload: %v", err))
+			}
+		}
+	}
+	ev := s.enqueue(func(done func()) {
+		s.rt.dev.LaunchKernel("gemv", dur, payload, done)
+	})
+	return ev, nil
+}

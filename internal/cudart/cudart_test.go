@@ -1,0 +1,346 @@
+package cudart
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cocopelia/internal/blas"
+	"cocopelia/internal/device"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/sim"
+)
+
+func newRT() *Runtime {
+	eng := sim.New()
+	return New(device.New(eng, machine.TestbedI(), 1, true))
+}
+
+func TestStreamOrdering(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Callback(func() { order = append(order, i) })
+	}
+	if _, err := rt.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("stream order violated: %v", order)
+		}
+	}
+}
+
+func TestCrossStreamEventOrdering(t *testing.T) {
+	rt := newRT()
+	s1, s2 := rt.NewStream(), rt.NewStream()
+	var order []string
+	s1.Callback(func() { order = append(order, "a") })
+	ev := s1.Record()
+	s2.WaitEvent(ev)
+	s2.Callback(func() { order = append(order, "b") })
+	if _, err := rt.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("cross-stream order: %v", order)
+	}
+}
+
+func TestWaitOnDoneEventIsNoop(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	s.WaitEvent(DoneEvent())
+	s.WaitEvent(nil)
+	ran := false
+	s.Callback(func() { ran = true })
+	if _, err := rt.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("callback after done-event wait did not run")
+	}
+}
+
+func TestMemcpyRoundTrip(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	n := int64(1000)
+	buf, err := rt.Malloc(kernelmodel.F64, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	dst := make([]float64, n)
+	if _, err := s.MemcpyH2DAsync(buf, 0, src, nil, n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MemcpyD2HAsync(dst, nil, buf, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestMemcpyBounds(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	buf, _ := rt.Malloc(kernelmodel.F64, 10, false)
+	if _, err := s.MemcpyH2DAsync(buf, 5, nil, nil, 6); err == nil {
+		t.Error("out-of-range h2d should error")
+	}
+	if _, err := s.MemcpyH2DAsync(nil, 0, nil, nil, 1); err == nil {
+		t.Error("nil buffer should error")
+	}
+	if _, err := s.MemcpyD2HAsync(nil, nil, buf, -1, 2); err == nil {
+		t.Error("negative offset should error")
+	}
+}
+
+func TestMemcpyTiming(t *testing.T) {
+	rt := newRT()
+	tb := rt.Device().Testbed()
+	s := rt.NewStream()
+	buf, _ := rt.Malloc(kernelmodel.F64, 1<<20, false)
+	start := rt.Now()
+	if _, err := s.MemcpyH2DAsync(buf, 0, nil, nil, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	end, err := rt.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tb.H2D.LatencyS + float64(8<<20)/tb.H2D.BandwidthBps
+	if math.Abs((end-start)-want) > 1e-9 {
+		t.Errorf("h2d took %g, want %g", end-start, want)
+	}
+}
+
+func TestSetGetMatrixSubmatrix(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	// Host matrix 4x4 col-major; copy its 2x3 submatrix starting at (1,1).
+	host := make([]float64, 16)
+	for i := range host {
+		host[i] = float64(i)
+	}
+	dev, _ := rt.Malloc(kernelmodel.F64, 6, true)
+	sub := host[1+4:] // offset (1,1), ld 4
+	if _, err := s.SetMatrixAsync(2, 3, sub, nil, 4, dev, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 6)
+	if _, err := s.GetMatrixAsync(2, 3, dev, 0, 2, out, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 6, 9, 10, 13, 14}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("submatrix copy: got %v, want %v", out, want)
+		}
+	}
+}
+
+func TestSetMatrixValidation(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	dev, _ := rt.Malloc(kernelmodel.F64, 6, false)
+	if _, err := s.SetMatrixAsync(4, 2, nil, nil, 2, dev, 0, 4); err == nil {
+		t.Error("host ld < rows should error")
+	}
+	if _, err := s.SetMatrixAsync(2, 4, nil, nil, 2, dev, 0, 2); err == nil {
+		t.Error("device overflow should error")
+	}
+	if _, err := s.SetMatrixAsync(-1, 2, nil, nil, 2, dev, 0, 2); err == nil {
+		t.Error("negative rows should error")
+	}
+}
+
+func TestGemmAsyncFunctional(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	m, n, k := 4, 3, 5
+	rng := rand.New(rand.NewSource(9))
+	hostA := make([]float64, m*k)
+	hostB := make([]float64, k*n)
+	hostC := make([]float64, m*n)
+	for i := range hostA {
+		hostA[i] = rng.NormFloat64()
+	}
+	for i := range hostB {
+		hostB[i] = rng.NormFloat64()
+	}
+	dA, _ := rt.Malloc(kernelmodel.F64, int64(m*k), true)
+	dB, _ := rt.Malloc(kernelmodel.F64, int64(k*n), true)
+	dC, _ := rt.Malloc(kernelmodel.F64, int64(m*n), true)
+	_, _ = s.MemcpyH2DAsync(dA, 0, hostA, nil, int64(m*k))
+	_, _ = s.MemcpyH2DAsync(dB, 0, hostB, nil, int64(k*n))
+	if _, err := s.GemmAsync(blas.NoTrans, blas.NoTrans, m, n, k, 1, dA, 0, m, dB, 0, k, 0, dC, 0, m); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = s.MemcpyD2HAsync(hostC, nil, dC, 0, int64(m*n))
+	if _, err := rt.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]float64, m*n)
+	if err := blas.Dgemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, hostA, m, hostB, k, 0, ref, m); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Abs(hostC[i]-ref[i]) > 1e-12 {
+			t.Fatalf("gemm async mismatch at %d: %g vs %g", i, hostC[i], ref[i])
+		}
+	}
+}
+
+func TestGemmDtypeMismatch(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	d64, _ := rt.Malloc(kernelmodel.F64, 16, false)
+	d32, _ := rt.Malloc(kernelmodel.F32, 16, false)
+	if _, err := s.GemmAsync(blas.NoTrans, blas.NoTrans, 2, 2, 2, 1, d64, 0, 2, d32, 0, 2, 0, d64, 0, 2); err == nil {
+		t.Error("dtype mismatch should error")
+	}
+}
+
+func TestAxpyAsyncFunctional(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	n := 100
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 1
+	}
+	dX, _ := rt.Malloc(kernelmodel.F64, int64(n), true)
+	dY, _ := rt.Malloc(kernelmodel.F64, int64(n), true)
+	_, _ = s.MemcpyH2DAsync(dX, 0, x, nil, int64(n))
+	_, _ = s.MemcpyH2DAsync(dY, 0, y, nil, int64(n))
+	if _, err := s.AxpyAsync(n, 2, dX, 0, dY, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, n)
+	_, _ = s.MemcpyD2HAsync(out, nil, dY, 0, int64(n))
+	if _, err := rt.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != 1+2*float64(i) {
+			t.Fatalf("axpy mismatch at %d: %g", i, out[i])
+		}
+	}
+	if _, err := s.AxpyAsync(200, 1, dX, 0, dY, 0); err == nil {
+		t.Error("axpy out of range should error")
+	}
+}
+
+func TestGemvAsyncFunctional(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	m, n := 3, 2
+	a := []float64{1, 2, 3, 4, 5, 6} // 3x2 col-major
+	x := []float64{1, 1}
+	dA, _ := rt.Malloc(kernelmodel.F64, 6, true)
+	dX, _ := rt.Malloc(kernelmodel.F64, 2, true)
+	dY, _ := rt.Malloc(kernelmodel.F64, 3, true)
+	_, _ = s.MemcpyH2DAsync(dA, 0, a, nil, 6)
+	_, _ = s.MemcpyH2DAsync(dX, 0, x, nil, 2)
+	if _, err := s.GemvAsync(blas.NoTrans, m, n, 1, dA, 0, m, dX, 0, 0, dY, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 3)
+	_, _ = s.MemcpyD2HAsync(out, nil, dY, 0, 3)
+	if _, err := rt.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("gemv: got %v, want %v", out, want)
+		}
+	}
+}
+
+func TestThreeWayOverlap(t *testing.T) {
+	// The core 3-way concurrency behaviour: an h2d copy, a kernel and a
+	// d2h copy on three streams overlap; makespan ~ max of the three, not
+	// their sum.
+	rt := newRT()
+	tb := rt.Device().Testbed()
+	sIn, sK, sOut := rt.NewStream(), rt.NewStream(), rt.NewStream()
+	elems := int64(16 << 20)
+	in, _ := rt.Malloc(kernelmodel.F64, elems, false)
+	out, _ := rt.Malloc(kernelmodel.F64, elems, false)
+	_, _ = sIn.MemcpyH2DAsync(in, 0, nil, nil, elems)
+	_, _ = sK.GemmAsync(blas.NoTrans, blas.NoTrans, 2048, 2048, 2048, 1, in, 0, 2048, in, 0, 2048, 0, out, 0, 2048)
+	_, _ = sOut.MemcpyD2HAsync(nil, nil, out, 0, elems)
+	end, err := rt.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := float64(elems * 8)
+	tH2D := bytes / (tb.H2D.BandwidthBps / tb.H2D.BidSlowdown)
+	tD2H := bytes / (tb.D2H.BandwidthBps / tb.D2H.BidSlowdown)
+	tK := kernelmodel.GemmTime(&tb.GPU, kernelmodel.F64, 2048, 2048, 2048)
+	serial := tH2D + tD2H + tK
+	if end >= serial*0.95 {
+		t.Errorf("no overlap: makespan %g vs serial %g", end, serial)
+	}
+}
+
+func TestSyncDetectsDeadlock(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	never := &Event{} // recorded nowhere, never fires
+	s.WaitEvent(never)
+	s.Callback(func() {})
+	if _, err := rt.Sync(); err == nil {
+		t.Error("Sync should report blocked operations")
+	}
+}
+
+func TestMallocFree(t *testing.T) {
+	rt := newRT()
+	b, err := rt.Malloc(kernelmodel.F32, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dtype() != kernelmodel.F32 || b.Elems() != 100 || !b.Backed() {
+		t.Error("buffer metadata wrong")
+	}
+	if b.F32() == nil || b.F64() != nil {
+		t.Error("backing storage wrong")
+	}
+	if rt.Device().MemUsed() != 400 {
+		t.Errorf("mem used %d, want 400", rt.Device().MemUsed())
+	}
+	if err := rt.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Device().MemUsed() != 0 {
+		t.Error("free did not release")
+	}
+	if err := rt.Free(nil); err == nil {
+		t.Error("nil free should error")
+	}
+	if _, err := rt.Malloc(kernelmodel.F64, -1, false); err == nil {
+		t.Error("negative malloc should error")
+	}
+}

@@ -1,0 +1,206 @@
+// Package device assembles the simulated GPU of a testbed: a single
+// compute engine that executes kernels one at a time in FIFO order (the way
+// consecutive cuBLAS kernels serialize on a saturated device), the two
+// directional copy engines provided by the link model, and a device-memory
+// accountant.
+//
+// The device is purely an execution-timing substrate. Kernel durations are
+// supplied by the caller (the cudart layer computes them from the
+// kernelmodel ground truth); the device adds per-invocation multiplicative
+// noise and serializes execution on the virtual clock. Functional payloads
+// — closures that perform the actual BLAS arithmetic on backed buffers —
+// run at kernel completion, so numerics and timing stay consistent.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"cocopelia/internal/link"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/sim"
+)
+
+// KernelObserver receives every executed kernel interval for tracing.
+type KernelObserver func(name string, start, end sim.Time)
+
+// Buffer is a device-memory allocation. It only accounts for capacity;
+// typed storage for functional runs lives in the cudart layer.
+type Buffer struct {
+	size  int64
+	freed bool
+}
+
+// Size returns the allocation size in bytes.
+func (b *Buffer) Size() int64 { return b.size }
+
+// kernelTask is one queued kernel execution.
+type kernelTask struct {
+	name     string
+	duration float64
+	payload  func()
+	done     func()
+}
+
+// Device is one simulated GPU attached to a sim.Engine.
+type Device struct {
+	eng  *sim.Engine
+	tb   *machine.Testbed
+	link *link.Link
+	rng  *rand.Rand
+
+	queue      []*kernelTask
+	computing  bool
+	busy       float64
+	kernels    int64
+	memUsed    int64
+	memPeak    int64
+	kernelObs  KernelObserver
+	noiseSigma float64
+}
+
+// New creates a device for the testbed on the given engine. seed drives
+// all measurement noise (kernel and transfer); the same seed reproduces a
+// run exactly. Pass noiseless=true to disable noise entirely (useful for
+// analytic unit tests).
+func New(eng *sim.Engine, tb *machine.Testbed, seed int64, noiseless bool) *Device {
+	sigma := tb.GPU.NoiseSigma
+	var rng *rand.Rand
+	if noiseless {
+		sigma = 0
+	} else {
+		rng = rand.New(rand.NewSource(seed))
+	}
+	d := &Device{
+		eng:        eng,
+		tb:         tb,
+		rng:        rng,
+		noiseSigma: sigma,
+	}
+	// The link gets an independent stream derived from the same seed so
+	// kernel and transfer noise do not interleave-order-depend.
+	var linkRng *rand.Rand
+	if !noiseless {
+		linkRng = rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	}
+	d.link = link.New(eng, tb, sigma, linkRng)
+	return d
+}
+
+// Engine returns the simulation engine driving this device.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Testbed returns the machine description of this device.
+func (d *Device) Testbed() *machine.Testbed { return d.tb }
+
+// Link returns the host-device interconnect.
+func (d *Device) Link() *link.Link { return d.link }
+
+// SetKernelObserver installs a trace observer for kernel intervals.
+func (d *Device) SetKernelObserver(obs KernelObserver) { d.kernelObs = obs }
+
+// ErrOutOfMemory is returned by Malloc when the device memory is exhausted.
+var ErrOutOfMemory = errors.New("device: out of memory")
+
+// Malloc reserves bytes of device memory.
+func (d *Device) Malloc(bytes int64) (*Buffer, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("device: negative allocation %d", bytes)
+	}
+	if d.memUsed+bytes > d.tb.GPU.MemBytes {
+		return nil, fmt.Errorf("%w: want %d, used %d of %d",
+			ErrOutOfMemory, bytes, d.memUsed, d.tb.GPU.MemBytes)
+	}
+	d.memUsed += bytes
+	if d.memUsed > d.memPeak {
+		d.memPeak = d.memUsed
+	}
+	return &Buffer{size: bytes}, nil
+}
+
+// Free releases a device allocation. Double frees are rejected.
+func (d *Device) Free(b *Buffer) error {
+	if b == nil {
+		return errors.New("device: free of nil buffer")
+	}
+	if b.freed {
+		return errors.New("device: double free")
+	}
+	b.freed = true
+	d.memUsed -= b.size
+	return nil
+}
+
+// MemUsed returns the bytes currently allocated.
+func (d *Device) MemUsed() int64 { return d.memUsed }
+
+// MemPeak returns the high-water mark of allocated bytes.
+func (d *Device) MemPeak() int64 { return d.memPeak }
+
+// noisy perturbs a duration with the device's multiplicative noise.
+func (d *Device) noisy(duration float64) float64 {
+	if d.rng == nil || d.noiseSigma == 0 {
+		return duration
+	}
+	f := 1 + d.noiseSigma*d.rng.NormFloat64()
+	if f < 0.5 {
+		f = 0.5
+	}
+	return duration * f
+}
+
+// LaunchKernel enqueues a kernel with the given base duration on the
+// compute engine. payload (optional) performs the functional arithmetic
+// and runs at completion time, before onDone (optional) is notified.
+// Durations must be non-negative.
+func (d *Device) LaunchKernel(name string, duration float64, payload, onDone func()) {
+	if duration < 0 {
+		panic(fmt.Sprintf("device: negative kernel duration %g", duration))
+	}
+	d.queue = append(d.queue, &kernelTask{name: name, duration: duration, payload: payload, done: onDone})
+	if !d.computing {
+		d.runNext()
+	}
+}
+
+// runNext pops the compute queue and executes its head.
+func (d *Device) runNext() {
+	if d.computing || len(d.queue) == 0 {
+		return
+	}
+	t := d.queue[0]
+	d.queue = d.queue[1:]
+	d.computing = true
+	start := d.eng.Now()
+	dur := d.noisy(t.duration)
+	d.eng.After(dur, func() {
+		d.computing = false
+		d.busy += d.eng.Now() - start
+		d.kernels++
+		if d.kernelObs != nil {
+			d.kernelObs(t.name, start, d.eng.Now())
+		}
+		if t.payload != nil {
+			t.payload()
+		}
+		// Start the next kernel before the completion callback so a
+		// callback that enqueues more work observes a busy engine,
+		// matching hardware queues.
+		d.runNext()
+		if t.done != nil {
+			t.done()
+		}
+	})
+}
+
+// ComputeStats describes the compute engine's accumulated activity.
+type ComputeStats struct {
+	BusySeconds float64
+	Kernels     int64
+}
+
+// ComputeStats returns the accumulated compute activity.
+func (d *Device) ComputeStats() ComputeStats {
+	return ComputeStats{BusySeconds: d.busy, Kernels: d.kernels}
+}

@@ -1,0 +1,193 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"cocopelia/internal/machine"
+	"cocopelia/internal/model"
+	"cocopelia/internal/stats"
+)
+
+// This file implements the ablation studies DESIGN.md calls out: each
+// quantifies one design decision of the CoCoPeLia framework or of the
+// simulated machine model.
+
+// AblationReuseRow quantifies the data-reuse design decision: the same
+// scheduler and tile size with and without the tile cache.
+type AblationReuseRow struct {
+	Problem Problem
+	T       int
+	// SecondsReuse/SecondsNoReuse are the measured makespans.
+	SecondsReuse, SecondsNoReuse float64
+	// TrafficRatio is no-reuse h2d bytes over reuse h2d bytes.
+	TrafficRatio float64
+	// SpeedupPct is the percentage speedup reuse delivers.
+	SpeedupPct float64
+}
+
+// AblationReuse measures the value of the tile cache (full data reuse) on
+// full-offload square problems.
+func (c *Campaign) AblationReuse(routine string) ([]AblationReuseRow, error) {
+	var rows []AblationReuseRow
+	for _, s := range GemmSquareSizes(c.Fast) {
+		p := Problem{
+			Routine: routine, Dtype: gemmDtype(routine), M: s, N: s, K: s,
+			Locs: []model.Loc{model.OnHost, model.OnHost, model.OnHost}, Tag: "square",
+		}
+		T := Fig6StaticT
+		if s < T {
+			T = s
+		}
+		withReuse, err := c.Runner.Measure(LibCoCoPeLia, p, T)
+		if err != nil {
+			return nil, err
+		}
+		noReuse, err := c.Runner.Measure(LibNoReuse, p, T)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationReuseRow{
+			Problem: p, T: T,
+			SecondsReuse:   withReuse.Seconds,
+			SecondsNoReuse: noReuse.Seconds,
+			TrafficRatio:   float64(noReuse.BytesH2D) / float64(withReuse.BytesH2D),
+			SpeedupPct:     100 * (noReuse.Seconds/withReuse.Seconds - 1),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationReuse renders the reuse ablation table.
+func RenderAblationReuse(routine string, rows []AblationReuseRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ablation: data reuse (%s, full offload, T=%d)\n", routine, Fig6StaticT)
+	fmt.Fprintf(&b, "%-44s %10s %12s %14s %10s\n", "problem", "reuse (s)", "no-reuse (s)", "traffic ratio", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-44s %10.4f %12.4f %13.1fx %9.1f%%\n",
+			r.Problem.Name(), r.SecondsReuse, r.SecondsNoReuse, r.TrafficRatio, r.SpeedupPct)
+	}
+	return b.String()
+}
+
+// AblationContentionRow quantifies the machine-level bidirectional
+// contention and the model decision to capture it: the same problem run on
+// the real testbed and on a hypothetical contention-free variant.
+type AblationContentionRow struct {
+	Problem Problem
+	T       int
+	// SecondsReal/SecondsNoBid are measured on the real and
+	// contention-free machines.
+	SecondsReal, SecondsNoBid float64
+	// SlowdownPct is how much bidirectional contention costs end to end.
+	SlowdownPct float64
+}
+
+// AblationContention measures how much the h2d/d2h contention costs by
+// re-running on a clone of the testbed with both slowdown factors forced
+// to 1.
+func (c *Campaign) AblationContention(routine string) ([]AblationContentionRow, error) {
+	noBidTB := *c.Runner.TB
+	noBidTB.H2D.BidSlowdown = 1
+	noBidTB.D2H.BidSlowdown = 1
+	noBidTB.Name = c.Runner.TB.Name + " (no contention)"
+	noBid := NewRunner(&noBidTB)
+	noBid.Reps = c.Runner.Reps
+
+	var rows []AblationContentionRow
+	for _, s := range GemmSquareSizes(c.Fast) {
+		p := Problem{
+			Routine: routine, Dtype: gemmDtype(routine), M: s, N: s, K: s,
+			Locs: []model.Loc{model.OnHost, model.OnHost, model.OnHost}, Tag: "square",
+		}
+		T := Fig6StaticT
+		if s < T {
+			T = s
+		}
+		real, err := c.Runner.Measure(LibNoReuse, p, T)
+		if err != nil {
+			return nil, err
+		}
+		free, err := noBid.Measure(LibNoReuse, p, T)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationContentionRow{
+			Problem: p, T: T,
+			SecondsReal:  real.Seconds,
+			SecondsNoBid: free.Seconds,
+			SlowdownPct:  100 * (real.Seconds/free.Seconds - 1),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationContention renders the contention ablation table.
+func RenderAblationContention(routine string, rows []AblationContentionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ablation: bidirectional link contention (%s, no-reuse traffic)\n", routine)
+	fmt.Fprintf(&b, "%-44s %10s %12s %12s\n", "problem", "real (s)", "no-bid (s)", "cost")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-44s %10.4f %12.4f %11.1f%%\n",
+			r.Problem.Name(), r.SecondsReal, r.SecondsNoBid, r.SlowdownPct)
+	}
+	return b.String()
+}
+
+// AblationModelVariants computes error distributions of the extended model
+// family (Werkhoven variants and CoCoPeLia ablations) against the measured
+// CoCoPeLia library, quantifying what each modeling refinement buys.
+func (c *Campaign) AblationModelVariants(routine string) ([]ErrSample, error) {
+	kinds := []model.Kind{
+		model.WerkSerial, model.Werk2Way, model.Werk1Engine, model.CSO,
+		model.AblBTSUnidir, model.BTS, model.AblDRInteger, model.DR,
+	}
+	problems := GemmValidationSet(routine, c.Fast)
+	var out []ErrSample
+	for _, p := range problems {
+		prm := p.Params()
+		sm, err := c.Pred.SubModels(p.Routine, c.Runner.FullKernelTime(p))
+		if err != nil {
+			return nil, err
+		}
+		for _, T := range c.sweep(p) {
+			meas, err := c.Runner.Measure(LibCoCoPeLia, p, T)
+			if err != nil {
+				return nil, err
+			}
+			for _, kind := range kinds {
+				pred, err := model.PredictExtended(kind, &prm, sm, T)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ErrSample{
+					Routine: p.Routine, Model: kind, Problem: p.Name(), T: T,
+					ErrPct: stats.RelErrPercent(pred, meas.Seconds),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// AblationSlowdownFit checks that the deployment phase recovers the
+// machine's true slowdown factors — the empirical foundation of the BTS
+// model — and reports fitted-vs-truth for both directions.
+func (c *Campaign) AblationSlowdownFit() string {
+	dep := c.Pred.Deployment()
+	tb := c.Runner.TB
+	var b strings.Builder
+	fmt.Fprintf(&b, "deployment fit vs machine ground truth (%s)\n", tb.Name)
+	fmt.Fprintf(&b, "%-6s %14s %14s %14s %14s\n", "dir", "bw true", "bw fitted", "sl true", "sl fitted")
+	for _, row := range []struct {
+		name string
+		dir  machine.LinkDir
+	}{{"h2d", machine.H2D}, {"d2h", machine.D2H}} {
+		truth := tb.Link(row.dir)
+		fit := dep.Fit(row.dir)
+		fmt.Fprintf(&b, "%-6s %11.2f GB/s %11.2f GB/s %14.2f %14.2f\n",
+			row.name, truth.BandwidthBps/1e9, 1/fit.SecPerByte/1e9,
+			truth.BidSlowdown, fit.Slowdown)
+	}
+	return b.String()
+}

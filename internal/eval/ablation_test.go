@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"cocopelia/internal/model"
+	"cocopelia/internal/stats"
+)
+
+func TestAblationReuse(t *testing.T) {
+	c := testbedII(t)
+	rows, err := c.AblationReuse("dgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.SpeedupPct <= 0 {
+			t.Errorf("%s: reuse should speed things up, got %.1f%%", r.Problem.Name(), r.SpeedupPct)
+		}
+		if r.TrafficRatio <= 1 {
+			t.Errorf("%s: no-reuse must move more data (ratio %.2f)", r.Problem.Name(), r.TrafficRatio)
+		}
+	}
+	out := RenderAblationReuse("dgemm", rows)
+	if !strings.Contains(out, "speedup") {
+		t.Error("rendering missing header")
+	}
+}
+
+func TestAblationContention(t *testing.T) {
+	c := testbedII(t)
+	rows, err := c.AblationContention("dgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SlowdownPct < 0 {
+			t.Errorf("%s: contention cannot speed things up (%.1f%%)", r.Problem.Name(), r.SlowdownPct)
+		}
+	}
+	// On Testbed II (sl 1.27/1.41) contention must cost something for the
+	// transfer-heavy no-reuse pattern on at least one size.
+	any := false
+	for _, r := range rows {
+		if r.SlowdownPct > 1 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("expected measurable contention cost on Testbed II")
+	}
+	out := RenderAblationContention("dgemm", rows)
+	if !strings.Contains(out, "no-bid") {
+		t.Error("rendering missing column")
+	}
+}
+
+func TestAblationModelVariantsOrdering(t *testing.T) {
+	c := testbedII(t)
+	samples, err := c.AblationModelVariants("dgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	absMedian := func(kind model.Kind) float64 {
+		var v []float64
+		for _, s := range samples {
+			if s.Model == kind {
+				e := s.ErrPct
+				if e < 0 {
+					e = -e
+				}
+				v = append(v, e)
+			}
+		}
+		return stats.Median(v)
+	}
+	// Each CoCoPeLia refinement must tighten the error against the reuse
+	// library: DR beats its integer-tile ablation and the Werkhoven
+	// family; the serial model is the worst of all.
+	dr := absMedian(model.DR)
+	if serial := absMedian(model.WerkSerial); serial <= dr {
+		t.Errorf("serial model |median| %.1f should exceed DR %.1f", serial, dr)
+	}
+	if cso := absMedian(model.CSO); cso <= dr {
+		t.Errorf("CSO |median| %.1f should exceed DR %.1f", cso, dr)
+	}
+	if integer := absMedian(model.AblDRInteger); integer < dr {
+		t.Errorf("integer-tile ablation |median| %.1f should not beat DR %.1f", integer, dr)
+	}
+}
+
+func TestAblationSlowdownFit(t *testing.T) {
+	c := testbedII(t)
+	out := c.AblationSlowdownFit()
+	for _, want := range []string{"h2d", "d2h", "sl true", "GB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fit report missing %q:\n%s", want, out)
+		}
+	}
+}

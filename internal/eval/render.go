@@ -1,0 +1,211 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cocopelia/internal/model"
+	"cocopelia/internal/stats"
+)
+
+// RenderFig1 renders the tile-size sweep as a text table with a bar chart,
+// annotating the paper's static T=4096 reference.
+func RenderFig1(rows []Fig1Row) string {
+	var b strings.Builder
+	maxG := 0.0
+	for _, r := range rows {
+		if r.Gflops > maxG {
+			maxG = r.Gflops
+		}
+	}
+	cur := ""
+	for _, r := range rows {
+		head := fmt.Sprintf("%s dgemm %dx%dx%d", r.Testbed, r.Size, r.Size, r.Size)
+		if head != cur {
+			fmt.Fprintf(&b, "\n%s (GFLOP/s vs tile size T)\n", head)
+			cur = head
+		}
+		bar := strings.Repeat("*", int(40*r.Gflops/maxG))
+		note := ""
+		if r.T == Fig1StaticT {
+			note = "  <- static T=4096"
+		}
+		fmt.Fprintf(&b, "  T=%5d %8.0f |%-40s|%s\n", r.T, r.Gflops, bar, note)
+	}
+	return b.String()
+}
+
+// violin renders a one-line text distribution of error percentages.
+func violin(s stats.Summary) string {
+	return fmt.Sprintf("min %7.1f  p5 %7.1f  q1 %7.1f  med %7.1f  q3 %7.1f  p95 %7.1f  max %7.1f  (n=%d)",
+		s.Min, s.P5, s.Q1, s.Med, s.Q3, s.P95, s.Max, s.N)
+}
+
+// RenderErrSummary renders grouped model-error distributions in a stable
+// order (the text form of the Fig. 4/5 violins).
+func RenderErrSummary(title string, samples []ErrSample) string {
+	groups := GroupErrors(samples)
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — relative error %% (predicted vs measured)\n", title)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-14s %s\n", k, violin(groups[k]))
+	}
+	return b.String()
+}
+
+// RenderFig6 renders the tile-selection validation table.
+func RenderFig6(routine string, rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s tile-size selection (GFLOP/s; measured at each policy's tile)\n", routine)
+	fmt.Fprintf(&b, "%-42s %9s %14s", "problem", "static", "T_opt")
+	for _, k := range model.Kinds() {
+		fmt.Fprintf(&b, " %13s", k)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-42s %9.0f %8.0f@%-5d", r.Problem.Name(), r.GflopsStatic, r.GflopsOpt, r.TOpt)
+		for _, k := range model.Kinds() {
+			c := r.PerModel[k]
+			fmt.Fprintf(&b, " %7.0f@%-5d", c.Gflops, c.T)
+		}
+		b.WriteString("\n")
+	}
+	// Summary: median improvement over static per policy.
+	fmt.Fprintf(&b, "median improvement over static baseline:")
+	imp := func(get func(Fig6Row) float64) float64 {
+		var v []float64
+		for _, r := range rows {
+			if r.GflopsStatic > 0 {
+				v = append(v, 100*(get(r)/r.GflopsStatic-1))
+			}
+		}
+		return stats.Median(v)
+	}
+	fmt.Fprintf(&b, "  T_opt %.1f%%", imp(func(r Fig6Row) float64 { return r.GflopsOpt }))
+	for _, k := range model.Kinds() {
+		k := k
+		fmt.Fprintf(&b, "  %s %.1f%%", k, imp(func(r Fig6Row) float64 { return r.PerModel[k].Gflops }))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderFig7 renders the end-to-end comparison table.
+func RenderFig7(testbed string, rows []Fig7Row, libs []Lib) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s end-to-end performance (GFLOP/s)\n", testbed)
+	fmt.Fprintf(&b, "%-44s", "problem")
+	for _, lib := range libs {
+		fmt.Fprintf(&b, " %11s", lib)
+	}
+	fmt.Fprintf(&b, " %8s %7s\n", "T_coco", "T_xt")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-44s", r.Problem.Name())
+		for _, lib := range libs {
+			fmt.Fprintf(&b, " %11.1f", r.Gflops[lib])
+		}
+		fmt.Fprintf(&b, " %8d %7d\n", r.TCoCo, r.TXt)
+	}
+	return b.String()
+}
+
+// RenderTable4 renders the improvement summary.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("Table IV — CoCoPeLia mean improvement over the best competing library\n")
+	fmt.Fprintf(&b, "%-12s %-8s %-8s %14s %10s\n", "testbed", "routine", "offload", "improvement", "problems")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-8s %-8s %13.1f%% %10d\n",
+			r.Testbed, r.Routine, r.Offload, r.ImprovementPct, r.Problems)
+	}
+	return b.String()
+}
+
+// WriteCSV writes rows of stringable cells to path.
+func WriteCSV(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// Fig1CSV converts Fig. 1 rows to CSV cells.
+func Fig1CSV(rows []Fig1Row) ([]string, [][]string) {
+	header := []string{"testbed", "size", "T", "gflops"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Testbed, strconv.Itoa(r.Size), strconv.Itoa(r.T),
+			fmt.Sprintf("%.1f", r.Gflops)})
+	}
+	return header, out
+}
+
+// ErrCSV converts error samples to CSV cells.
+func ErrCSV(rows []ErrSample) ([]string, [][]string) {
+	header := []string{"routine", "model", "problem", "T", "err_pct"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Routine, string(r.Model), r.Problem,
+			strconv.Itoa(r.T), fmt.Sprintf("%.2f", r.ErrPct)})
+	}
+	return header, out
+}
+
+// Fig6CSV converts Fig. 6 rows to CSV cells.
+func Fig6CSV(rows []Fig6Row) ([]string, [][]string) {
+	header := []string{"problem", "gflops_static", "gflops_opt", "t_opt"}
+	for _, k := range model.Kinds() {
+		header = append(header, "gflops_"+string(k), "t_"+string(k))
+	}
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Problem.Name(),
+			fmt.Sprintf("%.1f", r.GflopsStatic),
+			fmt.Sprintf("%.1f", r.GflopsOpt),
+			strconv.Itoa(r.TOpt)}
+		for _, k := range model.Kinds() {
+			c := r.PerModel[k]
+			row = append(row, fmt.Sprintf("%.1f", c.Gflops), strconv.Itoa(c.T))
+		}
+		out = append(out, row)
+	}
+	return header, out
+}
+
+// Fig7CSV converts Fig. 7 rows to CSV cells.
+func Fig7CSV(rows []Fig7Row, libs []Lib) ([]string, [][]string) {
+	header := []string{"problem", "full_offload"}
+	for _, lib := range libs {
+		header = append(header, "gflops_"+string(lib))
+	}
+	header = append(header, "t_coco", "t_xt")
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Problem.Name(), strconv.FormatBool(r.Problem.FullOffload())}
+		for _, lib := range libs {
+			row = append(row, fmt.Sprintf("%.1f", r.Gflops[lib]))
+		}
+		row = append(row, strconv.Itoa(r.TCoCo), strconv.Itoa(r.TXt))
+		out = append(out, row)
+	}
+	return header, out
+}

@@ -1,0 +1,273 @@
+package eval
+
+import (
+	"fmt"
+
+	"cocopelia/internal/cudart"
+	"cocopelia/internal/device"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/libs/blasx"
+	"cocopelia/internal/libs/cublasxt"
+	"cocopelia/internal/libs/unified"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/model"
+	"cocopelia/internal/operand"
+	"cocopelia/internal/sched"
+	"cocopelia/internal/sim"
+	"cocopelia/internal/stats"
+)
+
+// Lib identifies a measured library implementation.
+type Lib string
+
+// The libraries under evaluation.
+const (
+	LibCoCoPeLia Lib = "CoCoPeLia"
+	LibCuBLASXt  Lib = "cuBLASXt"
+	LibBLASX     Lib = "BLASX"
+	LibUnified   Lib = "UnifiedMem"
+	// LibNoReuse is the CoCoPeLia scheduler with stateless sub-kernels
+	// (per-sub-kernel operand traffic) — the measured counterpart of the
+	// no-reuse models (Eq. 1-4), standing in for the paper's use of
+	// cuBLASXt in the Fig. 4 validation.
+	LibNoReuse Lib = "NoReuse"
+)
+
+// Runner executes measured library runs on a simulated testbed. Every
+// measurement runs on a fresh device seeded deterministically from the run
+// parameters, so results are reproducible and cacheable.
+type Runner struct {
+	TB *machine.Testbed
+	// Reps is the number of averaged repetitions per measurement (the
+	// paper uses 100 on hardware; simulator noise is parametric so a small
+	// count suffices).
+	Reps int
+	// SeedBase diversifies the noise streams of independent campaigns.
+	SeedBase int64
+
+	cache map[string]operand.Result
+}
+
+// NewRunner creates a runner for a testbed.
+func NewRunner(tb *machine.Testbed) *Runner {
+	return &Runner{TB: tb, Reps: 3, SeedBase: 1, cache: map[string]operand.Result{}}
+}
+
+func (r *Runner) key(lib Lib, p Problem, T int) string {
+	return fmt.Sprintf("%s|%s|%s|%d", r.TB.Name, lib, p.Name(), T)
+}
+
+// seedFor derives a deterministic noise seed for one repetition.
+func (r *Runner) seedFor(key string, rep int) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range key {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return h ^ (r.SeedBase * 7919) ^ int64(rep)*104729
+}
+
+// deviceMatrix allocates an unbacked full-matrix device buffer for
+// device-resident operands.
+func deviceMatrix(rt *cudart.Runtime, dt kernelmodel.Dtype, rows, cols int) (*operand.Matrix, error) {
+	buf, err := rt.Malloc(dt, int64(rows)*int64(cols), false)
+	if err != nil {
+		return nil, err
+	}
+	return &operand.Matrix{Rows: rows, Cols: cols, Loc: model.OnDevice, Dev: buf, DevLd: rows}, nil
+}
+
+// gemmOperands materializes the problem's operands on a fresh runtime.
+func gemmOperands(rt *cudart.Runtime, p Problem) (a, b, c *operand.Matrix, err error) {
+	build := func(rows, cols int, loc model.Loc) (*operand.Matrix, error) {
+		if loc == model.OnHost {
+			return &operand.Matrix{Rows: rows, Cols: cols, Loc: model.OnHost, HostLd: rows}, nil
+		}
+		return deviceMatrix(rt, p.Dtype, rows, cols)
+	}
+	if a, err = build(p.M, p.K, p.Locs[0]); err != nil {
+		return nil, nil, nil, err
+	}
+	if b, err = build(p.K, p.N, p.Locs[1]); err != nil {
+		return nil, nil, nil, err
+	}
+	if c, err = build(p.M, p.N, p.Locs[2]); err != nil {
+		return nil, nil, nil, err
+	}
+	return a, b, c, nil
+}
+
+// axpyOperands materializes the daxpy operands on a fresh runtime.
+func axpyOperands(rt *cudart.Runtime, p Problem) (x, y *operand.Vector, err error) {
+	build := func(loc model.Loc) (*operand.Vector, error) {
+		if loc == model.OnHost {
+			return &operand.Vector{N: p.N, Loc: model.OnHost}, nil
+		}
+		buf, err := rt.Malloc(kernelmodel.F64, int64(p.N), false)
+		if err != nil {
+			return nil, err
+		}
+		return &operand.Vector{N: p.N, Loc: model.OnDevice, Dev: buf}, nil
+	}
+	if x, err = build(p.Locs[0]); err != nil {
+		return nil, nil, err
+	}
+	if y, err = build(p.Locs[1]); err != nil {
+		return nil, nil, err
+	}
+	return x, y, nil
+}
+
+// runOnce executes one repetition on a fresh device and returns its result.
+func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result, error) {
+	eng := sim.New()
+	dev := device.New(eng, r.TB, seed, false)
+	rt := cudart.New(dev)
+
+	if p.Routine == "daxpy" {
+		x, y, err := axpyOperands(rt, p)
+		if err != nil {
+			return operand.Result{}, err
+		}
+		switch lib {
+		case LibCoCoPeLia:
+			ctx := sched.NewContext(rt, false)
+			return ctx.Axpy(sched.AxpyOpts{N: p.N, Alpha: 1.1, X: x, Y: y, T: T})
+		case LibUnified:
+			return unified.Daxpy(rt, p.N, 1.1, x, y, false)
+		default:
+			return operand.Result{}, fmt.Errorf("eval: library %s has no daxpy", lib)
+		}
+	}
+
+	if p.Routine == "dgemv" {
+		if lib != LibCoCoPeLia {
+			return operand.Result{}, fmt.Errorf("eval: library %s has no dgemv", lib)
+		}
+		var a *operand.Matrix
+		if p.Locs[0] == model.OnHost {
+			a = &operand.Matrix{Rows: p.M, Cols: p.N, Loc: model.OnHost, HostLd: p.M}
+		} else {
+			var err error
+			if a, err = deviceMatrix(rt, kernelmodel.F64, p.M, p.N); err != nil {
+				return operand.Result{}, err
+			}
+		}
+		vec := func(n int, loc model.Loc) (*operand.Vector, error) {
+			if loc == model.OnHost {
+				return &operand.Vector{N: n, Loc: model.OnHost}, nil
+			}
+			buf, err := rt.Malloc(kernelmodel.F64, int64(n), false)
+			if err != nil {
+				return nil, err
+			}
+			return &operand.Vector{N: n, Loc: model.OnDevice, Dev: buf}, nil
+		}
+		x, err := vec(p.N, p.Locs[1])
+		if err != nil {
+			return operand.Result{}, err
+		}
+		y, err := vec(p.M, p.Locs[2])
+		if err != nil {
+			return operand.Result{}, err
+		}
+		ctx := sched.NewContext(rt, false)
+		return ctx.Gemv(sched.GemvOpts{M: p.M, N: p.N, Alpha: 1, Beta: 1, A: a, X: x, Y: y, T: T})
+	}
+
+	a, b, c, err := gemmOperands(rt, p)
+	if err != nil {
+		return operand.Result{}, err
+	}
+	switch lib {
+	case LibCoCoPeLia:
+		ctx := sched.NewContext(rt, false)
+		return ctx.Gemm(sched.GemmOpts{
+			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
+			Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T,
+		})
+	case LibNoReuse:
+		ctx := sched.NewContext(rt, false)
+		return ctx.GemmNoReuse(sched.GemmOpts{
+			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
+			Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T,
+		})
+	case LibCuBLASXt:
+		h := cublasxt.New(rt, 0, false)
+		return h.Gemm(cublasxt.GemmOpts{
+			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
+			Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T,
+		})
+	case LibBLASX:
+		l := blasx.New(rt, false)
+		return l.Gemm(blasx.GemmOpts{
+			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
+			Alpha: 1, Beta: 1, A: a, B: b, C: c,
+		})
+	}
+	return operand.Result{}, fmt.Errorf("eval: unknown library %s", lib)
+}
+
+// Measure runs the library on the problem with tiling size T (ignored by
+// BLASX and UnifiedMem) and returns the repetition-averaged result.
+// Results are cached by (testbed, lib, problem, T).
+func (r *Runner) Measure(lib Lib, p Problem, T int) (operand.Result, error) {
+	key := r.key(lib, p, T)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	reps := r.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	var times []float64
+	var res operand.Result
+	for i := 0; i < reps; i++ {
+		one, err := r.runOnce(lib, p, T, r.seedFor(key, i))
+		if err != nil {
+			return operand.Result{}, fmt.Errorf("eval: %s on %s (T=%d): %w", lib, p.Name(), T, err)
+		}
+		times = append(times, one.Seconds)
+		res = one
+	}
+	res.Seconds = stats.Mean(times)
+	r.cache[key] = res
+	return res, nil
+}
+
+// FullKernelTime measures the un-tiled full-problem kernel time on the
+// device (the input the CSO comparator model requires).
+func (r *Runner) FullKernelTime(p Problem) float64 {
+	gpu := &r.TB.GPU
+	switch p.Routine {
+	case "daxpy":
+		return kernelmodel.AxpyTime(gpu, kernelmodel.F64, p.N)
+	case "dgemv":
+		return kernelmodel.GemvTime(gpu, kernelmodel.F64, p.M, p.N)
+	}
+	return kernelmodel.GemmTime(gpu, p.Dtype, p.M, p.N, p.K)
+}
+
+// SweepTiles returns the measured-performance tile sweep grid for a
+// problem: the benchmarked tile sizes filtered by the paper's feasibility
+// rule, optionally coarsened (step multiplier) for fast runs.
+func SweepTiles(p Problem, grid []int, coarsen int) []int {
+	if coarsen < 1 {
+		coarsen = 1
+	}
+	prm := p.Params()
+	maxT := prm.MinDim()
+	if prm.Level >= 2 {
+		maxT = int64(float64(prm.MinDim()) / 1.5)
+	}
+	var out []int
+	for i, T := range grid {
+		if i%coarsen != 0 {
+			continue
+		}
+		if int64(T) <= maxT {
+			out = append(out, T)
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSensitivityFutureMachines(t *testing.T) {
+	c := testbedII(t)
+	// x0.25: a transfer-starved machine; x1: today's Testbed II; x8: a
+	// compute-bound future machine where the static tile's kernel
+	// efficiency loss shows.
+	rows, err := c.Sensitivity(8192, []float64{0.25, 1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The model selection must stay close to the per-machine optimum.
+		if r.ModelLossPct > 10 {
+			t.Errorf("bw x%g: model selection loses %.1f%% to the optimum", r.BWScale, r.ModelLossPct)
+		}
+		if r.StaticLossPct < -1e-9 || r.ModelLossPct < -1e-9 {
+			t.Errorf("bw x%g: loss cannot be negative", r.BWScale)
+		}
+		if r.GflopsOpt < r.GflopsModel-1e-9 || r.GflopsOpt < r.GflopsStatic-1e-9 {
+			t.Errorf("bw x%g: optimum below a policy", r.BWScale)
+		}
+	}
+	// On at least one hypothetical machine the static policy must lose
+	// noticeably more than the model policy (the paper's motivation).
+	worstStatic, worstModel := 0.0, 0.0
+	for _, r := range rows {
+		if r.StaticLossPct > worstStatic {
+			worstStatic = r.StaticLossPct
+		}
+		if r.ModelLossPct > worstModel {
+			worstModel = r.ModelLossPct
+		}
+	}
+	if worstStatic <= worstModel {
+		t.Errorf("static policy (worst loss %.1f%%) should degrade more than the model (%.1f%%) across machines",
+			worstStatic, worstModel)
+	}
+	out := RenderSensitivity("Testbed II", 8192, rows)
+	if !strings.Contains(out, "B/FLOP") || !strings.Contains(out, "model loss") {
+		t.Error("rendering missing columns")
+	}
+}

@@ -1,0 +1,185 @@
+package hybrid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cocopelia/internal/blas"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/microbench"
+	"cocopelia/internal/model"
+	"cocopelia/internal/multigpu"
+	"cocopelia/internal/operand"
+	"cocopelia/internal/predictor"
+)
+
+var dep = microbench.Run(machine.TestbedII(), microbench.DefaultConfig())
+
+func subModels(t *testing.T) model.SubModels {
+	t.Helper()
+	sm, err := predictor.New(dep).SubModels("dgemm", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+func TestPlanSplitBalances(t *testing.T) {
+	sm := subModels(t)
+	tb := machine.TestbedII()
+	plan, err := PlanSplit(sm, tb, "dgemm", 8, 8192, 8192, 8192, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.T <= 0 {
+		t.Fatal("no tiling size planned")
+	}
+	if plan.HostCols <= 0 {
+		t.Error("the host should get a panel for a transfer-bound full offload")
+	}
+	if plan.HostCols%256 != 0 {
+		t.Errorf("host panel %d not aligned to the planning step", plan.HostCols)
+	}
+	if plan.HostCols >= 8192/2+plan.T {
+		t.Errorf("host panel %d implausibly large", plan.HostCols)
+	}
+	// The hybrid prediction must beat the GPU-only prediction.
+	gpuOnly, err := multigpu.PredictDR(sm, "dgemm", 8, 8192, 8192, 8192, plan.T, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PredictedSeconds >= gpuOnly {
+		t.Errorf("hybrid prediction %g not better than GPU-only %g", plan.PredictedSeconds, gpuOnly)
+	}
+}
+
+func TestPlanSplitErrors(t *testing.T) {
+	sm := subModels(t)
+	tb := machine.TestbedII()
+	if _, err := PlanSplit(sm, tb, "dgemm", 8, 8192, 8192, 8192, 0); err == nil {
+		t.Error("zero GPUs should error")
+	}
+	if _, err := PlanSplit(sm, tb, "dgemm", 8, 64, 64, 64, 1); err == nil {
+		t.Error("tiny problem should have no candidates")
+	}
+}
+
+func TestHybridFunctional(t *testing.T) {
+	cl, err := multigpu.NewCluster(machine.TestbedII(), 1, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n, k := 96, 128, 80
+	rng := rand.New(rand.NewSource(9))
+	hostA := make([]float64, m*k)
+	hostB := make([]float64, k*n)
+	hostC := make([]float64, m*n)
+	for i := range hostA {
+		hostA[i] = rng.NormFloat64()
+	}
+	for i := range hostB {
+		hostB[i] = rng.NormFloat64()
+	}
+	for i := range hostC {
+		hostC[i] = rng.NormFloat64()
+	}
+	ref := append([]float64(nil), hostC...)
+	if err := blas.Dgemm(blas.NoTrans, blas.NoTrans, m, n, k, 2, hostA, m, hostB, k, 0.5, ref, m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Gemm(cl, GemmOpts{
+		Dtype: kernelmodel.F64, M: m, N: n, K: k, Alpha: 2, Beta: 0.5,
+		A:    operand.HostMatrix(m, k, hostA),
+		B:    operand.HostMatrix(k, n, hostB),
+		C:    operand.HostMatrix(m, n, hostC),
+		Plan: Plan{T: 32, HostCols: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Abs(hostC[i]-ref[i]) > 1e-10 {
+			t.Fatalf("c[%d] = %g, want %g", i, hostC[i], ref[i])
+		}
+	}
+	if res.HostCols != 64 || res.HostSeconds <= 0 {
+		t.Errorf("host side missing from result: %+v", res)
+	}
+	if len(res.GPU) != 1 || res.GPU[0].Subkernels <= 0 {
+		t.Error("GPU side missing from result")
+	}
+}
+
+func TestHybridBeatsGPUOnlyMeasured(t *testing.T) {
+	sm := subModels(t)
+	tb := machine.TestbedII()
+	m := 8192
+	plan, err := PlanSplit(sm, tb, "dgemm", 8, m, m, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p Plan) float64 {
+		cl, err := multigpu.NewCluster(tb, 1, 13, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Gemm(cl, GemmOpts{
+			Dtype: kernelmodel.F64, M: m, N: m, K: m, Alpha: 1, Beta: 1,
+			A:    operand.HostMatrix(m, m, nil),
+			B:    operand.HostMatrix(m, m, nil),
+			C:    operand.HostMatrix(m, m, nil),
+			Plan: p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	hybrid := run(plan)
+	gpuOnly := run(Plan{T: plan.T, HostCols: 0})
+	if hybrid >= gpuOnly {
+		t.Errorf("hybrid (%g) should beat GPU-only (%g) at the same T", hybrid, gpuOnly)
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	cl, err := multigpu.NewCluster(machine.TestbedII(), 1, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A := operand.HostMatrix(64, 64, nil)
+	if _, err := Gemm(cl, GemmOpts{
+		Dtype: kernelmodel.F64, M: 64, N: 64, K: 64,
+		A: A, B: A, C: A, Plan: Plan{T: 0},
+	}); err == nil {
+		t.Error("missing tiling size should error")
+	}
+	if _, err := Gemm(cl, GemmOpts{
+		Dtype: kernelmodel.F64, M: 64, N: 64, K: 64,
+		A: A, B: A, C: A, Plan: Plan{T: 32, HostCols: 64},
+	}); err == nil {
+		t.Error("host panel covering all of N should error")
+	}
+	dev := &operand.Matrix{Rows: 64, Cols: 64, Loc: model.OnDevice}
+	if _, err := Gemm(cl, GemmOpts{
+		Dtype: kernelmodel.F64, M: 64, N: 64, K: 64,
+		A: dev, B: A, C: A, Plan: Plan{T: 32, HostCols: 32},
+	}); err == nil {
+		t.Error("device operand should error")
+	}
+}
+
+func TestHostSpecGemmTime(t *testing.T) {
+	h := machine.HostSpec{PeakFlops64: 100e9, PeakFlops32: 200e9, GemmEff: 0.5}
+	if got := h.GemmTime(true, 1000, 1000, 1000); math.Abs(got-2e9/50e9) > 1e-12 {
+		t.Errorf("host f64 gemm time %g", got)
+	}
+	if got := h.GemmTime(false, 1000, 1000, 1000); math.Abs(got-2e9/100e9) > 1e-12 {
+		t.Errorf("host f32 gemm time %g", got)
+	}
+	if h.GemmTime(true, 0, 5, 5) != 0 {
+		t.Error("degenerate host gemm should be 0")
+	}
+}

@@ -1,0 +1,235 @@
+// Package kernelmodel is the ground-truth duration model of BLAS kernels on
+// the simulated GPUs. It plays the role that the cuBLAS kernels themselves
+// play on real hardware: given a routine and sub-problem dimensions it
+// produces the kernel execution time the device will exhibit.
+//
+// The model deliberately includes the phenomena the paper identifies as the
+// reasons simple linear models fail (Section III-A):
+//
+//   - non-linear execution time: a roofline combining compute throughput
+//     with device-memory bandwidth, so small and thin kernels are
+//     memory-bound;
+//   - GPU underutilization for small sub-problems: a saturating efficiency
+//     curve in the problem "dimension" (cube root of M·N·K);
+//   - shape sensitivity: fat-by-thin multiplications differ from square
+//     ones with the same FLOP count through their byte/FLOP ratio;
+//   - fixed kernel launch overhead;
+//   - deterministic per-size performance perturbations ("spikes"), with a
+//     larger amplitude on the V100-class testbed, as observed in the
+//     paper's Section V-C.
+//
+// Per-invocation measurement noise is NOT applied here; the device layer
+// adds it so that repeated invocations of the same kernel differ, which is
+// what drives the confidence-interval stopping rule of the deployment
+// micro-benchmarks.
+package kernelmodel
+
+import (
+	"fmt"
+	"math"
+
+	"cocopelia/internal/machine"
+)
+
+// Dtype identifies the floating-point element type of a routine.
+type Dtype int
+
+const (
+	// F64 is IEEE double precision (the "d" routine prefix).
+	F64 Dtype = iota
+	// F32 is IEEE single precision (the "s" routine prefix).
+	F32
+)
+
+// Size returns the element size in bytes.
+func (d Dtype) Size() int64 {
+	if d == F32 {
+		return 4
+	}
+	return 8
+}
+
+// String returns "f64" or "f32".
+func (d Dtype) String() string {
+	if d == F32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// peak returns the device peak FLOP/s for the dtype.
+func peak(g *machine.GPUSpec, dt Dtype) float64 {
+	if dt == F32 {
+		return g.PeakFlops32
+	}
+	return g.PeakFlops64
+}
+
+// maxEff returns the asymptotic kernel efficiency for the dtype.
+func maxEff(g *machine.GPUSpec, dt Dtype) float64 {
+	if dt == F32 {
+		return g.MaxEff32
+	}
+	return g.MaxEff64
+}
+
+// hash01 maps integers to a deterministic pseudo-uniform value in [0, 1).
+// It drives the per-size performance spikes: the same dimensions always get
+// the same perturbation, as on real hardware where specific sizes hit
+// pathological (or lucky) kernel configurations.
+func hash01(vals ...int64) float64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		h ^= uint64(v) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+	}
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}
+
+// spikeFactor returns the multiplicative per-size perturbation of kernel
+// efficiency. Sizes are bucketed at 128-element granularity so neighbouring
+// dimensions share a spike, mimicking kernel-selection boundaries.
+func spikeFactor(g *machine.GPUSpec, dt Dtype, dims ...int) float64 {
+	if g.SpikeAmp == 0 {
+		return 1
+	}
+	buckets := make([]int64, 0, len(dims)+1)
+	buckets = append(buckets, int64(dt))
+	for _, d := range dims {
+		buckets = append(buckets, int64(d/128))
+	}
+	return 1 + g.SpikeAmp*(2*hash01(buckets...)-1)
+}
+
+// gemmEff returns the achieved fraction of peak for an MxNxK gemm. It
+// saturates toward the device maximum with the characteristic dimension
+// d = cbrt(M·N·K) and carries a mild penalty for extreme aspect ratios.
+func gemmEff(g *machine.GPUSpec, dt Dtype, m, n, k int) float64 {
+	d := math.Cbrt(float64(m) * float64(n) * float64(k))
+	eff := maxEff(g, dt) / (1 + math.Pow(g.EffHalfDim/d, g.EffSharpness))
+	minDim := math.Min(float64(m), math.Min(float64(n), float64(k)))
+	if minDim > 0 && minDim < d {
+		// Extreme aspect ratios (fat-by-thin) schedule less efficiently.
+		eff *= math.Pow(minDim/d, 0.08)
+	}
+	return eff * spikeFactor(g, dt, m, n, k)
+}
+
+// memEff returns the achieved fraction of device-memory bandwidth for a
+// streaming kernel touching the given number of bytes. Short vectors cannot
+// saturate the memory system.
+func memEff(g *machine.GPUSpec, bytes int64) float64 {
+	// Half of peak bandwidth at ~2 MiB working sets, saturating above.
+	const halfBytes = 2 << 20
+	return 0.92 / (1 + math.Pow(halfBytes/float64(bytes+1), 0.9))
+}
+
+// GemmTime returns the execution time of an MxNxK gemm sub-kernel
+// (C[MxN] += A[MxK]·B[KxN]) on the device.
+func GemmTime(g *machine.GPUSpec, dt Dtype, m, n, k int) float64 {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return g.KernelLaunchS
+	}
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	bytes := (int64(m)*int64(k) + int64(k)*int64(n) + 2*int64(m)*int64(n)) * dt.Size()
+	tCompute := flops / (peak(g, dt) * gemmEff(g, dt, m, n, k))
+	tMemory := float64(bytes) / (g.MemBandwidthBps * memEff(g, bytes))
+	return g.KernelLaunchS + math.Max(tCompute, tMemory)
+}
+
+// AxpyTime returns the execution time of y += alpha*x for vectors of length
+// n. axpy is purely bandwidth-bound: it reads x and y and writes y.
+func AxpyTime(g *machine.GPUSpec, dt Dtype, n int) float64 {
+	if n <= 0 {
+		return g.KernelLaunchS
+	}
+	bytes := 3 * int64(n) * dt.Size()
+	return g.KernelLaunchS + float64(bytes)/(g.MemBandwidthBps*memEff(g, bytes))
+}
+
+// GemvTime returns the execution time of y = alpha*A*x + beta*y for an
+// MxN matrix: bandwidth-bound on the matrix traffic with a small compute
+// component.
+func GemvTime(g *machine.GPUSpec, dt Dtype, m, n int) float64 {
+	if m <= 0 || n <= 0 {
+		return g.KernelLaunchS
+	}
+	bytes := (int64(m)*int64(n) + 2*int64(m) + int64(n)) * dt.Size()
+	flops := 2 * float64(m) * float64(n)
+	tMemory := float64(bytes) / (g.MemBandwidthBps * memEff(g, bytes))
+	tCompute := flops / (peak(g, dt) * 0.5)
+	return g.KernelLaunchS + math.Max(tCompute, tMemory)
+}
+
+// DotTime returns the execution time of a length-n dot product (reads two
+// vectors, reduction output negligible).
+func DotTime(g *machine.GPUSpec, dt Dtype, n int) float64 {
+	if n <= 0 {
+		return g.KernelLaunchS
+	}
+	bytes := 2 * int64(n) * dt.Size()
+	return g.KernelLaunchS + float64(bytes)/(g.MemBandwidthBps*memEff(g, bytes))
+}
+
+// ScalTime returns the execution time of x *= alpha for a length-n vector
+// (read + write of one vector).
+func ScalTime(g *machine.GPUSpec, dt Dtype, n int) float64 {
+	if n <= 0 {
+		return g.KernelLaunchS
+	}
+	bytes := 2 * int64(n) * dt.Size()
+	return g.KernelLaunchS + float64(bytes)/(g.MemBandwidthBps*memEff(g, bytes))
+}
+
+// Routine identifies a modeled BLAS kernel for the generic dispatcher.
+type Routine string
+
+// The routines with ground-truth timing models.
+const (
+	RoutineGemm Routine = "gemm"
+	RoutineAxpy Routine = "axpy"
+	RoutineGemv Routine = "gemv"
+	RoutineDot  Routine = "dot"
+	RoutineScal Routine = "scal"
+)
+
+// Time dispatches to the routine-specific model. dims carries (M, N, K) for
+// gemm, (M, N) for gemv, and (N) for the level-1 routines.
+func Time(g *machine.GPUSpec, r Routine, dt Dtype, dims ...int) (float64, error) {
+	switch r {
+	case RoutineGemm:
+		if len(dims) != 3 {
+			return 0, fmt.Errorf("kernelmodel: gemm needs 3 dims, got %d", len(dims))
+		}
+		return GemmTime(g, dt, dims[0], dims[1], dims[2]), nil
+	case RoutineGemv:
+		if len(dims) != 2 {
+			return 0, fmt.Errorf("kernelmodel: gemv needs 2 dims, got %d", len(dims))
+		}
+		return GemvTime(g, dt, dims[0], dims[1]), nil
+	case RoutineAxpy, RoutineDot, RoutineScal:
+		if len(dims) != 1 {
+			return 0, fmt.Errorf("kernelmodel: %s needs 1 dim, got %d", r, len(dims))
+		}
+		switch r {
+		case RoutineAxpy:
+			return AxpyTime(g, dt, dims[0]), nil
+		case RoutineDot:
+			return DotTime(g, dt, dims[0]), nil
+		default:
+			return ScalTime(g, dt, dims[0]), nil
+		}
+	}
+	return 0, fmt.Errorf("kernelmodel: unknown routine %q", r)
+}
+
+// GemmGflops is a convenience that converts a gemm time to GFLOP/s.
+func GemmGflops(m, n, k int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return 2 * float64(m) * float64(n) * float64(k) / seconds / 1e9
+}

@@ -1,0 +1,221 @@
+// Package link simulates the host-device interconnect (PCIe) of a testbed
+// as two directional channels that share a physical medium.
+//
+// Each direction behaves like a CUDA copy engine: transfers are processed
+// one at a time in FIFO order. A transfer consists of a fixed latency phase
+// (t_l) followed by a fluid data phase that drains bytes at the current
+// effective rate. While BOTH directions are in their data phase, each
+// side's rate is divided by its direction-specific bidirectional slowdown
+// factor — the paper's sl_{h2d,bid} and sl_{d2h,bid}. Rates are recomputed,
+// and in-flight completion events rescheduled, at every instant the set of
+// active transfers changes, so partially-overlapped opposite transfers are
+// modeled exactly (the situation the paper's Eq. 3 approximates
+// analytically).
+//
+// Per-transfer multiplicative bandwidth noise makes repeated measurements
+// differ, which exercises the confidence-interval stopping rule of the
+// deployment micro-benchmarks.
+package link
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cocopelia/internal/machine"
+	"cocopelia/internal/sim"
+)
+
+// Observer receives the completed data-phase interval of every transfer.
+// It is used by the trace package to build timelines. start marks the end
+// of the latency phase; bytes is the payload size.
+type Observer func(dir machine.LinkDir, start, end sim.Time, bytes int64)
+
+// transfer is one queued or in-flight copy.
+type transfer struct {
+	bytes     int64
+	remaining float64 // bytes left to drain in the data phase
+	rate      float64 // current drain rate, bytes/s
+	bwFactor  float64 // per-transfer multiplicative noise on bandwidth
+	dataStart sim.Time
+	updated   sim.Time // when `remaining` was last settled
+	inData    bool     // latency phase finished
+	done      func()
+	complete  *sim.Event
+}
+
+// channel is one direction of the link.
+type channel struct {
+	params  machine.LinkParams
+	queue   []*transfer
+	active  *transfer
+	busy    float64 // accumulated busy seconds (latency + data)
+	started sim.Time
+	bytes   int64 // total payload bytes completed
+	count   int64 // total transfers completed
+}
+
+// Link is the simulated interconnect. It must be driven by the same
+// sim.Engine as the rest of the device.
+type Link struct {
+	eng      *sim.Engine
+	dirs     [2]*channel
+	rng      *rand.Rand
+	noise    float64
+	observer Observer
+}
+
+// New creates a link on eng with the testbed's parameters. noiseSigma is
+// the relative standard deviation of per-transfer bandwidth noise; rng may
+// be nil for a noiseless link.
+func New(eng *sim.Engine, tb *machine.Testbed, noiseSigma float64, rng *rand.Rand) *Link {
+	l := &Link{
+		eng:   eng,
+		noise: noiseSigma,
+		rng:   rng,
+	}
+	l.dirs[machine.H2D] = &channel{params: tb.H2D}
+	l.dirs[machine.D2H] = &channel{params: tb.D2H}
+	return l
+}
+
+// SetObserver installs a trace observer (may be nil to remove).
+func (l *Link) SetObserver(obs Observer) { l.observer = obs }
+
+// Stats describes one direction's accumulated activity.
+type Stats struct {
+	BusySeconds float64
+	Bytes       int64
+	Transfers   int64
+}
+
+// Stats returns the accumulated activity of the given direction.
+func (l *Link) Stats(dir machine.LinkDir) Stats {
+	c := l.dirs[dir]
+	return Stats{BusySeconds: c.busy, Bytes: c.bytes, Transfers: c.count}
+}
+
+// Submit enqueues a transfer of the given size; onDone fires (as a
+// simulation event) when the last byte lands. Zero-byte transfers cost the
+// latency only. Negative sizes panic: they always indicate a caller bug.
+func (l *Link) Submit(dir machine.LinkDir, bytes int64, onDone func()) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("link: negative transfer size %d", bytes))
+	}
+	t := &transfer{bytes: bytes, remaining: float64(bytes), done: onDone, bwFactor: l.bwFactor()}
+	c := l.dirs[dir]
+	c.queue = append(c.queue, t)
+	if c.active == nil {
+		l.startNext(dir)
+	}
+}
+
+// bwFactor draws the per-transfer bandwidth noise.
+func (l *Link) bwFactor() float64 {
+	if l.rng == nil || l.noise == 0 {
+		return 1
+	}
+	f := 1 + l.noise*l.rng.NormFloat64()
+	if f < 0.5 {
+		f = 0.5 // clamp pathological draws
+	}
+	return f
+}
+
+// startNext pops the queue head of dir and begins its latency phase.
+func (l *Link) startNext(dir machine.LinkDir) {
+	c := l.dirs[dir]
+	if c.active != nil || len(c.queue) == 0 {
+		return
+	}
+	t := c.queue[0]
+	c.queue = c.queue[1:]
+	c.active = t
+	c.started = l.eng.Now()
+	l.eng.After(c.params.LatencyS, func() { l.enterData(dir, t) })
+}
+
+// enterData moves a transfer from its latency phase into the fluid data
+// phase and recomputes rates on both directions.
+func (l *Link) enterData(dir machine.LinkDir, t *transfer) {
+	t.inData = true
+	t.dataStart = l.eng.Now()
+	t.updated = l.eng.Now()
+	l.replan()
+}
+
+// otherDir returns the opposite direction.
+func otherDir(dir machine.LinkDir) machine.LinkDir {
+	if dir == machine.H2D {
+		return machine.D2H
+	}
+	return machine.H2D
+}
+
+// replan settles the progress of every in-flight data-phase transfer at the
+// current instant, assigns new rates based on whether the opposite
+// direction is simultaneously active, and reschedules completion events.
+func (l *Link) replan() {
+	now := l.eng.Now()
+	bothActive := l.inData(machine.H2D) && l.inData(machine.D2H)
+	for _, dir := range []machine.LinkDir{machine.H2D, machine.D2H} {
+		c := l.dirs[dir]
+		t := c.active
+		if t == nil || !t.inData {
+			continue
+		}
+		// Settle progress at the old rate.
+		if t.rate > 0 {
+			t.remaining -= t.rate * (now - t.updated)
+			if t.remaining < 0 {
+				t.remaining = 0
+			}
+		}
+		t.updated = now
+		rate := c.params.BandwidthBps * t.bwFactor
+		if bothActive {
+			rate /= c.params.BidSlowdown
+		}
+		t.rate = rate
+		finish := now
+		if t.remaining > 0 {
+			finish = now + t.remaining/rate
+		}
+		dir := dir
+		if t.complete != nil && t.complete.Pending() {
+			l.eng.Reschedule(t.complete, finish)
+		} else {
+			t.complete = l.eng.Schedule(finish, func() { l.finish(dir) })
+		}
+	}
+}
+
+// inData reports whether dir has a transfer in its data phase.
+func (l *Link) inData(dir machine.LinkDir) bool {
+	t := l.dirs[dir].active
+	return t != nil && t.inData
+}
+
+// finish completes the active transfer of dir, notifies the observer and
+// the caller, starts the next queued transfer, and re-plans the opposite
+// direction (whose contention just disappeared).
+func (l *Link) finish(dir machine.LinkDir) {
+	c := l.dirs[dir]
+	t := c.active
+	if t == nil {
+		panic("link: completion with no active transfer")
+	}
+	now := l.eng.Now()
+	c.active = nil
+	c.busy += now - c.started
+	c.bytes += t.bytes
+	c.count++
+	if l.observer != nil {
+		l.observer(dir, t.dataStart, now, t.bytes)
+	}
+	// The opposite direction speeds up now that we are done.
+	l.replan()
+	l.startNext(dir)
+	if t.done != nil {
+		t.done()
+	}
+}

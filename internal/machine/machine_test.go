@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCanonicalTestbedsValidate(t *testing.T) {
+	for _, tb := range Testbeds() {
+		if err := tb.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", tb.Name, err)
+		}
+	}
+}
+
+func TestTestbedIIFasterLinkSlowerOverlap(t *testing.T) {
+	// Table II: Testbed II has ~3x the bandwidth of Testbed I but larger
+	// bidirectional slowdowns in both directions.
+	a, b := TestbedI(), TestbedII()
+	if b.H2D.BandwidthBps < 2.5*a.H2D.BandwidthBps {
+		t.Error("Testbed II h2d bandwidth should be ~3x Testbed I")
+	}
+	if b.H2D.BidSlowdown <= a.H2D.BidSlowdown || b.D2H.BidSlowdown <= a.D2H.BidSlowdown {
+		t.Error("Testbed II should have larger bidirectional slowdowns")
+	}
+	if a.D2H.BidSlowdown <= a.H2D.BidSlowdown {
+		t.Error("d2h should be more affected than h2d by bidirectional use")
+	}
+}
+
+func TestBandwidthPerFlopOrdering(t *testing.T) {
+	// Section V: Testbed II has a lower bandwidth/FLOP ratio, so transfers
+	// are a bigger bottleneck there.
+	a, b := TestbedI(), TestbedII()
+	ra := a.H2D.BandwidthBps / a.GPU.PeakFlops64
+	rb := b.H2D.BandwidthBps / b.GPU.PeakFlops64
+	if rb >= ra {
+		t.Errorf("bandwidth/FLOP: Testbed II (%g) should be below Testbed I (%g)", rb, ra)
+	}
+}
+
+func TestLinkTimeFor(t *testing.T) {
+	p := LinkParams{LatencyS: 1e-5, BandwidthBps: 1e9, BidSlowdown: 1}
+	got := p.TimeFor(1e9)
+	want := 1.00001
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("TimeFor = %v, want %v", got, want)
+	}
+	if p.TimeFor(0) != p.LatencyS {
+		t.Error("zero-byte transfer should cost exactly the latency")
+	}
+}
+
+func TestLinkAccessor(t *testing.T) {
+	tb := TestbedI()
+	if tb.Link(H2D) != tb.H2D || tb.Link(D2H) != tb.D2H {
+		t.Error("Link accessor mismatch")
+	}
+}
+
+func TestLinkDirString(t *testing.T) {
+	if H2D.String() != "h2d" || D2H.String() != "d2h" {
+		t.Error("LinkDir string names wrong")
+	}
+	if LinkDir(9).String() == "" {
+		t.Error("unknown direction should still render")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []func(*Testbed){
+		func(tb *Testbed) { tb.Name = "" },
+		func(tb *Testbed) { tb.H2D.BandwidthBps = 0 },
+		func(tb *Testbed) { tb.D2H.LatencyS = -1 },
+		func(tb *Testbed) { tb.H2D.BidSlowdown = 0.9 },
+		func(tb *Testbed) { tb.GPU.PeakFlops64 = 0 },
+		func(tb *Testbed) { tb.GPU.MemBandwidthBps = -1 },
+		func(tb *Testbed) { tb.GPU.MemBytes = 0 },
+		func(tb *Testbed) { tb.GPU.KernelLaunchS = -1e-9 },
+		func(tb *Testbed) { tb.GPU.MaxEff64 = 1.5 },
+		func(tb *Testbed) { tb.GPU.MaxEff32 = 0 },
+		func(tb *Testbed) { tb.GPU.EffHalfDim = 0 },
+		func(tb *Testbed) { tb.GPU.EffSharpness = -2 },
+		func(tb *Testbed) { tb.GPU.SpikeAmp = 1 },
+		func(tb *Testbed) { tb.GPU.NoiseSigma = -0.1 },
+	}
+	for i, mutate := range cases {
+		tb := TestbedI()
+		mutate(tb)
+		if err := tb.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	tb, err := ByName("Testbed II")
+	if err != nil || tb.GPU.Name == "" {
+		t.Fatalf("ByName: %v", err)
+	}
+	if _, err := ByName("Testbed III"); err == nil {
+		t.Error("unknown testbed should error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tb.json")
+	orig := TestbedII()
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *orig {
+		t.Errorf("round trip mismatch:\n got  %+v\n want %+v", got, orig)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON should error")
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := writeFile(invalid, `{"name":"x","h2d":{"bandwidth_Bps":0}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(invalid); err == nil {
+		t.Error("invalid testbed should fail validation on load")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

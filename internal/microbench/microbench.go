@@ -1,0 +1,364 @@
+// Package microbench implements the CoCoPeLia deployment phase (the
+// paper's Section IV-A): the offline micro-benchmarks that instantiate the
+// prediction models on a machine.
+//
+// It measures, on the simulated testbed:
+//
+//   - t_l per direction, as the average latency of multiple single-byte
+//     transfers;
+//   - t_b per direction, by least-squares regression (zero intercept,
+//     latency excluded) over 64 square double-precision transfers of
+//     256..16384 elements per side;
+//   - the bidirectional t_b and the slowdown factor sl per direction, by
+//     coupling each transfer with saturating traffic in the opposite
+//     direction;
+//   - the per-routine kernel-time lookup tables over the tile grids the
+//     paper uses (gemm: T = 256..16384 step 256; axpy: N = 2^18..2^26 step
+//     2^18).
+//
+// Every measurement repeats until the 95% confidence interval of its mean
+// falls within 5% of the mean, exactly the paper's stopping rule. The
+// result is a serializable Deployment database that the tile-selection
+// runtime consumes.
+package microbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"cocopelia/internal/device"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/sim"
+	"cocopelia/internal/stats"
+)
+
+// Config controls the micro-benchmark campaign.
+type Config struct {
+	// CITolerance is the stopping-rule tolerance (paper: 0.05).
+	CITolerance float64
+	// MinReps and MaxReps bound the repetitions per measurement.
+	MinReps, MaxReps int
+	// LatencyProbes is the number of single-byte transfers averaged for
+	// t_l.
+	LatencyProbes int
+	// Seed drives the simulated machine's measurement noise.
+	Seed int64
+}
+
+// DefaultConfig returns the paper-faithful configuration.
+func DefaultConfig() Config {
+	return Config{CITolerance: 0.05, MinReps: 3, MaxReps: 100, LatencyProbes: 32, Seed: 20210328}
+}
+
+// TransferFit is one direction's fitted transfer sub-model (a Table II
+// row).
+type TransferFit struct {
+	// LatencyS is the fitted t_l in seconds.
+	LatencyS float64 `json:"latency_s"`
+	// SecPerByte is the fitted t_b (1/bandwidth) in seconds/byte.
+	SecPerByte float64 `json:"sec_per_byte"`
+	// RSE is the residual standard error of the unidirectional fit.
+	RSE float64 `json:"rse"`
+	// SecPerByteBid is t_b fitted while the opposite direction is
+	// saturated.
+	SecPerByteBid float64 `json:"sec_per_byte_bid"`
+	// RSEBid is the residual standard error of the bidirectional fit.
+	RSEBid float64 `json:"rse_bid"`
+	// Slowdown is sl = SecPerByteBid / SecPerByte, clamped to >= 1.
+	Slowdown float64 `json:"slowdown"`
+}
+
+// TimeFor returns the fitted unidirectional transfer time for a payload.
+func (f TransferFit) TimeFor(bytes int64) float64 {
+	return f.LatencyS + f.SecPerByte*float64(bytes)
+}
+
+// KernelTable is the empirically measured sub-kernel execution-time lookup
+// table of one routine (the t_GPU^T predictor).
+type KernelTable struct {
+	Routine string    `json:"routine"`
+	Dtype   string    `json:"dtype"`
+	Grid    []int     `json:"grid"`
+	Times   []float64 `json:"times_s"`
+}
+
+// Lookup returns the measured time for tile size T. Following the paper,
+// only direct value lookups on the benchmarked grid are supported.
+func (kt *KernelTable) Lookup(T int) (float64, error) {
+	i := sort.SearchInts(kt.Grid, T)
+	if i < len(kt.Grid) && kt.Grid[i] == T {
+		return kt.Times[i], nil
+	}
+	return 0, fmt.Errorf("microbench: tile size %d not in the %s lookup grid", T, kt.Routine)
+}
+
+// Deployment is the machine database produced by the deployment phase.
+type Deployment struct {
+	TestbedName string                  `json:"testbed"`
+	H2D         TransferFit             `json:"h2d"`
+	D2H         TransferFit             `json:"d2h"`
+	Kernels     map[string]*KernelTable `json:"kernels"`
+	// VirtualSeconds is the simulated machine time the campaign consumed
+	// (the paper reports minutes per testbed).
+	VirtualSeconds float64 `json:"virtual_seconds"`
+}
+
+// Fit returns the transfer fit for a direction.
+func (d *Deployment) Fit(dir machine.LinkDir) TransferFit {
+	if dir == machine.H2D {
+		return d.H2D
+	}
+	return d.D2H
+}
+
+// Kernel returns the lookup table for a routine name (e.g. "dgemm").
+func (d *Deployment) Kernel(routine string) (*KernelTable, error) {
+	kt, ok := d.Kernels[routine]
+	if !ok {
+		return nil, fmt.Errorf("microbench: routine %q not deployed", routine)
+	}
+	return kt, nil
+}
+
+// Save writes the deployment database as JSON.
+func (d *Deployment) Save(path string) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return fmt.Errorf("microbench: marshal: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a deployment database from JSON.
+func Load(path string) (*Deployment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("microbench: %w", err)
+	}
+	var d Deployment
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("microbench: parse %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// runner executes measurements on a private simulated device.
+type runner struct {
+	cfg Config
+	tb  *machine.Testbed
+	eng *sim.Engine
+	dev *device.Device
+}
+
+func newRunner(tb *machine.Testbed, cfg Config) *runner {
+	eng := sim.New()
+	return &runner{cfg: cfg, tb: tb, eng: eng, dev: device.New(eng, tb, cfg.Seed, false)}
+}
+
+// measure repeats fn (which must return one sample of the measured
+// quantity) until the CI stopping rule is satisfied, and returns the mean.
+func (r *runner) measure(fn func() float64) float64 {
+	var samples []float64
+	for i := 0; i < r.cfg.MaxReps; i++ {
+		samples = append(samples, fn())
+		if len(samples) >= r.cfg.MinReps && stats.MeanWithinCI(samples, r.cfg.CITolerance) {
+			break
+		}
+	}
+	return stats.Mean(samples)
+}
+
+// timedTransfer runs one transfer and returns its duration on the virtual
+// clock.
+func (r *runner) timedTransfer(dir machine.LinkDir, bytes int64) float64 {
+	start := r.eng.Now()
+	var end sim.Time
+	r.dev.Link().Submit(dir, bytes, func() { end = r.eng.Now() })
+	r.eng.Run()
+	return end - start
+}
+
+// timedTransferBid runs one transfer while the opposite direction is kept
+// saturated, and returns the transfer's duration.
+func (r *runner) timedTransferBid(dir machine.LinkDir, bytes int64) float64 {
+	opposite := otherDir(dir)
+	// Saturate the opposite direction with a transfer several times
+	// larger, submitted first so it is in its data phase throughout.
+	r.dev.Link().Submit(opposite, bytes*8, nil)
+	var start, end sim.Time
+	started := false
+	// Submit the measured transfer after the opposite's latency phase.
+	r.eng.After(r.tb.Link(opposite).LatencyS*2, func() {
+		start = r.eng.Now()
+		started = true
+		r.dev.Link().Submit(dir, bytes, func() { end = r.eng.Now() })
+	})
+	r.eng.Run()
+	if !started {
+		panic("microbench: bidirectional probe never started")
+	}
+	return end - start
+}
+
+func otherDir(dir machine.LinkDir) machine.LinkDir {
+	if dir == machine.H2D {
+		return machine.D2H
+	}
+	return machine.H2D
+}
+
+// TransferGrid returns the square transfer sizes of the paper's campaign:
+// sides 256..16384 step 256 (64 samples) of double-precision elements.
+func TransferGrid() []int {
+	var g []int
+	for d := 256; d <= 16384; d += 256 {
+		g = append(g, d)
+	}
+	return g
+}
+
+// GemmTileGrid returns the gemm kernel lookup grid (T = 256..16384 step
+// 256, 64 entries).
+func GemmTileGrid() []int { return TransferGrid() }
+
+// AxpyTileGrid returns the daxpy kernel lookup grid (N = 2^18..2^26 step
+// 2^18, 256 entries).
+func AxpyTileGrid() []int {
+	var g []int
+	for n := 1 << 18; n <= 1<<26; n += 1 << 18 {
+		g = append(g, n)
+	}
+	return g
+}
+
+// fitDirection measures one direction's latency, unidirectional and
+// bidirectional bandwidth, and fits the Table II coefficients.
+func (r *runner) fitDirection(dir machine.LinkDir) TransferFit {
+	// t_l: average of single-byte transfers.
+	var lat []float64
+	for i := 0; i < r.cfg.LatencyProbes; i++ {
+		lat = append(lat, r.timedTransfer(dir, 1))
+	}
+	tl := stats.Mean(lat)
+
+	var xs, ysUni, ysBid []float64
+	for _, d := range TransferGrid() {
+		bytes := int64(d) * int64(d) * 8
+		uni := r.measure(func() float64 { return r.timedTransfer(dir, bytes) })
+		bid := r.measure(func() float64 { return r.timedTransferBid(dir, bytes) })
+		xs = append(xs, float64(bytes))
+		ysUni = append(ysUni, uni-tl)
+		ysBid = append(ysBid, bid-tl)
+	}
+	tb, rse, err := stats.FitZeroIntercept(xs, ysUni)
+	if err != nil {
+		panic(fmt.Sprintf("microbench: unidirectional fit: %v", err))
+	}
+	tbBid, rseBid, err := stats.FitZeroIntercept(xs, ysBid)
+	if err != nil {
+		panic(fmt.Sprintf("microbench: bidirectional fit: %v", err))
+	}
+	sl := tbBid / tb
+	if sl < 1 {
+		sl = 1
+	}
+	return TransferFit{
+		LatencyS:      tl,
+		SecPerByte:    tb,
+		RSE:           rse,
+		SecPerByteBid: tbBid,
+		RSEBid:        rseBid,
+		Slowdown:      sl,
+	}
+}
+
+// timedKernel executes one kernel of the given ground-truth duration and
+// returns its measured (noisy) duration.
+func (r *runner) timedKernel(name string, baseDuration float64) float64 {
+	start := r.eng.Now()
+	var end sim.Time
+	r.dev.LaunchKernel(name, baseDuration, nil, func() { end = r.eng.Now() })
+	r.eng.Run()
+	return end - start
+}
+
+// benchKernels builds the lookup tables for the three paper routines.
+func (r *runner) benchKernels() map[string]*KernelTable {
+	gpu := &r.tb.GPU
+	tables := map[string]*KernelTable{}
+
+	gemmGrid := GemmTileGrid()
+	for _, spec := range []struct {
+		name string
+		dt   kernelmodel.Dtype
+	}{{"dgemm", kernelmodel.F64}, {"sgemm", kernelmodel.F32}} {
+		times := make([]float64, len(gemmGrid))
+		for i, T := range gemmGrid {
+			base := kernelmodel.GemmTime(gpu, spec.dt, T, T, T)
+			times[i] = r.measure(func() float64 { return r.timedKernel(spec.name, base) })
+		}
+		tables[spec.name] = &KernelTable{
+			Routine: spec.name, Dtype: spec.dt.String(), Grid: gemmGrid, Times: times,
+		}
+	}
+
+	// Level-2: square TxT tiles of the matrix operand.
+	gemvTimes := make([]float64, len(gemmGrid))
+	for i, T := range gemmGrid {
+		base := kernelmodel.GemvTime(gpu, kernelmodel.F64, T, T)
+		gemvTimes[i] = r.measure(func() float64 { return r.timedKernel("dgemv", base) })
+	}
+	tables["dgemv"] = &KernelTable{
+		Routine: "dgemv", Dtype: kernelmodel.F64.String(), Grid: gemmGrid, Times: gemvTimes,
+	}
+
+	axpyGrid := AxpyTileGrid()
+	times := make([]float64, len(axpyGrid))
+	for i, n := range axpyGrid {
+		base := kernelmodel.AxpyTime(gpu, kernelmodel.F64, n)
+		times[i] = r.measure(func() float64 { return r.timedKernel("daxpy", base) })
+	}
+	tables["daxpy"] = &KernelTable{
+		Routine: "daxpy", Dtype: kernelmodel.F64.String(), Grid: axpyGrid, Times: times,
+	}
+	return tables
+}
+
+// Run executes the full deployment campaign on a testbed.
+func Run(tb *machine.Testbed, cfg Config) *Deployment {
+	r := newRunner(tb, cfg)
+	d := &Deployment{
+		TestbedName: tb.Name,
+		H2D:         r.fitDirection(machine.H2D),
+		D2H:         r.fitDirection(machine.D2H),
+		Kernels:     r.benchKernels(),
+	}
+	d.VirtualSeconds = r.eng.Now()
+	return d
+}
+
+// TableII renders the fitted transfer sub-models in the format of the
+// paper's Table II.
+func TableII(deps ...*Deployment) string {
+	s := fmt.Sprintf("%-12s %-5s %12s %14s %12s %16s %12s %8s\n",
+		"System", "dir", "t_l (s)", "1/t_b (GB/s)", "RSE", "1/t_b bid (GB/s)", "RSE bid", "sl")
+	for _, d := range deps {
+		for _, row := range []struct {
+			dir string
+			f   TransferFit
+		}{{"h2d", d.H2D}, {"d2h", d.D2H}} {
+			s += fmt.Sprintf("%-12s %-5s %12.3g %14.2f %12.3g %16.2f %12.3g %8.2f\n",
+				d.TestbedName, row.dir,
+				row.f.LatencyS,
+				1/row.f.SecPerByte/1e9,
+				row.f.RSE,
+				1/row.f.SecPerByteBid/1e9,
+				row.f.RSEBid,
+				row.f.Slowdown)
+		}
+	}
+	return s
+}

@@ -1,0 +1,468 @@
+// Package model implements the CoCoPeLia 3-way-concurrency prediction
+// models of the paper's Section III, plus the CSO comparator model of van
+// Werkhoven et al. that the paper evaluates against.
+//
+// A model prediction needs two ingredients:
+//
+//   - Params, the routine/problem description of Table I (dimensions,
+//     datatype, operand shapes and the get/set data-location flags);
+//   - SubModels, the empirically fitted machine sub-models produced by the
+//     deployment phase (transfer latency/bandwidth fits, bidirectional
+//     slowdown factors and the kernel-time lookup table).
+//
+// Five predictors are provided, in increasing order of fidelity:
+//
+//	CSO      — the comparator: linear kernel scaling, unidirectional
+//	           transfer times, no data-location or reuse awareness.
+//	Baseline — Eq. 1: per-tile pipeline, all operands transferred both ways.
+//	DataLoc  — Eq. 2: transfer only what the get/set flags require.
+//	BTS      — Eq. 3+4: adds the asymmetric bidirectional-transfer slowdown.
+//	DR       — Eq. 5: adds full data reuse (each input tile fetched once);
+//	           the right model for reuse-aware level-3 BLAS libraries.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cocopelia/internal/machine"
+)
+
+// Level is the BLAS level of a routine (1, 2 or 3); it determines how many
+// problem dimensions are tiled.
+type Level int
+
+// Operand describes one routine operand (a matrix or vector) per Table I.
+type Operand struct {
+	// Name is the BLAS letter of the operand ("A", "B", "C", "X", "Y").
+	Name string
+	// Rows and Cols are the operand dimensions S1_i, S2_i (Cols = 1 for
+	// vectors).
+	Rows, Cols int64
+	// Get marks operands that must be fetched to the GPU (resident on the
+	// host and read by the routine).
+	Get bool
+	// Set marks operands that must be returned to the host (written by the
+	// routine with the result wanted back on the host).
+	Set bool
+}
+
+// TileBytes returns the bytes of one T (vector) or TxT (matrix) tile of
+// the operand for the given element size.
+func (o Operand) TileBytes(T int, dtypeSize int64) int64 {
+	if o.Cols == 1 {
+		return int64(T) * dtypeSize
+	}
+	return int64(T) * int64(T) * dtypeSize
+}
+
+// Tiles returns how many tiles the operand splits into for tiling size T.
+func (o Operand) Tiles(T int) int64 {
+	return ceilDiv(o.Rows, int64(T)) * ceilDiv(o.Cols, int64(T))
+}
+
+// TilesF returns the operand's tile count in fractional, volume-
+// proportional form: edge tiles count by their actual area rather than as
+// full tiles. The analytic equations use this so that tiling sizes that do
+// not divide the problem are not charged for work and traffic that the
+// ragged edge tiles never perform. Each dimension contributes at least one
+// tile.
+func (o Operand) TilesF(T int) float64 {
+	r := float64(o.Rows) / float64(T)
+	c := float64(o.Cols) / float64(T)
+	if r < 1 {
+		r = 1
+	}
+	if c < 1 {
+		c = 1
+	}
+	return r * c
+}
+
+// Bytes returns the total operand size in bytes.
+func (o Operand) Bytes(dtypeSize int64) int64 { return o.Rows * o.Cols * dtypeSize }
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("model: non-positive divisor")
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// Params is the routine/problem description of the paper's Table I.
+type Params struct {
+	// Routine is the BLAS name, e.g. "dgemm".
+	Routine string
+	// Level is the BLAS level (1, 2 or 3).
+	Level Level
+	// DtypeSize is sizeof(dtype) in bytes.
+	DtypeSize int64
+	// D1, D2, D3 are the problem dimensions. D2 applies to level >= 2 and
+	// D3 to level 3 only (set unused dimensions to 1).
+	D1, D2, D3 int64
+	// Operands are the routine's matrices/vectors with location flags.
+	Operands []Operand
+}
+
+// Validate checks internal consistency.
+func (p *Params) Validate() error {
+	if p.Level < 1 || p.Level > 3 {
+		return fmt.Errorf("model: bad BLAS level %d", p.Level)
+	}
+	if p.DtypeSize != 4 && p.DtypeSize != 8 {
+		return fmt.Errorf("model: bad dtype size %d", p.DtypeSize)
+	}
+	if p.D1 <= 0 || (p.Level >= 2 && p.D2 <= 0) || (p.Level == 3 && p.D3 <= 0) {
+		return fmt.Errorf("model: non-positive dimensions %dx%dx%d for level %d",
+			p.D1, p.D2, p.D3, p.Level)
+	}
+	if len(p.Operands) == 0 {
+		return errors.New("model: no operands")
+	}
+	for _, o := range p.Operands {
+		if o.Rows <= 0 || o.Cols <= 0 {
+			return fmt.Errorf("model: operand %s has non-positive shape %dx%d", o.Name, o.Rows, o.Cols)
+		}
+	}
+	return nil
+}
+
+// Subkernels returns k, the number of sub-kernels the problem splits into
+// for tiling size T (Section III-B).
+func (p *Params) Subkernels(T int) int64 {
+	k := ceilDiv(p.D1, int64(T))
+	if p.Level >= 2 {
+		k *= ceilDiv(p.D2, int64(T))
+	}
+	if p.Level == 3 {
+		k *= ceilDiv(p.D3, int64(T))
+	}
+	return k
+}
+
+// SubkernelsF returns k in fractional, volume-proportional form (see
+// Operand.TilesF): the number of full-T sub-kernels the problem's work is
+// worth. Each tiled dimension contributes at least one.
+func (p *Params) SubkernelsF(T int) float64 {
+	dim := func(d int64) float64 {
+		v := float64(d) / float64(T)
+		if v < 1 {
+			return 1
+		}
+		return v
+	}
+	k := dim(p.D1)
+	if p.Level >= 2 {
+		k *= dim(p.D2)
+	}
+	if p.Level == 3 {
+		k *= dim(p.D3)
+	}
+	return k
+}
+
+// MinDim returns the smallest tiled problem dimension, which bounds the
+// usable tiling sizes.
+func (p *Params) MinDim() int64 {
+	m := p.D1
+	if p.Level >= 2 && p.D2 < m {
+		m = p.D2
+	}
+	if p.Level == 3 && p.D3 < m {
+		m = p.D3
+	}
+	return m
+}
+
+// SubModels supplies the empirically fitted machine sub-models that
+// instantiate the analytic equations on a concrete testbed and routine.
+// Implementations come from the deployment phase (internal/microbench via
+// internal/predictor).
+type SubModels interface {
+	// TransferTime predicts a unidirectional transfer of the given size:
+	// the fitted t_l + t_b * bytes.
+	TransferTime(dir machine.LinkDir, bytes int64) float64
+	// BidSlowdown returns the fitted slowdown factor (>= 1) of dir while
+	// the opposite direction is simultaneously active.
+	BidSlowdown(dir machine.LinkDir) float64
+	// KernelTileTime predicts the routine sub-kernel execution time for a
+	// square tile of size T (all tiled dimensions equal to T). It reports
+	// an error for tile sizes outside the benchmarked lookup grid.
+	KernelTileTime(T int) (float64, error)
+	// KernelFullTime predicts the un-tiled full-problem kernel time. Only
+	// the CSO comparator uses it (CoCoPeLia deliberately avoids needing
+	// it, Section IV-A).
+	KernelFullTime() float64
+	// TileGrid returns the benchmarked tile sizes, ascending.
+	TileGrid() []int
+}
+
+// Kind identifies one of the prediction models.
+type Kind string
+
+// The predictor kinds, in increasing fidelity order.
+const (
+	CSO      Kind = "CSO"
+	Baseline Kind = "Baseline"
+	DataLoc  Kind = "DataLoc"
+	BTS      Kind = "BTS"
+	DR       Kind = "DR"
+)
+
+// Kinds lists all predictors in paper order.
+func Kinds() []Kind { return []Kind{CSO, Baseline, DataLoc, BTS, DR} }
+
+// tileTransferTimes returns the per-subkernel transfer times used by the
+// equations: the location-aware input time t_in (sum over get operands of
+// one tile each), output time t_out (sum over set operands), and the
+// all-operand variants used by the Baseline model.
+func tileTransferTimes(p *Params, sm SubModels, T int) (tIn, tOut, tInAll, tOutAll float64) {
+	for _, o := range p.Operands {
+		h2d := sm.TransferTime(machine.H2D, o.TileBytes(T, p.DtypeSize))
+		d2h := sm.TransferTime(machine.D2H, o.TileBytes(T, p.DtypeSize))
+		tInAll += h2d
+		tOutAll += d2h
+		if o.Get {
+			tIn += h2d
+		}
+		if o.Set {
+			tOut += d2h
+		}
+	}
+	return tIn, tOut, tInAll, tOutAll
+}
+
+// Predict returns the model's total offload-time prediction for tiling
+// size T.
+func Predict(kind Kind, p *Params, sm SubModels, T int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if T <= 0 {
+		return 0, fmt.Errorf("model: non-positive tiling size %d", T)
+	}
+	switch kind {
+	case CSO:
+		return predictCSO(p, sm, T)
+	case Baseline:
+		return predictBaseline(p, sm, T)
+	case DataLoc:
+		return predictDataLoc(p, sm, T)
+	case BTS:
+		return predictBTS(p, sm, T)
+	case DR:
+		return predictDR(p, sm, T)
+	}
+	return 0, fmt.Errorf("model: unknown kind %q", kind)
+}
+
+// predictCSO is the comparator model of van Werkhoven et al. [11] for the
+// 3-way overlap scenario with two copy engines: the full-problem input,
+// kernel and output phases pipeline over k chunks, with per-chunk times
+// obtained by dividing the full-phase times linearly. It neither knows the
+// data-location flags nor bidirectional slowdown nor non-linear kernel
+// behaviour — the deficiencies the paper demonstrates.
+func predictCSO(p *Params, sm SubModels, T int) (float64, error) {
+	k := p.SubkernelsF(T)
+	var inBytes, outBytes int64
+	for _, o := range p.Operands {
+		if o.Get {
+			inBytes += o.Bytes(p.DtypeSize)
+		}
+		if o.Set {
+			outBytes += o.Bytes(p.DtypeSize)
+		}
+	}
+	tIn := sm.TransferTime(machine.H2D, inBytes)
+	tOut := sm.TransferTime(machine.D2H, outBytes)
+	if outBytes == 0 {
+		tOut = 0
+	}
+	if inBytes == 0 {
+		tIn = 0
+	}
+	tExec := sm.KernelFullTime()
+	dominant := math.Max(tExec, math.Max(tIn, tOut))
+	// Pipeline: k-1 chunks at the dominant pace plus one pass of each
+	// phase to fill and drain.
+	return dominant*(k-1)/k + (tIn+tExec+tOut)/k, nil
+}
+
+// predictBaseline is the paper's Eq. 1: per-tile pipelining under the
+// pessimistic assumption that every operand is both input and output.
+func predictBaseline(p *Params, sm SubModels, T int) (float64, error) {
+	tGPU, err := sm.KernelTileTime(T)
+	if err != nil {
+		return 0, err
+	}
+	k := p.SubkernelsF(T)
+	_, _, tInAll, tOutAll := tileTransferTimes(p, sm, T)
+	dominant := math.Max(tGPU, math.Max(tInAll, tOutAll))
+	return dominant*math.Max(k-1, 0) + tInAll + tGPU + tOutAll, nil
+}
+
+// predictDataLoc is the paper's Eq. 2: like Eq. 1 but transferring only
+// the tiles the get/set flags require.
+func predictDataLoc(p *Params, sm SubModels, T int) (float64, error) {
+	tGPU, err := sm.KernelTileTime(T)
+	if err != nil {
+		return 0, err
+	}
+	k := p.SubkernelsF(T)
+	tIn, tOut, _, _ := tileTransferTimes(p, sm, T)
+	dominant := math.Max(tGPU, math.Max(tIn, tOut))
+	return dominant*math.Max(k-1, 0) + tIn + tGPU + tOut, nil
+}
+
+// overlapTime implements the paper's Eq. 3: the combined duration of a
+// per-subkernel h2d input burst and d2h output burst that partially
+// overlap, with each side slowed by its bidirectional factor while the
+// other is active, and the remainder of the longer transfer proceeding at
+// full speed.
+func overlapTime(tIn, tOut, slH2D, slD2H float64) float64 {
+	if tIn == 0 {
+		return tOut
+	}
+	if tOut == 0 {
+		return tIn
+	}
+	tInBid := slH2D * tIn
+	tOutBid := slD2H * tOut
+	if tInBid >= tOutBid {
+		return tOutBid + (tInBid-tOutBid)/slH2D
+	}
+	return tInBid + (tOutBid-tInBid)/slD2H
+}
+
+// predictBTS is the paper's Eq. 4 (the BTS-Model): Eq. 2 with the
+// dominant transfer term replaced by the bidirectional overlap time of
+// Eq. 3.
+func predictBTS(p *Params, sm SubModels, T int) (float64, error) {
+	tGPU, err := sm.KernelTileTime(T)
+	if err != nil {
+		return 0, err
+	}
+	k := p.SubkernelsF(T)
+	tIn, tOut, _, _ := tileTransferTimes(p, sm, T)
+	tOver := overlapTime(tIn, tOut, sm.BidSlowdown(machine.H2D), sm.BidSlowdown(machine.D2H))
+	return math.Max(tGPU, tOver)*math.Max(k-1, 0) + tIn + tGPU + tOut, nil
+}
+
+// predictDR is the paper's Eq. 5 (the DR-Model), reconstructed from the
+// prose and Fig. 2 (the printed formula is typographically corrupted, see
+// DESIGN.md): with full data reuse each input tile crosses the link once,
+// so only k_in = Σ get_i·(tiles_i − 1) sub-kernels carry a (single-tile)
+// fetch; those are paced at max(t_h2d_bid, t_GPU) while the remaining
+// k − k_in sub-kernels are purely compute-paced. The first sub-kernel's
+// inputs (one tile per get operand) lead in un-overlapped, and the last
+// output tile drains after the final kernel.
+func predictDR(p *Params, sm SubModels, T int) (float64, error) {
+	tGPU, err := sm.KernelTileTime(T)
+	if err != nil {
+		return 0, err
+	}
+	k := p.SubkernelsF(T)
+	var kIn, kOut float64
+	var tInFirst, tOutTail float64
+	var fetchTile float64 // representative single-tile fetch time
+	for _, o := range p.Operands {
+		h2d := sm.TransferTime(machine.H2D, o.TileBytes(T, p.DtypeSize))
+		if o.Get {
+			kIn += math.Max(o.TilesF(T)-1, 0)
+			tInFirst += h2d
+			if h2d > fetchTile {
+				fetchTile = h2d
+			}
+		}
+		if o.Set {
+			kOut += o.TilesF(T)
+			tOutTail += sm.TransferTime(machine.D2H, o.TileBytes(T, p.DtypeSize))
+		}
+	}
+	// While outputs drain, fetches suffer the bidirectional slowdown; with
+	// full reuse the d2h volume is a fraction of the fetch volume, so the
+	// slowdown applies to fetches only for that fraction of the phase (the
+	// aggregate-level analogue of Eq. 3).
+	fetchBid := fetchTile
+	if kOut > 0 && kIn > 0 {
+		share := math.Min(kOut/kIn, 1)
+		fetchBid *= 1 + (sm.BidSlowdown(machine.H2D)-1)*share
+	}
+	transferPaced := math.Min(kIn, math.Max(k-1, 0))
+	t := tInFirst +
+		math.Max(fetchBid, tGPU)*transferPaced +
+		tGPU*(math.Max(k-1, 0)-transferPaced) +
+		tGPU + tOutTail
+	if kIn > transferPaced {
+		// More fetches than pipelined sub-kernels (very coarse tilings):
+		// the excess serializes on the h2d engine.
+		t += fetchBid * (kIn - transferPaced)
+	}
+	// Full reuse can never cost more than per-sub-kernel transfers, but
+	// the excess-serialization term above is pessimistic in low-reuse
+	// corners (e.g. a single tile along K); cap at the DataLoc model.
+	if dl, err := predictDataLoc(p, sm, T); err == nil && dl < t {
+		t = dl
+	}
+	return t, nil
+}
+
+// ErrNoCandidates is returned by SelectT when no benchmarked tile size fits
+// the problem.
+var ErrNoCandidates = errors.New("model: no feasible tile-size candidates")
+
+// Candidates returns the tile sizes from the sub-model grid that are
+// feasible for the problem. Following the paper's validation protocol,
+// level-2/3 tilings must satisfy T <= min(D)/1.5; level-1 tilings must not
+// exceed the problem length.
+func Candidates(p *Params, sm SubModels) []int {
+	var out []int
+	maxT := p.MinDim()
+	if p.Level >= 2 {
+		maxT = int64(float64(p.MinDim()) / 1.5)
+	}
+	for _, T := range sm.TileGrid() {
+		if int64(T) <= maxT {
+			out = append(out, T)
+		}
+	}
+	if out == nil && len(sm.TileGrid()) > 0 {
+		// Degenerate small problems: fall back to the smallest grid entry
+		// so the runtime can still operate.
+		g := sm.TileGrid()
+		if int64(g[0]) <= p.MinDim() {
+			out = []int{g[0]}
+		}
+	}
+	return out
+}
+
+// Selection is the result of a tile-size search.
+type Selection struct {
+	T         int
+	Predicted float64
+}
+
+// SelectT returns the candidate tiling size minimizing the model's
+// predicted offload time (the paper's CoCoPeLia_select).
+func SelectT(kind Kind, p *Params, sm SubModels) (Selection, error) {
+	cands := Candidates(p, sm)
+	if len(cands) == 0 {
+		return Selection{}, ErrNoCandidates
+	}
+	best := Selection{T: 0, Predicted: math.Inf(1)}
+	for _, T := range cands {
+		t, err := Predict(kind, p, sm, T)
+		if err != nil {
+			return Selection{}, fmt.Errorf("model: predict %s at T=%d: %w", kind, T, err)
+		}
+		if t < best.Predicted {
+			best = Selection{T: T, Predicted: t}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,171 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGemm draws a random valid gemm problem and a feasible grid tile.
+func randomGemm(rng *rand.Rand) (Params, int) {
+	dims := func() int64 { return int64(1+rng.Intn(64)) * 256 }
+	m, n, k := dims(), dims(), dims()
+	locs := []Loc{OnHost, OnDevice}
+	p := GemmParams("dgemm", 8, m, n, k,
+		locs[rng.Intn(2)], locs[rng.Intn(2)], locs[rng.Intn(2)])
+	// Guarantee at least one host operand so there is something to model.
+	p.Operands[0].Get = true
+	T := 256 * (1 + rng.Intn(16))
+	if int64(T) > p.MinDim() {
+		T = int(p.MinDim())
+	}
+	return p, T
+}
+
+// TestPredictionsFiniteAndPositive: every model yields a positive finite
+// time for any valid problem/tile pair.
+func TestPredictionsFiniteAndPositive(t *testing.T) {
+	sm := newSub()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, T := randomGemm(rng)
+		for _, kind := range append(Kinds(),
+			WerkSerial, Werk2Way, Werk1Engine, AblDRInteger, AblBTSUnidir) {
+			v, err := PredictExtended(kind, &p, sm, T)
+			if err != nil {
+				// Off-grid tiles are legal failures; anything else is not.
+				if _, lookupErr := sm.KernelTileTime(T); lookupErr != nil {
+					continue
+				}
+				t.Logf("seed %d kind %s T %d: %v", seed, kind, T, err)
+				return false
+			}
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Logf("seed %d kind %s T %d: value %g", seed, kind, T, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDRNeverExceedsDataLoc: full data reuse can only reduce the predicted
+// offload time relative to the per-sub-kernel transfer model.
+func TestDRNeverExceedsDataLoc(t *testing.T) {
+	sm := newSub()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, T := randomGemm(rng)
+		if _, err := sm.KernelTileTime(T); err != nil {
+			return true
+		}
+		dr, err1 := Predict(DR, &p, sm, T)
+		dl, err2 := Predict(DataLoc, &p, sm, T)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if dr > dl*(1+1e-9) {
+			t.Logf("seed %d: DR %g > DataLoc %g (T=%d, %dx%dx%d)",
+				seed, dr, dl, T, p.D1, p.D2, p.D3)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDataLocNeverExceedsBaseline: transferring only what the location
+// flags require can only reduce the prediction.
+func TestDataLocNeverExceedsBaseline(t *testing.T) {
+	sm := newSub()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, T := randomGemm(rng)
+		if _, err := sm.KernelTileTime(T); err != nil {
+			return true
+		}
+		dl, err1 := Predict(DataLoc, &p, sm, T)
+		base, err2 := Predict(Baseline, &p, sm, T)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return dl <= base*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBTSAtLeastDataLocProperty: bidirectional contention can only
+// lengthen the dominant transfer term.
+func TestBTSAtLeastDataLocProperty(t *testing.T) {
+	sm := newSub()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, T := randomGemm(rng)
+		if _, err := sm.KernelTileTime(T); err != nil {
+			return true
+		}
+		bts, err1 := Predict(BTS, &p, sm, T)
+		dl, err2 := Predict(DataLoc, &p, sm, T)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return bts >= dl*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPredictionMonotoneInProblemSize: growing every dimension cannot
+// shrink the prediction.
+func TestPredictionMonotoneInProblemSize(t *testing.T) {
+	sm := newSub()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := int64(1+rng.Intn(30)) * 256
+		T := 256
+		small := GemmParams("dgemm", 8, s, s, s, OnHost, OnHost, OnHost)
+		big := GemmParams("dgemm", 8, s+256, s+256, s+256, OnHost, OnHost, OnHost)
+		for _, kind := range Kinds() {
+			if kind == CSO {
+				continue // CSO depends on the caller-supplied full time
+			}
+			a, err1 := Predict(kind, &small, sm, T)
+			b, err2 := Predict(kind, &big, sm, T)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if b < a*(1-1e-9) {
+				t.Logf("seed %d kind %s: grew problem, prediction fell %g -> %g", seed, kind, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubkernelsFConsistency: the fractional count is bounded by the
+// integer (ceiling) count and is at least the floor product.
+func TestSubkernelsFConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, T := randomGemm(rng)
+		frac := p.SubkernelsF(T)
+		ceilK := float64(p.Subkernels(T))
+		return frac <= ceilK+1e-9 && frac > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package predictor
+
+import (
+	"testing"
+
+	"cocopelia/internal/machine"
+	"cocopelia/internal/microbench"
+	"cocopelia/internal/model"
+)
+
+var dep = microbench.Run(machine.TestbedII(), microbench.DefaultConfig())
+
+func TestSubModelsInterface(t *testing.T) {
+	p := New(dep)
+	sm, err := p.SubModels("dgemm", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.KernelFullTime() != 1.5 {
+		t.Error("full time not passed through")
+	}
+	if got := sm.TransferTime(machine.H2D, 1<<20); got <= 0 {
+		t.Error("transfer time must be positive")
+	}
+	if sm.BidSlowdown(machine.D2H) < 1 {
+		t.Error("slowdown must be >= 1")
+	}
+	if len(sm.TileGrid()) != 64 {
+		t.Errorf("gemm grid length %d", len(sm.TileGrid()))
+	}
+	if _, err := sm.KernelTileTime(2048); err != nil {
+		t.Errorf("grid lookup: %v", err)
+	}
+	if _, err := sm.KernelTileTime(1000); err == nil {
+		t.Error("off-grid lookup should error")
+	}
+	if _, err := p.SubModels("zherk", 0); err == nil {
+		t.Error("unknown routine should error")
+	}
+}
+
+func TestSelectCachesBySignature(t *testing.T) {
+	p := New(dep)
+	prm := model.GemmParams("dgemm", 8, 8192, 8192, 8192, model.OnHost, model.OnHost, model.OnHost)
+	s1, err := p.Select(model.DR, &prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Select(model.DR, &prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("repeated selection differs")
+	}
+	hits, misses := p.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// A different location combo is a different signature.
+	prm2 := model.GemmParams("dgemm", 8, 8192, 8192, 8192, model.OnHost, model.OnDevice, model.OnHost)
+	if _, err := p.Select(model.DR, &prm2); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := p.CacheStats(); misses != 2 {
+		t.Error("different flags should miss the cache")
+	}
+	// A different model kind is a different signature too.
+	if _, err := p.Select(model.BTS, &prm); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := p.CacheStats(); misses != 3 {
+		t.Error("different kind should miss the cache")
+	}
+}
+
+func TestSelectionPlausible(t *testing.T) {
+	p := New(dep)
+	prm := model.GemmParams("dgemm", 8, 16384, 16384, 16384, model.OnHost, model.OnHost, model.OnHost)
+	sel, err := p.Select(model.DR, &prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.T < 256 || float64(sel.T) > 16384/1.5 {
+		t.Errorf("selected T=%d outside feasible range", sel.T)
+	}
+	if sel.Predicted <= 0 {
+		t.Error("prediction must be positive")
+	}
+	// daxpy selection from its own grid.
+	ax := model.AxpyParams("daxpy", 8, 64<<20, model.OnHost, model.OnHost)
+	sel, err = p.Select(model.BTS, &ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.T < 1<<18 || sel.T > 64<<20 {
+		t.Errorf("daxpy T=%d outside grid", sel.T)
+	}
+}
+
+func TestPredictExplicitT(t *testing.T) {
+	p := New(dep)
+	prm := model.GemmParams("dgemm", 8, 8192, 8192, 8192, model.OnHost, model.OnHost, model.OnHost)
+	v, err := p.Predict(model.BTS, &prm, 2048, 0)
+	if err != nil || v <= 0 {
+		t.Errorf("predict = %g, %v", v, err)
+	}
+	if _, err := p.Predict(model.BTS, &prm, 2000, 0); err == nil {
+		t.Error("off-grid T should error")
+	}
+	// CSO needs the full-kernel estimate; with one supplied it must work.
+	v, err = p.Predict(model.CSO, &prm, 2048, 3.0)
+	if err != nil || v <= 0 {
+		t.Errorf("CSO predict = %g, %v", v, err)
+	}
+}
+
+func TestDeploymentAccessor(t *testing.T) {
+	p := New(dep)
+	if p.Deployment() != dep {
+		t.Error("deployment accessor mismatch")
+	}
+}

@@ -1,0 +1,512 @@
+// Package sched implements the CoCoPeLia library's tile scheduler (the
+// paper's Section IV-C): square tiling, per-operation CUDA streams (one for
+// h2d, one for d2h, one for kernel execution), full data reuse (each input
+// tile crosses the link exactly once), location-aware transfers, and GPU
+// buffer/stream reuse across calls.
+//
+// The scheduler is generalized per BLAS level: the level-3 path (gemm)
+// walks the output tiles accumulating over the K dimension, and the level-1
+// path (axpy) pipelines 1-D chunks. Adding a routine requires only a
+// wrapper that maps its operands onto these paths, as in the paper.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"cocopelia/internal/blas"
+	"cocopelia/internal/cudart"
+	"cocopelia/internal/device"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/model"
+	"cocopelia/internal/operand"
+)
+
+// Matrix, Vector and Result are the shared operand descriptors.
+type (
+	// Matrix aliases operand.Matrix for caller convenience.
+	Matrix = operand.Matrix
+	// Vector aliases operand.Vector.
+	Vector = operand.Vector
+	// Result aliases operand.Result.
+	Result = operand.Result
+)
+
+// poolKey identifies reusable device buffers by dtype and capacity.
+type poolKey struct {
+	dt    kernelmodel.Dtype
+	elems int64
+}
+
+// Context holds the reusable state of the CoCoPeLia library on one device:
+// the three operation streams and the tile-buffer pool. Reusing a Context
+// across calls emulates the paper's iterative use-case (no per-call
+// allocation/stream-creation overhead after the first call).
+type Context struct {
+	rt     *cudart.Runtime
+	h2d    *cudart.Stream
+	d2h    *cudart.Stream
+	comp   *cudart.Stream
+	pool   map[poolKey][]*cudart.DevBuffer
+	backed bool
+	// overheadS is an optional per-sub-kernel dispatch overhead occupying
+	// the compute pipeline; the CoCoPeLia library leaves it zero, while
+	// comparator wrappers (e.g. the BLASX-style library with its runtime
+	// tile-management engine) use it to model their scheduling cost.
+	overheadS float64
+	// blockingWriteback makes the compute stream wait for each completed
+	// output tile's write-back before starting the next tile — the
+	// synchronization behaviour of tile-manager runtimes that confirm an
+	// output tile's host copy before recycling its cache slot. The
+	// CoCoPeLia library leaves this off (write-backs are fully
+	// asynchronous on the d2h stream).
+	blockingWriteback bool
+}
+
+// SetDispatchOverhead sets the per-sub-kernel dispatch overhead in seconds.
+func (c *Context) SetDispatchOverhead(seconds float64) { c.overheadS = seconds }
+
+// SetBlockingWriteback toggles compute-blocking output write-backs.
+func (c *Context) SetBlockingWriteback(on bool) { c.blockingWriteback = on }
+
+// NewContext creates a scheduler context. backed selects functional runs
+// (real arithmetic on real storage); timing-only runs pass false.
+func NewContext(rt *cudart.Runtime, backed bool) *Context {
+	return &Context{
+		rt:     rt,
+		h2d:    rt.NewStream(),
+		d2h:    rt.NewStream(),
+		comp:   rt.NewStream(),
+		pool:   map[poolKey][]*cudart.DevBuffer{},
+		backed: backed,
+	}
+}
+
+// Runtime returns the underlying CUDA-like runtime.
+func (c *Context) Runtime() *cudart.Runtime { return c.rt }
+
+// acquire returns a device buffer of at least elems elements, reusing the
+// pool when possible. When the device is out of memory, buffers pooled by
+// previous calls (with different tile shapes) are evicted and the
+// allocation retried, so long sweeps over many tile sizes stay within the
+// device capacity.
+func (c *Context) acquire(dt kernelmodel.Dtype, elems int64) (*cudart.DevBuffer, error) {
+	key := poolKey{dt, elems}
+	if free := c.pool[key]; len(free) > 0 {
+		b := free[len(free)-1]
+		c.pool[key] = free[:len(free)-1]
+		return b, nil
+	}
+	b, err := c.rt.Malloc(dt, elems, c.backed)
+	if errors.Is(err, device.ErrOutOfMemory) && len(c.pool) > 0 {
+		if rerr := c.ReleaseAll(); rerr != nil {
+			return nil, rerr
+		}
+		b, err = c.rt.Malloc(dt, elems, c.backed)
+	}
+	return b, err
+}
+
+// release returns a buffer to the pool for reuse by later calls.
+func (c *Context) release(b *cudart.DevBuffer) {
+	key := poolKey{b.Dtype(), b.Elems()}
+	c.pool[key] = append(c.pool[key], b)
+}
+
+// ReleaseAll frees every pooled buffer back to the device.
+func (c *Context) ReleaseAll() error {
+	for key, bufs := range c.pool {
+		for _, b := range bufs {
+			if err := c.rt.Free(b); err != nil {
+				return err
+			}
+		}
+		delete(c.pool, key)
+	}
+	return nil
+}
+
+// GemmOpts parameterizes a tiled gemm invocation:
+// C[MxN] = alpha·op(A)·op(B) + beta·C with op controlled by the BLAS
+// transpose flags (zero values mean NoTrans). A is stored MxK (KxM when
+// transposed); B is stored KxN (NxK when transposed).
+type GemmOpts struct {
+	Dtype          kernelmodel.Dtype
+	TransA, TransB byte
+	M, N, K        int
+	Alpha, Beta    float64
+	A, B, C        *Matrix
+	// T is the square tiling size (required; auto-selection lives above
+	// this layer in the public API).
+	T int
+}
+
+// normTrans maps the zero value to NoTrans and validates the flag.
+func normTrans(t byte) (byte, error) {
+	switch t {
+	case 0, blas.NoTrans:
+		return blas.NoTrans, nil
+	case blas.Trans:
+		return blas.Trans, nil
+	}
+	return 0, fmt.Errorf("sched: bad transpose flag %q", t)
+}
+
+// devTile is a device-resident tile with its layout.
+type devTile struct {
+	buf   *cudart.DevBuffer
+	off   int64
+	ld    int
+	ready *cudart.Event
+}
+
+// PendingGemm is an enqueued-but-not-drained tiled gemm: every transfer
+// and kernel is on its streams, but the virtual clock has not been run.
+// It exists so cooperating schedulers (the multi-GPU layer) can enqueue
+// several schedules that then execute concurrently on a shared clock.
+type PendingGemm struct {
+	ctx    *Context
+	res    Result
+	pooled []*cudart.DevBuffer
+	start  float64
+}
+
+// Finish releases the pending run's pooled buffers and returns its
+// result with the makespan measured to `end`. Call it exactly once, after
+// the shared engine has drained.
+func (p *PendingGemm) Finish(end float64) Result {
+	for _, b := range p.pooled {
+		p.ctx.release(b)
+	}
+	p.pooled = nil
+	p.res.Seconds = end - p.start
+	return p.res
+}
+
+// OnDrained enqueues fn to run when all work enqueued so far on the
+// context's three streams has completed (used to timestamp a pending
+// run's own completion inside a larger concurrent batch).
+func (c *Context) OnDrained(fn func()) {
+	s := c.rt.NewStream()
+	s.WaitEvent(c.h2d.Record())
+	s.WaitEvent(c.comp.Record())
+	s.WaitEvent(c.d2h.Record())
+	s.Callback(fn)
+}
+
+// Gemm executes C = alpha*A*B + beta*C with square tiling size opts.T,
+// full data reuse and 3-way overlap, then synchronizes and reports the
+// run. Ragged edge tiles (dimensions not divisible by T) are handled.
+func (c *Context) Gemm(opts GemmOpts) (Result, error) {
+	pend, err := c.GemmEnqueue(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	end, err := c.rt.Sync()
+	res := pend.Finish(end)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// GemmEnqueue builds the full tiled schedule on the context's streams
+// without draining the engine. See Gemm for semantics.
+func (c *Context) GemmEnqueue(opts GemmOpts) (*PendingGemm, error) {
+	if opts.M <= 0 || opts.N <= 0 || opts.K <= 0 {
+		return nil, fmt.Errorf("sched: non-positive gemm dims %dx%dx%d", opts.M, opts.N, opts.K)
+	}
+	if opts.T <= 0 {
+		return nil, fmt.Errorf("sched: non-positive tiling size %d", opts.T)
+	}
+	dt := opts.Dtype
+	transA, err := normTrans(opts.TransA)
+	if err != nil {
+		return nil, err
+	}
+	transB, err := normTrans(opts.TransB)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.A.Validate("A", dt, c.backed); err != nil {
+		return nil, err
+	}
+	if err := opts.B.Validate("B", dt, c.backed); err != nil {
+		return nil, err
+	}
+	if err := opts.C.Validate("C", dt, c.backed); err != nil {
+		return nil, err
+	}
+	aRows, aCols := opts.M, opts.K
+	if transA == blas.Trans {
+		aRows, aCols = opts.K, opts.M
+	}
+	bRows, bCols := opts.K, opts.N
+	if transB == blas.Trans {
+		bRows, bCols = opts.N, opts.K
+	}
+	if opts.A.Rows != aRows || opts.A.Cols != aCols ||
+		opts.B.Rows != bRows || opts.B.Cols != bCols ||
+		opts.C.Rows != opts.M || opts.C.Cols != opts.N {
+		return nil, errors.New("sched: operand shapes inconsistent with m, n, k and transposes")
+	}
+
+	T := opts.T
+	mt := ceil(opts.M, T)
+	nt := ceil(opts.N, T)
+	kt := ceil(opts.K, T)
+
+	res := Result{T: T}
+	start := c.rt.Now()
+
+	// Tile caches: fetched-once device tiles per operand, keyed by tile
+	// coordinates. Device-resident operands use in-place subviews.
+	aTiles := make(map[[2]int]*devTile)
+	bTiles := make(map[[2]int]*devTile)
+	cTiles := make(map[[2]int]*devTile)
+	var pooled []*cudart.DevBuffer
+
+	fail := func(err error) (*PendingGemm, error) {
+		for _, b := range pooled {
+			c.release(b)
+		}
+		return nil, err
+	}
+
+	// getTile returns (fetching on first use) the device tile (ti, tj) of
+	// the operand. rows/cols are the tile's actual dimensions.
+	getTile := func(m *Matrix, cache map[[2]int]*devTile, ti, tj, rows, cols int, fetch bool) (*devTile, error) {
+		key := [2]int{ti, tj}
+		if t, ok := cache[key]; ok {
+			return t, nil
+		}
+		if m.Loc == model.OnDevice {
+			t := &devTile{
+				buf:   m.Dev,
+				off:   int64(ti*T) + int64(tj*T)*int64(m.DevLd),
+				ld:    m.DevLd,
+				ready: cudart.DoneEvent(),
+			}
+			cache[key] = t
+			return t, nil
+		}
+		buf, err := c.acquire(dt, int64(rows)*int64(cols))
+		if err != nil {
+			return nil, err
+		}
+		pooled = append(pooled, buf)
+		t := &devTile{buf: buf, off: 0, ld: rows}
+		if fetch {
+			h64, h32 := m.HostSlices(ti*T, tj*T)
+			ev, err := c.h2d.SetMatrixAsync(rows, cols, h64, h32, m.HostLd, buf, 0, rows)
+			if err != nil {
+				return nil, err
+			}
+			t.ready = ev
+			res.BytesH2D += int64(rows) * int64(cols) * dt.Size()
+		} else {
+			t.ready = cudart.DoneEvent()
+		}
+		cache[key] = t
+		return t, nil
+	}
+
+	fetchC := opts.Beta != 0 // C contributes only when beta != 0
+
+	// Walk output tiles; accumulate over K on the compute stream.
+	for tj := 0; tj < nt; tj++ {
+		for ti := 0; ti < mt; ti++ {
+			rows := min(T, opts.M-ti*T)
+			cols := min(T, opts.N-tj*T)
+			cTile, err := getTile(opts.C, cTiles, ti, tj, rows, cols, fetchC)
+			if err != nil {
+				return fail(err)
+			}
+			for tk := 0; tk < kt; tk++ {
+				inner := min(T, opts.K-tk*T)
+				// Tiles are cached and fetched in STORED coordinates; the
+				// kernel applies the transpose.
+				ai, aj, ar, ac := ti, tk, rows, inner
+				if transA == blas.Trans {
+					ai, aj, ar, ac = tk, ti, inner, rows
+				}
+				aTile, err := getTile(opts.A, aTiles, ai, aj, ar, ac, true)
+				if err != nil {
+					return fail(err)
+				}
+				bi, bj, br, bc := tk, tj, inner, cols
+				if transB == blas.Trans {
+					bi, bj, br, bc = tj, tk, cols, inner
+				}
+				bTile, err := getTile(opts.B, bTiles, bi, bj, br, bc, true)
+				if err != nil {
+					return fail(err)
+				}
+				c.comp.WaitEvent(aTile.ready)
+				c.comp.WaitEvent(bTile.ready)
+				beta := 1.0
+				if tk == 0 {
+					c.comp.WaitEvent(cTile.ready)
+					beta = opts.Beta
+					if !fetchC {
+						beta = 0
+					}
+				}
+				if c.overheadS > 0 {
+					if _, err := c.comp.KernelAsync("dispatch", c.overheadS, nil); err != nil {
+						return fail(err)
+					}
+				}
+				if _, err := c.comp.GemmAsync(transA, transB,
+					rows, cols, inner, opts.Alpha,
+					aTile.buf, aTile.off, aTile.ld,
+					bTile.buf, bTile.off, bTile.ld,
+					beta, cTile.buf, cTile.off, cTile.ld); err != nil {
+					return fail(err)
+				}
+				res.Subkernels++
+			}
+			// Write the finished C tile back if C lives on the host.
+			if opts.C.Loc == model.OnHost {
+				c.d2h.WaitEvent(c.comp.Record())
+				h64, h32 := opts.C.HostSlices(ti*T, tj*T)
+				if _, err := c.d2h.GetMatrixAsync(rows, cols,
+					cTile.buf, cTile.off, cTile.ld, h64, h32, opts.C.HostLd); err != nil {
+					return fail(err)
+				}
+				res.BytesD2H += int64(rows) * int64(cols) * dt.Size()
+				if c.blockingWriteback {
+					c.comp.WaitEvent(c.d2h.Record())
+				}
+			}
+		}
+	}
+
+	return &PendingGemm{ctx: c, res: res, pooled: pooled, start: start}, nil
+}
+
+// AxpyOpts parameterizes a tiled daxpy invocation.
+type AxpyOpts struct {
+	N     int
+	Alpha float64
+	X, Y  *Vector
+	// T is the 1-D chunk length.
+	T int
+}
+
+// Axpy executes y += alpha*x with 1-D tiling and 3-way overlap.
+func (c *Context) Axpy(opts AxpyOpts) (Result, error) {
+	if opts.N <= 0 {
+		return Result{}, fmt.Errorf("sched: non-positive axpy length %d", opts.N)
+	}
+	if opts.T <= 0 {
+		return Result{}, fmt.Errorf("sched: non-positive tiling size %d", opts.T)
+	}
+	if err := opts.X.Validate("x", c.backed); err != nil {
+		return Result{}, err
+	}
+	if err := opts.Y.Validate("y", c.backed); err != nil {
+		return Result{}, err
+	}
+	if opts.X.N != opts.N || opts.Y.N != opts.N {
+		return Result{}, errors.New("sched: vector lengths inconsistent with n")
+	}
+
+	res := Result{T: opts.T}
+	start := c.rt.Now()
+	var pooled []*cudart.DevBuffer
+
+	fail := func(err error) (Result, error) {
+		for _, b := range pooled {
+			c.release(b)
+		}
+		return Result{}, err
+	}
+
+	chunks := ceil(opts.N, opts.T)
+	for ci := 0; ci < chunks; ci++ {
+		off := ci * opts.T
+		n := min(opts.T, opts.N-off)
+
+		// x chunk.
+		var xBuf *cudart.DevBuffer
+		var xOff int64
+		xReady := cudart.DoneEvent()
+		if opts.X.Loc == model.OnDevice {
+			xBuf, xOff = opts.X.Dev, int64(off)
+		} else {
+			b, err := c.acquire(kernelmodel.F64, int64(n))
+			if err != nil {
+				return fail(err)
+			}
+			pooled = append(pooled, b)
+			xBuf, xOff = b, 0
+			var host []float64
+			if opts.X.HostF64 != nil {
+				host = opts.X.HostF64[off:]
+			}
+			ev, err := c.h2d.MemcpyH2DAsync(b, 0, host, nil, int64(n))
+			if err != nil {
+				return fail(err)
+			}
+			xReady = ev
+			res.BytesH2D += int64(n) * 8
+		}
+
+		// y chunk.
+		var yBuf *cudart.DevBuffer
+		var yOff int64
+		yReady := cudart.DoneEvent()
+		if opts.Y.Loc == model.OnDevice {
+			yBuf, yOff = opts.Y.Dev, int64(off)
+		} else {
+			b, err := c.acquire(kernelmodel.F64, int64(n))
+			if err != nil {
+				return fail(err)
+			}
+			pooled = append(pooled, b)
+			yBuf, yOff = b, 0
+			var host []float64
+			if opts.Y.HostF64 != nil {
+				host = opts.Y.HostF64[off:]
+			}
+			ev, err := c.h2d.MemcpyH2DAsync(b, 0, host, nil, int64(n))
+			if err != nil {
+				return fail(err)
+			}
+			yReady = ev
+			res.BytesH2D += int64(n) * 8
+		}
+
+		c.comp.WaitEvent(xReady)
+		c.comp.WaitEvent(yReady)
+		if _, err := c.comp.AxpyAsync(n, opts.Alpha, xBuf, xOff, yBuf, yOff); err != nil {
+			return fail(err)
+		}
+		res.Subkernels++
+
+		if opts.Y.Loc == model.OnHost {
+			c.d2h.WaitEvent(c.comp.Record())
+			var host []float64
+			if opts.Y.HostF64 != nil {
+				host = opts.Y.HostF64[off:]
+			}
+			if _, err := c.d2h.MemcpyD2HAsync(host, nil, yBuf, yOff, int64(n)); err != nil {
+				return fail(err)
+			}
+			res.BytesD2H += int64(n) * 8
+		}
+	}
+
+	end, err := c.rt.Sync()
+	for _, b := range pooled {
+		c.release(b)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Seconds = end - start
+	return res, nil
+}
+
+func ceil(a, b int) int { return (a + b - 1) / b }

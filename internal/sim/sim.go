@@ -1,0 +1,167 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// that underpins the simulated GPU testbeds. All hardware models (PCIe link,
+// copy engines, compute engine) are expressed as events on a single virtual
+// clock measured in seconds.
+//
+// The engine is deliberately simple: a binary heap of timestamped callbacks
+// with a monotonically increasing sequence number as the tie-breaker, so
+// that runs are bit-for-bit reproducible. Events may be cancelled and
+// rescheduled, which the fluid-flow transfer model uses to re-plan
+// completion times whenever link contention changes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point on the virtual clock, in seconds since simulation start.
+type Time = float64
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created through Engine.Schedule or Engine.After.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // position in the heap, -1 when not queued
+	canceled bool
+}
+
+// At returns the virtual time at which the event is scheduled to fire.
+func (ev *Event) At() Time { return ev.at }
+
+// Pending reports whether the event is still queued (not fired, not
+// cancelled).
+func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 && !ev.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator instance. It is not safe for
+// concurrent use; the entire simulation runs on the calling goroutine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stepped uint64
+}
+
+// New returns an engine with the clock at zero and an empty event queue.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events fired so far (for diagnostics and
+// performance reporting).
+func (e *Engine) Processed() uint64 { return e.stepped }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at virtual time at. Scheduling in the past
+// panics: it always indicates a model bug, and silently clamping would hide
+// causality violations.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %.12g before now %.12g", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling a fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Reschedule moves a pending event to a new time, keeping its callback.
+// Rescheduling a fired or cancelled event panics, as does a time in the
+// past.
+func (e *Engine) Reschedule(ev *Event, at Time) {
+	if ev == nil || ev.index < 0 || ev.canceled {
+		panic("sim: reschedule of non-pending event")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: reschedule at %.12g before now %.12g", at, e.now))
+	}
+	ev.at = at
+	heap.Fix(&e.queue, ev.index)
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.stepped++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains, returning the final clock value.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline (advancing the clock to
+// at most deadline) and returns the number of events fired.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	fired := uint64(0)
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+		fired++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return fired
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Errorf("end time = %v, want 3", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of issue order: %v", got)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var at Time
+	e.Schedule(2, func() {
+		e.After(3, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 5 {
+		t.Errorf("After fired at %v, want 5", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.Schedule(1, func() {})
+	})
+	e.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback should panic")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	if !ev.Pending() {
+		t.Error("event should be pending")
+	}
+	e.Cancel(ev)
+	if ev.Pending() {
+		t.Error("cancelled event should not be pending")
+	}
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	e := New()
+	var at Time
+	ev := e.Schedule(10, func() { at = e.Now() })
+	e.Schedule(1, func() { e.Reschedule(ev, 4) })
+	e.Run()
+	if at != 4 {
+		t.Errorf("rescheduled event fired at %v, want 4", at)
+	}
+}
+
+func TestRescheduleFiredPanics(t *testing.T) {
+	e := New()
+	ev := e.Schedule(1, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("rescheduling a fired event should panic")
+		}
+	}()
+	e.Reschedule(ev, 5)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	n := e.RunUntil(3)
+	if n != 3 || len(got) != 3 {
+		t.Errorf("RunUntil(3) fired %d events (%v), want 3", n, got)
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock = %v, want 3", e.Now())
+	}
+	// Deadline past the last event advances the clock to the deadline.
+	e.RunUntil(10)
+	if e.Now() != 10 {
+		t.Errorf("clock = %v, want 10", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Error("queue should be drained")
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 7 {
+		t.Errorf("Processed = %d, want 7", e.Processed())
+	}
+}
+
+// Property: random schedules fire in non-decreasing time order and the
+// clock never moves backwards.
+func TestRandomScheduleOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var fired []Time
+		k := int(n)%100 + 1
+		times := make([]Time, k)
+		for i := 0; i < k; i++ {
+			times[i] = rng.Float64() * 100
+			at := times[i]
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != k {
+			return false
+		}
+		sorted := append([]Time(nil), times...)
+		sort.Float64s(sorted)
+		for i := range sorted {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestCancelSubsetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		n := 50
+		firedCount := 0
+		events := make([]*Event, n)
+		for i := 0; i < n; i++ {
+			events[i] = e.Schedule(rng.Float64()*10, func() { firedCount++ })
+		}
+		cancelled := 0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				e.Cancel(events[i])
+				cancelled++
+			}
+		}
+		e.Run()
+		return firedCount == n-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		e.Step()
+	}
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one complete event ("ph":"X") in the Chrome Trace Event
+// format, the JSON schema understood by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	// Ts and Dur are in microseconds per the format.
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur"`
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+	// Args carries transfer sizes for the tooltip.
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serializes the timeline in the Chrome Trace Event
+// format (JSON array form): one "thread" per engine lane, durations in
+// microseconds. The output loads directly into chrome://tracing or
+// https://ui.perfetto.dev.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(t.Intervals)+int(numLanes))
+	for lane := Lane(0); lane < numLanes; lane++ {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Cat: "__metadata", Ph: "M",
+			Pid: 1, Tid: int(lane) + 1,
+			Args: map[string]any{"name": lane.String()},
+		})
+	}
+	ivs := append([]Interval(nil), t.Intervals...)
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	for _, iv := range ivs {
+		ev := chromeEvent{
+			Name: iv.Name,
+			Cat:  iv.Lane.String(),
+			Ph:   "X",
+			Ts:   iv.Start * 1e6,
+			Dur:  (iv.End - iv.Start) * 1e6,
+			Pid:  1,
+			Tid:  int(iv.Lane) + 1,
+		}
+		if iv.Bytes > 0 {
+			ev.Args = map[string]any{"bytes": iv.Bytes}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(events); err != nil {
+		return fmt.Errorf("trace: chrome export: %w", err)
+	}
+	return nil
+}

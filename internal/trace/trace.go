@@ -1,0 +1,241 @@
+// Package trace captures per-engine activity timelines from the simulated
+// device and renders them as text Gantt charts and utilization summaries.
+// It regenerates the narrative of the paper's Fig. 2: a reuse-aware
+// level-3 offload that starts transfer-bound and becomes compute-bound
+// once tiles are resident.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cocopelia/internal/device"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/sim"
+)
+
+// Lane identifies one hardware engine's row in the timeline.
+type Lane int
+
+// The three engine lanes of a 3-way-concurrency timeline.
+const (
+	LaneH2D Lane = iota
+	LaneCompute
+	LaneD2H
+	numLanes
+)
+
+// String returns the lane's display name.
+func (l Lane) String() string {
+	switch l {
+	case LaneH2D:
+		return "h2d"
+	case LaneCompute:
+		return "exec"
+	case LaneD2H:
+		return "d2h"
+	}
+	return fmt.Sprintf("Lane(%d)", int(l))
+}
+
+// Interval is one busy period of an engine.
+type Interval struct {
+	Lane  Lane
+	Name  string
+	Start sim.Time
+	End   sim.Time
+	Bytes int64 // transfers only
+}
+
+// Trace accumulates intervals from an instrumented device.
+type Trace struct {
+	Intervals []Interval
+}
+
+// Attach instruments the device (link + compute engine) and returns the
+// trace that will accumulate its activity. Attaching replaces any previous
+// observers on the device.
+func Attach(dev *device.Device) *Trace {
+	t := &Trace{}
+	dev.Link().SetObserver(func(dir machine.LinkDir, start, end sim.Time, bytes int64) {
+		lane := LaneH2D
+		if dir == machine.D2H {
+			lane = LaneD2H
+		}
+		t.Intervals = append(t.Intervals, Interval{Lane: lane, Name: dir.String(), Start: start, End: end, Bytes: bytes})
+	})
+	dev.SetKernelObserver(func(name string, start, end sim.Time) {
+		t.Intervals = append(t.Intervals, Interval{Lane: LaneCompute, Name: name, Start: start, End: end})
+	})
+	return t
+}
+
+// Reset discards accumulated intervals (e.g. between measured runs).
+func (t *Trace) Reset() { t.Intervals = t.Intervals[:0] }
+
+// Span returns the earliest start and latest end over all intervals.
+func (t *Trace) Span() (start, end sim.Time) {
+	if len(t.Intervals) == 0 {
+		return 0, 0
+	}
+	start, end = math.Inf(1), math.Inf(-1)
+	for _, iv := range t.Intervals {
+		start = math.Min(start, iv.Start)
+		end = math.Max(end, iv.End)
+	}
+	return start, end
+}
+
+// BusySeconds returns the total busy time of a lane.
+func (t *Trace) BusySeconds(lane Lane) float64 {
+	s := 0.0
+	for _, iv := range t.Intervals {
+		if iv.Lane == lane {
+			s += iv.End - iv.Start
+		}
+	}
+	return s
+}
+
+// Utilization returns each lane's busy fraction of the trace span.
+func (t *Trace) Utilization() map[Lane]float64 {
+	start, end := t.Span()
+	out := map[Lane]float64{}
+	if end <= start {
+		return out
+	}
+	for lane := Lane(0); lane < numLanes; lane++ {
+		out[lane] = t.BusySeconds(lane) / (end - start)
+	}
+	return out
+}
+
+// OverlapFraction returns the fraction of the trace span during which at
+// least two lanes are simultaneously busy — the degree of achieved
+// concurrency.
+func (t *Trace) OverlapFraction() float64 {
+	start, end := t.Span()
+	if end <= start {
+		return 0
+	}
+	type edge struct {
+		at    sim.Time
+		lane  Lane
+		delta int
+	}
+	var edges []edge
+	for _, iv := range t.Intervals {
+		edges = append(edges, edge{iv.Start, iv.Lane, +1}, edge{iv.End, iv.Lane, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta // close before open at ties
+	})
+	depth := map[Lane]int{}
+	busyLanes := func() int {
+		n := 0
+		for _, d := range depth {
+			if d > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	overlapped := 0.0
+	prev := start
+	for _, e := range edges {
+		if busyLanes() >= 2 {
+			overlapped += e.at - prev
+		}
+		prev = e.at
+		depth[e.lane] += e.delta
+	}
+	return overlapped / (end - start)
+}
+
+// Gantt renders the trace as a three-lane ASCII timeline of the given
+// width (columns). Each column covers span/width seconds; a cell is marked
+// when the lane is busy for any part of that column.
+func (t *Trace) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	start, end := t.Span()
+	if end <= start {
+		return "(empty trace)\n"
+	}
+	scale := float64(width) / (end - start)
+	rows := make([][]byte, numLanes)
+	marks := [numLanes]byte{'v', '#', '^'}
+	for lane := range rows {
+		rows[lane] = []byte(strings.Repeat(".", width))
+	}
+	for _, iv := range t.Intervals {
+		c0 := int((iv.Start - start) * scale)
+		c1 := int(math.Ceil((iv.End - start) * scale))
+		if c1 <= c0 {
+			c1 = c0 + 1
+		}
+		for c := c0; c < c1 && c < width; c++ {
+			rows[iv.Lane][c] = marks[iv.Lane]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %.4gs .. %.4gs (%.4gs span)\n", start, end, end-start)
+	for lane := Lane(0); lane < numLanes; lane++ {
+		fmt.Fprintf(&b, "%5s |%s|\n", lane, rows[lane])
+	}
+	return b.String()
+}
+
+// Phase describes the dominant engine over a window of the run.
+type Phase struct {
+	Start, End sim.Time
+	// Dominant is the busiest lane in the window.
+	Dominant Lane
+}
+
+// Phases splits the span into n windows and reports each window's busiest
+// lane, surfacing the transfer-bound -> compute-bound progression of
+// reuse-aware execution (Fig. 2).
+func (t *Trace) Phases(n int) []Phase {
+	start, end := t.Span()
+	if end <= start || n <= 0 {
+		return nil
+	}
+	win := (end - start) / float64(n)
+	busy := make([][]float64, n)
+	for i := range busy {
+		busy[i] = make([]float64, numLanes)
+	}
+	for _, iv := range t.Intervals {
+		for w := 0; w < n; w++ {
+			w0 := start + float64(w)*win
+			w1 := w0 + win
+			lo := math.Max(iv.Start, w0)
+			hi := math.Min(iv.End, w1)
+			if hi > lo {
+				busy[w][iv.Lane] += hi - lo
+			}
+		}
+	}
+	out := make([]Phase, n)
+	for w := 0; w < n; w++ {
+		best := LaneCompute
+		for lane := Lane(0); lane < numLanes; lane++ {
+			if busy[w][lane] > busy[w][best] {
+				best = lane
+			}
+		}
+		out[w] = Phase{
+			Start:    start + float64(w)*win,
+			End:      start + float64(w+1)*win,
+			Dominant: best,
+		}
+	}
+	return out
+}
