@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench results
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; the eval and
+# microbench packages exercise the parallel campaign engine, so this is
+# the concurrency regression gate.
+race:
+	$(GO) test -race ./...
+
+# verify is the pre-commit gate: compile, vet, and the race-enabled suite.
+verify: build vet race
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+results: build
+	$(GO) run ./cmd/cocodeploy -out results
+	$(GO) run ./cmd/cocoeval -deploy results -out results

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	cocodeploy [-testbed I|II|both] [-out DIR]
+//	cocodeploy [-testbed I|II|both] [-out DIR] [-parallel N]
+//
+// -parallel N runs the independent micro-benchmark cells on N worker
+// goroutines (0 = all cores, 1 = serial). Each cell seeds its noise from
+// the cell key, so the fitted databases are identical at any worker
+// count; the wall-clock summary goes to stderr.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"cocopelia/internal/machine"
 	"cocopelia/internal/microbench"
@@ -26,6 +32,7 @@ func main() {
 	log.SetPrefix("cocodeploy: ")
 	testbed := flag.String("testbed", "both", "testbed to deploy: I, II or both")
 	out := flag.String("out", "results", "output directory for deployment JSON files")
+	par := flag.Int("parallel", 0, "micro-benchmark workers: 0 = all cores, 1 = serial")
 	flag.Parse()
 
 	var tbs []*machine.Testbed
@@ -43,10 +50,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	cfg := microbench.DefaultConfig()
+	cfg.Workers = *par
+
 	var deps []*microbench.Deployment
 	for _, tb := range tbs {
 		fmt.Printf("deploying on %s (%s, %s)...\n", tb.Name, tb.GPU.Name, tb.PCIe)
-		dep := microbench.Run(tb, microbench.DefaultConfig())
+		start := time.Now()
+		dep := microbench.Run(tb, cfg)
+		log.Printf("%s: %.2fs wall", tb.Name, time.Since(start).Seconds())
 		fmt.Printf("  micro-benchmarks consumed %.1f virtual minutes\n", dep.VirtualSeconds/60)
 		path := filepath.Join(*out, deployFileName(tb.Name))
 		if err := dep.Save(path); err != nil {

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	cocoeval [-exp all|table2|fig1|fig2|fig4|fig5|fig6|fig7|table4|ablation|sensitivity]
-//	         [-testbed I|II|both] [-full] [-out DIR] [-deploy DIR]
+//	         [-testbed I|II|both] [-full] [-out DIR] [-deploy DIR] [-parallel N]
 //
 // By default the reduced ("fast") problem sets run; -full selects the
 // paper's complete validation sets (substantially slower).
+//
+// -parallel N fans the campaign's independent simulations across N worker
+// goroutines (0 = all cores, 1 = the legacy serial path). Every noise
+// seed derives from the measurement cell's key, never from execution
+// order, so the experiment output on stdout and the CSV files are
+// byte-identical at any worker count; the run summary (wall-clock, worker
+// utilization, cache statistics) goes to stderr.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"cocopelia/internal/eval"
 	"cocopelia/internal/machine"
@@ -32,6 +40,7 @@ func main() {
 	full := flag.Bool("full", false, "run the paper's full validation sets (slow)")
 	out := flag.String("out", "results", "output directory for CSV files")
 	deployDir := flag.String("deploy", "", "directory with deploy-*.json files to reuse (default: run deployment)")
+	par := flag.Int("parallel", 0, "campaign workers: 0 = all cores, 1 = serial")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -51,7 +60,8 @@ func main() {
 	}
 
 	for _, tb := range tbs {
-		c, dep := campaignFor(tb, *deployDir, !*full)
+		start := time.Now()
+		c, dep := campaignFor(tb, *deployDir, !*full, *par)
 		slug := strings.ReplaceAll(strings.ToLower(tb.Name), " ", "-")
 		run := func(name string, fn func() error) {
 			if *exp != "all" && *exp != name {
@@ -219,21 +229,42 @@ func main() {
 			fmt.Print(eval.RenderTable4(all))
 			return nil
 		})
+
+		// Run summary. Timing-dependent, so it goes to stderr (log): the
+		// experiment output on stdout stays byte-identical at any -parallel.
+		elapsed := time.Since(start)
+		hits, misses, waits := c.Runner.CacheStats()
+		if c.Pool != nil {
+			st := c.Pool.Stats()
+			log.Printf("%s: %.2fs wall, %d workers, %d jobs, %.0f%% utilization, cache %d hits / %d misses / %d waits",
+				tb.Name, elapsed.Seconds(), c.Pool.Workers(), st.Jobs,
+				100*c.Pool.Utilization(elapsed), hits, misses, waits)
+		} else {
+			log.Printf("%s: %.2fs wall, serial, cache %d hits / %d misses / %d waits",
+				tb.Name, elapsed.Seconds(), hits, misses, waits)
+		}
 	}
 }
 
 // campaignFor builds the campaign, reusing a saved deployment when one is
-// available.
-func campaignFor(tb *machine.Testbed, deployDir string, fast bool) (*eval.Campaign, *microbench.Deployment) {
+// available, and applies the -parallel worker count to both the campaign
+// pool and the deployment micro-benchmarks.
+func campaignFor(tb *machine.Testbed, deployDir string, fast bool, workers int) (*eval.Campaign, *microbench.Deployment) {
 	if deployDir != "" {
 		slug := strings.ReplaceAll(strings.ToLower(tb.Name), " ", "-")
 		path := filepath.Join(deployDir, "deploy-"+slug+".json")
 		if dep, err := microbench.Load(path); err == nil {
 			fmt.Printf("(reusing deployment %s)\n", path)
-			return eval.NewCampaignWithDeployment(tb, dep, fast), dep
+			c := eval.NewCampaignWithDeployment(tb, dep, fast)
+			c.SetParallel(workers)
+			return c, dep
 		}
 		fmt.Printf("(no deployment at %s; running micro-benchmarks)\n", path)
 	}
-	c := eval.NewCampaign(tb, fast)
-	return c, c.Pred.Deployment()
+	cfg := microbench.DefaultConfig()
+	cfg.Workers = workers
+	dep := microbench.Run(tb, cfg)
+	c := eval.NewCampaignWithDeployment(tb, dep, fast)
+	c.SetParallel(workers)
+	return c, dep
 }

@@ -8,6 +8,10 @@
 //	cocomodel -routine dgemm -size 8192
 //	cocomodel -routine dgemm -m 26112 -n 26112 -k 6656 -locs HHH -testbed I
 //	cocomodel -routine daxpy -n 67108864 -locs HH
+//
+// -parallel N fans the deployment micro-benchmarks and the measured
+// column across N workers (0 = all cores, 1 = serial); output is
+// identical at any worker count.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"cocopelia/internal/machine"
 	"cocopelia/internal/microbench"
 	"cocopelia/internal/model"
+	"cocopelia/internal/parallel"
 	"cocopelia/internal/predictor"
 )
 
@@ -37,6 +42,7 @@ func main() {
 	measure := flag.Bool("measure", true, "also run the simulated execution per tile")
 	extended := flag.Bool("extended", false, "include the Werkhoven/ablation model variants")
 	coarsen := flag.Int("coarsen", 4, "tile grid subsampling factor")
+	par := flag.Int("parallel", 0, "simulation workers: 0 = all cores, 1 = serial")
 	flag.Parse()
 
 	tb, err := machine.ByName("Testbed " + strings.ToUpper(*testbed))
@@ -78,7 +84,9 @@ func main() {
 	}
 
 	fmt.Printf("deploying on %s...\n", tb.Name)
-	dep := microbench.Run(tb, microbench.DefaultConfig())
+	cfg := microbench.DefaultConfig()
+	cfg.Workers = *par
+	dep := microbench.Run(tb, cfg)
 	pred := predictor.New(dep)
 	runner := eval.NewRunner(tb)
 	runner.Reps = 1
@@ -103,6 +111,18 @@ func main() {
 	tiles := eval.SweepTiles(p, grid, *coarsen)
 	if len(tiles) == 0 {
 		log.Fatalf("no feasible tiles for %s", p.Name())
+	}
+
+	// Prefetch the measured column through the pool; the table below then
+	// assembles from the warm cache in tile order.
+	if *measure {
+		cells := make([]eval.MeasureCell, len(tiles))
+		for i, T := range tiles {
+			cells[i] = eval.MeasureCell{Lib: eval.LibCoCoPeLia, P: p, T: T}
+		}
+		if err := runner.MeasureBatch(parallel.NewPool(*par), cells); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// Header.

@@ -13,6 +13,20 @@ import (
 // quantifies one design decision of the CoCoPeLia framework or of the
 // simulated machine model.
 
+// ablationProblem builds the full-offload square problem and clamped
+// static tile the measured ablations share.
+func ablationProblem(routine string, s int) (Problem, int) {
+	p := Problem{
+		Routine: routine, Dtype: gemmDtype(routine), M: s, N: s, K: s,
+		Locs: []model.Loc{model.OnHost, model.OnHost, model.OnHost}, Tag: "square",
+	}
+	T := Fig6StaticT
+	if s < T {
+		T = s
+	}
+	return p, T
+}
+
 // AblationReuseRow quantifies the data-reuse design decision: the same
 // scheduler and tile size with and without the tile cache.
 type AblationReuseRow struct {
@@ -29,16 +43,21 @@ type AblationReuseRow struct {
 // AblationReuse measures the value of the tile cache (full data reuse) on
 // full-offload square problems.
 func (c *Campaign) AblationReuse(routine string) ([]AblationReuseRow, error) {
+	// Enumerate the work-list (both libraries per size), prefetch, then
+	// assemble rows from the warm cache.
+	var cells []MeasureCell
+	for _, s := range GemmSquareSizes(c.Fast) {
+		p, T := ablationProblem(routine, s)
+		cells = append(cells,
+			MeasureCell{LibCoCoPeLia, p, T},
+			MeasureCell{LibNoReuse, p, T})
+	}
+	if err := c.prefetch(cells); err != nil {
+		return nil, err
+	}
 	var rows []AblationReuseRow
 	for _, s := range GemmSquareSizes(c.Fast) {
-		p := Problem{
-			Routine: routine, Dtype: gemmDtype(routine), M: s, N: s, K: s,
-			Locs: []model.Loc{model.OnHost, model.OnHost, model.OnHost}, Tag: "square",
-		}
-		T := Fig6StaticT
-		if s < T {
-			T = s
-		}
+		p, T := ablationProblem(routine, s)
 		withReuse, err := c.Runner.Measure(LibCoCoPeLia, p, T)
 		if err != nil {
 			return nil, err
@@ -94,16 +113,23 @@ func (c *Campaign) AblationContention(routine string) ([]AblationContentionRow, 
 	noBid := NewRunner(&noBidTB)
 	noBid.Reps = c.Runner.Reps
 
+	// Prefetch the same cell list on both machines (the contention-free
+	// clone has its own runner and cache, keyed by its own testbed name).
+	var cells []MeasureCell
+	for _, s := range GemmSquareSizes(c.Fast) {
+		p, T := ablationProblem(routine, s)
+		cells = append(cells, MeasureCell{LibNoReuse, p, T})
+	}
+	if err := c.prefetch(cells); err != nil {
+		return nil, err
+	}
+	if err := noBid.MeasureBatch(c.Pool, cells); err != nil {
+		return nil, err
+	}
+
 	var rows []AblationContentionRow
 	for _, s := range GemmSquareSizes(c.Fast) {
-		p := Problem{
-			Routine: routine, Dtype: gemmDtype(routine), M: s, N: s, K: s,
-			Locs: []model.Loc{model.OnHost, model.OnHost, model.OnHost}, Tag: "square",
-		}
-		T := Fig6StaticT
-		if s < T {
-			T = s
-		}
+		p, T := ablationProblem(routine, s)
 		real, err := c.Runner.Measure(LibNoReuse, p, T)
 		if err != nil {
 			return nil, err
@@ -143,6 +169,9 @@ func (c *Campaign) AblationModelVariants(routine string) ([]ErrSample, error) {
 		model.AblBTSUnidir, model.BTS, model.AblDRInteger, model.DR,
 	}
 	problems := GemmValidationSet(routine, c.Fast)
+	if err := c.prefetch(c.sweepCells(problems, LibCoCoPeLia)); err != nil {
+		return nil, err
+	}
 	var out []ErrSample
 	for _, p := range problems {
 		prm := p.Params()

@@ -12,6 +12,7 @@ import (
 	"cocopelia/internal/microbench"
 	"cocopelia/internal/model"
 	"cocopelia/internal/operand"
+	"cocopelia/internal/parallel"
 	"cocopelia/internal/predictor"
 	"cocopelia/internal/sched"
 	"cocopelia/internal/sim"
@@ -21,9 +22,18 @@ import (
 
 // Campaign bundles the per-testbed state of the evaluation: the measured-run
 // runner and the deployed predictor.
+//
+// Every figure harness enumerates its full work-list of measurement cells
+// up front, prefetches them through Pool (each cell's noise seed derives
+// from the cell key, never from execution order), then assembles its
+// rows sequentially from the warm cache — so the rendered output is
+// byte-identical at any worker count, including the serial path.
 type Campaign struct {
 	Runner *Runner
 	Pred   *predictor.Predictor
+	// Pool fans independent measurement cells across cores; nil selects
+	// the legacy serial path.
+	Pool *parallel.Pool
 	// Coarsen subsamples the tile-sweep grid (1 = the paper's full
 	// 256-step grid; tests and fast runs use larger factors).
 	Coarsen int
@@ -49,7 +59,27 @@ func NewCampaignWithDeployment(tb *machine.Testbed, dep *microbench.Deployment, 
 	}
 	r := NewRunner(tb)
 	r.Reps = reps
-	return &Campaign{Runner: r, Pred: predictor.New(dep), Coarsen: coarsen, Fast: fast}
+	return &Campaign{
+		Runner: r, Pred: predictor.New(dep),
+		Pool:    parallel.NewPool(0),
+		Coarsen: coarsen, Fast: fast,
+	}
+}
+
+// SetParallel reconfigures the campaign's fan-out width: 0 selects all
+// cores, 1 the legacy serial path, any other n a pool of n workers. The
+// campaign's output is identical at every setting.
+func (c *Campaign) SetParallel(n int) {
+	if n == 1 {
+		c.Pool = nil
+		return
+	}
+	c.Pool = parallel.NewPool(n)
+}
+
+// prefetch warms the runner cache with a work-list of measurement cells.
+func (c *Campaign) prefetch(cells []MeasureCell) error {
+	return c.Runner.MeasureBatch(c.Pool, cells)
 }
 
 // grid returns the benchmark tile grid for a routine.
@@ -91,7 +121,14 @@ func (c *Campaign) Fig1() ([]Fig1Row, error) {
 	if c.Fast {
 		sizes = []int{8192}
 	}
-	var rows []Fig1Row
+	// Enumerate the full work-list, prefetch it through the pool, then
+	// assemble rows sequentially from the warm cache.
+	type sweep struct {
+		p     Problem
+		tiles []int
+	}
+	var sweeps []sweep
+	var cells []MeasureCell
 	for _, s := range sizes {
 		p := Problem{
 			Routine: "dgemm", Dtype: kernelmodel.F64, M: s, N: s, K: s,
@@ -105,16 +142,24 @@ func (c *Campaign) Fig1() ([]Fig1Row, error) {
 		for i, T := range c.grid(p.Routine) {
 			if i%c.Coarsen == 0 && T <= s {
 				tiles = append(tiles, T)
+				cells = append(cells, MeasureCell{LibCuBLASXt, p, T})
 			}
 		}
-		for _, T := range tiles {
-			res, err := c.Runner.Measure(LibCuBLASXt, p, T)
+		sweeps = append(sweeps, sweep{p, tiles})
+	}
+	if err := c.prefetch(cells); err != nil {
+		return nil, err
+	}
+	var rows []Fig1Row
+	for _, sw := range sweeps {
+		for _, T := range sw.tiles {
+			res, err := c.Runner.Measure(LibCuBLASXt, sw.p, T)
 			if err != nil {
 				return nil, err
 			}
 			rows = append(rows, Fig1Row{
-				Testbed: c.Runner.TB.Name, Size: s, T: T,
-				Gflops: res.Gflops(p.M, p.N, p.K),
+				Testbed: c.Runner.TB.Name, Size: sw.p.M, T: T,
+				Gflops: res.Gflops(sw.p.M, sw.p.N, sw.p.K),
 			})
 		}
 	}
@@ -157,9 +202,24 @@ type ErrSample struct {
 	ErrPct float64
 }
 
+// sweepCells enumerates the (problem, T) measurement work-list of a
+// validation sweep against one library.
+func (c *Campaign) sweepCells(problems []Problem, lib Lib) []MeasureCell {
+	var cells []MeasureCell
+	for _, p := range problems {
+		for _, T := range c.sweep(p) {
+			cells = append(cells, MeasureCell{lib, p, T})
+		}
+	}
+	return cells
+}
+
 // modelErrors computes the error distribution of the given models against
 // the measured system for every (problem, T) pair.
 func (c *Campaign) modelErrors(problems []Problem, lib Lib, kinds []model.Kind) ([]ErrSample, error) {
+	if err := c.prefetch(c.sweepCells(problems, lib)); err != nil {
+		return nil, err
+	}
 	var out []ErrSample
 	for _, p := range problems {
 		prm := p.Params()
@@ -193,6 +253,15 @@ func (c *Campaign) modelErrors(problems []Problem, lib Lib, kinds []model.Kind) 
 // the paper's setup).
 func (c *Campaign) Fig4() ([]ErrSample, error) {
 	kinds := []model.Kind{model.CSO, model.BTS}
+	// Prefetch the union of the three sweeps so the pool sees the whole
+	// figure's work-list at once rather than three smaller fan-outs.
+	cells := c.sweepCells(DaxpyValidationSet(c.Fast), LibCoCoPeLia)
+	for _, routine := range []string{"sgemm", "dgemm"} {
+		cells = append(cells, c.sweepCells(GemmValidationSet(routine, c.Fast), LibNoReuse)...)
+	}
+	if err := c.prefetch(cells); err != nil {
+		return nil, err
+	}
 	out, err := c.modelErrors(DaxpyValidationSet(c.Fast), LibCoCoPeLia, kinds)
 	if err != nil {
 		return nil, err
@@ -219,6 +288,13 @@ func (c *Campaign) Fig4Gemv() ([]ErrSample, error) {
 // CoCoPeLia gemm implementations.
 func (c *Campaign) Fig5() ([]ErrSample, error) {
 	kinds := []model.Kind{model.CSO, model.DR}
+	var cells []MeasureCell
+	for _, routine := range []string{"sgemm", "dgemm"} {
+		cells = append(cells, c.sweepCells(GemmValidationSet(routine, c.Fast), LibCoCoPeLia)...)
+	}
+	if err := c.prefetch(cells); err != nil {
+		return nil, err
+	}
 	var out []ErrSample
 	for _, routine := range []string{"sgemm", "dgemm"} {
 		more, err := c.modelErrors(GemmValidationSet(routine, c.Fast), LibCoCoPeLia, kinds)
@@ -275,31 +351,54 @@ const Fig6StaticT = 2048
 // exhaustive optimum, and each model's selection.
 func (c *Campaign) Fig6(routine string) ([]Fig6Row, error) {
 	problems := GemmValidationSet(routine, c.Fast)
-	var rows []Fig6Row
+
+	// Enumerate every problem's measured tile set up front — the static
+	// baseline, the sweep grid, and (because each model's arg-min is
+	// restricted to the same grid) every model selection — prefetch the
+	// union, then assemble sequentially from the warm cache.
+	type f6work struct {
+		p       Problem
+		staticT int
+		sweep   []int
+	}
+	var works []f6work
+	var cells []MeasureCell
 	for _, p := range problems {
 		prm := p.Params()
 		sweep := c.sweep(p)
 		if len(sweep) == 0 {
 			continue
 		}
-		row := Fig6Row{Problem: p, PerModel: map[model.Kind]Fig6Cell{}}
-
 		staticT := Fig6StaticT
 		if m := int(prm.MinDim()); m < staticT {
 			staticT = m
 		}
-		res, err := c.Runner.Measure(LibCoCoPeLia, p, staticT)
-		if err != nil {
-			return nil, err
-		}
-		row.GflopsStatic = res.Gflops(p.M, p.N, p.K)
-
 		// The exhaustive search must consider the static tile too, so
 		// T_opt is by construction at least as good as the baseline even
 		// on coarsened sweep grids.
 		if !contains(sweep, staticT) {
 			sweep = append(sweep, staticT)
 		}
+		works = append(works, f6work{p, staticT, sweep})
+		for _, T := range sweep {
+			cells = append(cells, MeasureCell{LibCoCoPeLia, p, T})
+		}
+	}
+	if err := c.prefetch(cells); err != nil {
+		return nil, err
+	}
+
+	var rows []Fig6Row
+	for _, w := range works {
+		p, sweep, staticT := w.p, w.sweep, w.staticT
+		prm := p.Params()
+		row := Fig6Row{Problem: p, PerModel: map[model.Kind]Fig6Cell{}}
+
+		res, err := c.Runner.Measure(LibCoCoPeLia, p, staticT)
+		if err != nil {
+			return nil, err
+		}
+		row.GflopsStatic = res.Gflops(p.M, p.N, p.K)
 
 		// Exhaustive T_opt over the sweep grid.
 		best := math.Inf(1)
@@ -385,6 +484,25 @@ func xtTileCandidates(p Problem) []int {
 // (best of ten tiles) and BLASX (static tile) on the extended gemm set.
 func (c *Campaign) Fig7Gemm(routine string) ([]Fig7Row, error) {
 	problems := GemmPerfSet(routine, c.Fast)
+	// Enumerate the work-list: CoCoPeLia at the DR model's selection
+	// (pure prediction, no measurement needed to compute), cuBLASXt over
+	// its candidate tiles, BLASX at its static tile.
+	var cells []MeasureCell
+	for _, p := range problems {
+		prm := p.Params()
+		sel, err := c.Pred.Select(model.DR, &prm)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, MeasureCell{LibCoCoPeLia, p, sel.T})
+		for _, T := range xtTileCandidates(p) {
+			cells = append(cells, MeasureCell{LibCuBLASXt, p, T})
+		}
+		cells = append(cells, MeasureCell{LibBLASX, p, 0})
+	}
+	if err := c.prefetch(cells); err != nil {
+		return nil, err
+	}
 	var rows []Fig7Row
 	for _, p := range problems {
 		prm := p.Params()
@@ -431,6 +549,20 @@ func (c *Campaign) Fig7Gemm(routine string) ([]Fig7Row, error) {
 // against the unified-memory-with-prefetch baseline.
 func (c *Campaign) Fig7Daxpy() ([]Fig7Row, error) {
 	problems := DaxpyPerfSet(c.Fast)
+	var cells []MeasureCell
+	for _, p := range problems {
+		prm := p.Params()
+		sel, err := c.Pred.Select(model.BTS, &prm)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells,
+			MeasureCell{LibCoCoPeLia, p, sel.T},
+			MeasureCell{LibUnified, p, 0})
+	}
+	if err := c.prefetch(cells); err != nil {
+		return nil, err
+	}
 	var rows []Fig7Row
 	for _, p := range problems {
 		prm := p.Params()

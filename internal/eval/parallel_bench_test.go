@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cocopelia/internal/machine"
+	"cocopelia/internal/microbench"
+)
+
+// benchDeploy caches one Testbed I deployment for the benchmarks, so the
+// serial/parallel comparison measures only the campaign itself.
+var (
+	benchOnce   sync.Once
+	benchDeploy *microbench.Deployment
+)
+
+func benchDeployment(b *testing.B) *microbench.Deployment {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := microbench.DefaultConfig()
+		benchDeploy = microbench.Run(machine.TestbedI(), cfg)
+	})
+	return benchDeploy
+}
+
+// BenchmarkParallelCampaign compares the fast Fig. 4 campaign at
+// different fan-out widths. Each iteration builds a fresh campaign (cold
+// cache) so the pool has real simulation work to distribute; on a
+// multi-core host the workers=4 case should run at least ~2x faster than
+// workers=1. On a single-core host the widths tie — the point of the
+// engine is that the output is identical either way.
+func BenchmarkParallelCampaign(b *testing.B) {
+	dep := benchDeployment(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := NewCampaignWithDeployment(machine.TestbedI(), dep, true)
+				c.SetParallel(workers)
+				if _, err := c.Fig4(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

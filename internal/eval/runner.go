@@ -2,6 +2,9 @@ package eval
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
 
 	"cocopelia/internal/cudart"
 	"cocopelia/internal/device"
@@ -12,6 +15,7 @@ import (
 	"cocopelia/internal/machine"
 	"cocopelia/internal/model"
 	"cocopelia/internal/operand"
+	"cocopelia/internal/parallel"
 	"cocopelia/internal/sched"
 	"cocopelia/internal/sim"
 	"cocopelia/internal/stats"
@@ -33,9 +37,38 @@ const (
 	LibNoReuse Lib = "NoReuse"
 )
 
+// cacheShards is the number of independently locked cache partitions; it
+// only needs to exceed typical worker counts to keep lock contention low.
+const cacheShards = 16
+
+// cacheShard is one mutex-protected partition of the measurement cache.
+type cacheShard struct {
+	mu sync.Mutex
+	// results holds completed measurements by cell key.
+	results map[string]operand.Result
+	// inflight deduplicates concurrent requests for the same cell: the
+	// first caller simulates, later callers wait on the call's done
+	// channel (per-key singleflight).
+	inflight map[string]*inflightCall
+}
+
+// inflightCall is one in-progress measurement that concurrent callers of
+// the same cell key wait on.
+type inflightCall struct {
+	done chan struct{}
+	res  operand.Result
+	err  error
+}
+
 // Runner executes measured library runs on a simulated testbed. Every
 // measurement runs on a fresh device seeded deterministically from the run
-// parameters, so results are reproducible and cacheable.
+// parameters — never from execution order — so results are reproducible,
+// cacheable, and identical whether cells run serially or concurrently.
+//
+// Runner is safe for concurrent use: the cache is sharded behind mutexes
+// and concurrent Measure calls for the same (lib, problem, T) cell
+// simulate it exactly once (the other callers block until the first
+// finishes).
 type Runner struct {
 	TB *machine.Testbed
 	// Reps is the number of averaged repetitions per measurement (the
@@ -45,12 +78,28 @@ type Runner struct {
 	// SeedBase diversifies the noise streams of independent campaigns.
 	SeedBase int64
 
-	cache map[string]operand.Result
+	shards [cacheShards]cacheShard
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	waits  atomic.Int64
 }
 
 // NewRunner creates a runner for a testbed.
 func NewRunner(tb *machine.Testbed) *Runner {
-	return &Runner{TB: tb, Reps: 3, SeedBase: 1, cache: map[string]operand.Result{}}
+	r := &Runner{TB: tb, Reps: 3, SeedBase: 1}
+	for i := range r.shards {
+		r.shards[i].results = map[string]operand.Result{}
+		r.shards[i].inflight = map[string]*inflightCall{}
+	}
+	return r
+}
+
+// shard maps a cell key to its cache partition.
+func (r *Runner) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &r.shards[h.Sum32()%cacheShards]
 }
 
 func (r *Runner) key(lib Lib, p Problem, T int) string {
@@ -209,18 +258,57 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 }
 
 // Measure runs the library on the problem with tiling size T (ignored by
-// BLASX and UnifiedMem) and returns the repetition-averaged result.
-// Results are cached by (testbed, lib, problem, T).
+// BLASX and UnifiedMem) and returns the aggregated result over Reps
+// repetitions: Seconds is the mean over repetitions, while the structural
+// fields (T, Subkernels, BytesH2D, BytesD2H) are the per-repetition
+// maxima — the repetitions differ only in noise seed, so these are
+// normally identical across reps, and taking the maximum makes the
+// aggregation explicit rather than silently reporting the last
+// repetition's values.
+//
+// Results are cached by (testbed, lib, problem, T). Measure is safe for
+// concurrent use, and concurrent calls for the same cell simulate it
+// exactly once; errors are returned to every waiter but never cached.
 func (r *Runner) Measure(lib Lib, p Problem, T int) (operand.Result, error) {
 	key := r.key(lib, p, T)
-	if res, ok := r.cache[key]; ok {
+	s := r.shard(key)
+	s.mu.Lock()
+	if res, ok := s.results[key]; ok {
+		s.mu.Unlock()
+		r.hits.Add(1)
 		return res, nil
 	}
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		r.waits.Add(1)
+		<-c.done
+		return c.res, c.err
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+	r.misses.Add(1)
+
+	c.res, c.err = r.measureCell(key, lib, p, T)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if c.err == nil {
+		s.results[key] = c.res
+	}
+	s.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// measureCell executes the repetitions of one uncached cell and aggregates
+// them (see Measure for the semantics).
+func (r *Runner) measureCell(key string, lib Lib, p Problem, T int) (operand.Result, error) {
 	reps := r.Reps
 	if reps < 1 {
 		reps = 1
 	}
-	var times []float64
+	times := make([]float64, 0, reps)
 	var res operand.Result
 	for i := 0; i < reps; i++ {
 		one, err := r.runOnce(lib, p, T, r.seedFor(key, i))
@@ -228,11 +316,53 @@ func (r *Runner) Measure(lib Lib, p Problem, T int) (operand.Result, error) {
 			return operand.Result{}, fmt.Errorf("eval: %s on %s (T=%d): %w", lib, p.Name(), T, err)
 		}
 		times = append(times, one.Seconds)
-		res = one
+		if i == 0 {
+			res = one
+		} else {
+			res.Subkernels = max(res.Subkernels, one.Subkernels)
+			res.BytesH2D = max(res.BytesH2D, one.BytesH2D)
+			res.BytesD2H = max(res.BytesD2H, one.BytesD2H)
+		}
 	}
 	res.Seconds = stats.Mean(times)
-	r.cache[key] = res
 	return res, nil
+}
+
+// MeasureCell names one cell of a campaign's measurement work-list.
+type MeasureCell struct {
+	Lib Lib
+	P   Problem
+	T   int
+}
+
+// MeasureBatch prefetches a work-list of cells through the pool, warming
+// the cache so a subsequent sequential assembly pass hits every cell.
+// Duplicate cells are deduplicated before fan-out. The first simulation
+// error cancels the batch and is returned. A nil pool prefetches serially
+// (the legacy execution order); the cached results are identical either
+// way because every cell's noise seed derives from its key alone.
+func (r *Runner) MeasureBatch(pool *parallel.Pool, cells []MeasureCell) error {
+	seen := make(map[string]bool, len(cells))
+	uniq := make([]MeasureCell, 0, len(cells))
+	for _, c := range cells {
+		k := r.key(c.Lib, c.P, c.T)
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, c)
+		}
+	}
+	return parallel.ForEach(pool, uniq, func(_ int, c MeasureCell) error {
+		_, err := r.Measure(c.Lib, c.P, c.T)
+		return err
+	})
+}
+
+// CacheStats reports measurement-cache activity, mirroring
+// predictor.CacheStats: hits served from the completed-result cache,
+// misses that ran a simulation, and waits deduplicated onto an in-flight
+// simulation of the same cell by the singleflight layer.
+func (r *Runner) CacheStats() (hits, misses, waits int) {
+	return int(r.hits.Load()), int(r.misses.Load()), int(r.waits.Load())
 }
 
 // FullKernelTime measures the un-tiled full-problem kernel time on the

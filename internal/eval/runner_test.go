@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/model"
+	"cocopelia/internal/operand"
+	"cocopelia/internal/parallel"
+)
+
+// TestMeasureConcurrentSingleflight drives many concurrent Measure calls
+// with overlapping keys through one Runner and checks that every caller
+// sees the same result per key, that each distinct cell simulates exactly
+// once (singleflight), and that the cache statistics account for every
+// call. Run under -race this is also the Runner's data-race regression
+// test.
+func TestMeasureConcurrentSingleflight(t *testing.T) {
+	r := NewRunner(machine.TestbedI())
+	r.Reps = 1
+
+	p := Problem{Routine: "dgemm", Dtype: kernelmodel.F64, M: 2048, N: 2048, K: 2048,
+		Locs: []model.Loc{model.OnHost, model.OnHost, model.OnHost}, Tag: "square"}
+	tiles := []int{512, 1024, 2048}
+
+	const callers = 8
+	results := make([][]operand.Result, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the same tile list from a different
+			// offset so calls overlap on every key.
+			for i := range tiles {
+				T := tiles[(g+i)%len(tiles)]
+				res, err := r.Measure(LibCoCoPeLia, p, T)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[g] = append(results[g], res)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every goroutine must have seen the same result for the same key.
+	byTile := map[int]operand.Result{}
+	for g := 0; g < callers; g++ {
+		for i := range tiles {
+			T := tiles[(g+i)%len(tiles)]
+			got := results[g][i]
+			if want, ok := byTile[T]; ok && got != want {
+				t.Errorf("T=%d: goroutine %d saw %+v, another saw %+v", T, g, got, want)
+			}
+			byTile[T] = got
+		}
+	}
+
+	hits, misses, waits := r.CacheStats()
+	total := callers * len(tiles)
+	if misses != len(tiles) {
+		t.Errorf("misses = %d, want %d (one simulation per distinct cell)", misses, len(tiles))
+	}
+	if hits+misses+waits != total {
+		t.Errorf("hits+misses+waits = %d+%d+%d, want %d calls accounted for",
+			hits, misses, waits, total)
+	}
+
+	// Serial re-measure must agree with the concurrent results: the noise
+	// seed depends only on the cell key.
+	fresh := NewRunner(machine.TestbedI())
+	fresh.Reps = 1
+	for T, want := range byTile {
+		got, err := fresh.Measure(LibCoCoPeLia, p, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("T=%d: serial %+v != concurrent %+v", T, got, want)
+		}
+	}
+}
+
+// TestMeasureBatchDeduplicates prefetches a cell list containing
+// duplicates and checks that the cache simulates each distinct cell once.
+func TestMeasureBatchDeduplicates(t *testing.T) {
+	r := NewRunner(machine.TestbedI())
+	r.Reps = 1
+	p := Problem{Routine: "dgemm", Dtype: kernelmodel.F64, M: 2048, N: 2048, K: 2048,
+		Locs: []model.Loc{model.OnHost, model.OnHost, model.OnHost}, Tag: "square"}
+	cells := []MeasureCell{
+		{LibCoCoPeLia, p, 1024},
+		{LibCoCoPeLia, p, 1024},
+		{LibCoCoPeLia, p, 2048},
+		{LibCoCoPeLia, p, 1024},
+	}
+	if err := r.MeasureBatch(parallel.NewPool(4), cells); err != nil {
+		t.Fatal(err)
+	}
+	_, misses, _ := r.CacheStats()
+	if misses != 2 {
+		t.Errorf("misses = %d, want 2 distinct cells", misses)
+	}
+}
+
+// TestCampaignParallelDeterminism is the determinism regression test the
+// parallel engine is built around: the same campaign rendered serially and
+// with 8 workers must produce byte-identical text and CSV, because every
+// cell's noise seed derives from the cell key, never from execution order.
+func TestCampaignParallelDeterminism(t *testing.T) {
+	dep := testbedI(t).Pred.Deployment()
+	tb := machine.TestbedI()
+
+	render := func(workers int) (string, string) {
+		c := NewCampaignWithDeployment(tb, dep, true)
+		c.SetParallel(workers)
+		samples, err := c.Fig4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, cells := ErrCSV(samples)
+		return RenderErrSummary("fig4", samples), fmt.Sprint(h, cells)
+	}
+
+	serialText, serialCSV := render(1)
+	parText, parCSV := render(8)
+	if serialText != parText {
+		t.Errorf("rendered text differs between serial and parallel runs:\nserial:\n%s\nparallel:\n%s",
+			serialText, parText)
+	}
+	if serialCSV != parCSV {
+		t.Error("CSV cells differ between serial and parallel runs")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"cocopelia/internal/microbench"
 	"cocopelia/internal/model"
+	"cocopelia/internal/parallel"
 	"cocopelia/internal/predictor"
 )
 
@@ -39,7 +40,12 @@ type SensitivityRow struct {
 }
 
 // Sensitivity runs the future-machines study on scaled clones of the
-// campaign's testbed for one full-offload dgemm problem.
+// campaign's testbed for one full-offload dgemm problem. The hypothetical
+// machines are mutually independent — each gets its own deployment,
+// predictor, and runner — so the campaign fans them across the pool; rows
+// come back in scale order regardless of completion order, and every
+// machine's noise seeds derive from its own (scale-tagged) testbed name,
+// keeping the output identical to the serial run.
 func (c *Campaign) Sensitivity(size int, scales []float64) ([]SensitivityRow, error) {
 	if len(scales) == 0 {
 		scales = []float64{0.25, 0.5, 1, 2, 4}
@@ -49,23 +55,25 @@ func (c *Campaign) Sensitivity(size int, scales []float64) ([]SensitivityRow, er
 		Locs: []model.Loc{model.OnHost, model.OnHost, model.OnHost}, Tag: "square",
 	}
 	prm := p.Params()
-	var rows []SensitivityRow
-	for _, scale := range scales {
+	return parallel.Map(c.Pool, scales, func(_ int, scale float64) (SensitivityRow, error) {
 		tb := *c.Runner.TB
 		tb.Name = fmt.Sprintf("%s (bw x%g)", c.Runner.TB.Name, scale)
 		tb.H2D.BandwidthBps *= scale
 		tb.D2H.BandwidthBps *= scale
 
 		// Full pipeline on the hypothetical machine: deploy, select,
-		// measure.
-		dep := microbench.Run(&tb, microbench.DefaultConfig())
+		// measure. The inner steps run serially — the outer fan-out over
+		// scales already saturates the pool.
+		cfg := microbench.DefaultConfig()
+		cfg.Workers = 1
+		dep := microbench.Run(&tb, cfg)
 		pred := predictor.New(dep)
 		runner := NewRunner(&tb)
 		runner.Reps = c.Runner.Reps
 
 		sel, err := pred.Select(model.DR, &prm)
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
 		row := SensitivityRow{
 			BWScale:      scale,
@@ -75,12 +83,12 @@ func (c *Campaign) Sensitivity(size int, scales []float64) ([]SensitivityRow, er
 		}
 		staticRes, err := runner.Measure(LibCoCoPeLia, p, row.TStatic)
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
 		row.GflopsStatic = staticRes.Gflops(p.M, p.N, p.K)
 		modelRes, err := runner.Measure(LibCoCoPeLia, p, sel.T)
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
 		row.GflopsModel = modelRes.Gflops(p.M, p.N, p.K)
 
@@ -92,7 +100,7 @@ func (c *Campaign) Sensitivity(size int, scales []float64) ([]SensitivityRow, er
 		for _, T := range grid {
 			res, err := runner.Measure(LibCoCoPeLia, p, T)
 			if err != nil {
-				return nil, err
+				return SensitivityRow{}, err
 			}
 			if res.Seconds < best {
 				best = res.Seconds
@@ -102,9 +110,8 @@ func (c *Campaign) Sensitivity(size int, scales []float64) ([]SensitivityRow, er
 		row.GflopsOpt = 2 * float64(p.M) * float64(p.N) * float64(p.K) / best / 1e9
 		row.StaticLossPct = 100 * (1 - row.GflopsStatic/row.GflopsOpt)
 		row.ModelLossPct = 100 * (1 - row.GflopsModel/row.GflopsOpt)
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderSensitivity renders the future-machines study.

@@ -206,6 +206,9 @@ func (l *Link) finish(dir machine.LinkDir) {
 	}
 	now := l.eng.Now()
 	c.active = nil
+	// The completion event has fired; the engine may recycle it, so the
+	// reference must not outlive this call.
+	t.complete = nil
 	c.busy += now - c.started
 	c.bytes += t.bytes
 	c.count++

@@ -31,6 +31,7 @@ import (
 	"cocopelia/internal/device"
 	"cocopelia/internal/kernelmodel"
 	"cocopelia/internal/machine"
+	"cocopelia/internal/parallel"
 	"cocopelia/internal/sim"
 	"cocopelia/internal/stats"
 )
@@ -44,8 +45,14 @@ type Config struct {
 	// LatencyProbes is the number of single-byte transfers averaged for
 	// t_l.
 	LatencyProbes int
-	// Seed drives the simulated machine's measurement noise.
+	// Seed drives the simulated machine's measurement noise. Every
+	// measurement cell derives its own noise stream from (Seed, cell
+	// key), so the campaign's result is independent of execution order.
 	Seed int64
+	// Workers bounds the campaign's parallel fan-out over measurement
+	// cells (0 = all cores, 1 = serial). The deployment database is
+	// identical at every setting.
+	Workers int
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -145,7 +152,9 @@ func Load(path string) (*Deployment, error) {
 	return &d, nil
 }
 
-// runner executes measurements on a private simulated device.
+// runner executes one measurement cell on a private simulated device
+// seeded from the cell's key, so cells are mutually independent and can
+// run in any order or concurrently.
 type runner struct {
 	cfg Config
 	tb  *machine.Testbed
@@ -153,9 +162,21 @@ type runner struct {
 	dev *device.Device
 }
 
-func newRunner(tb *machine.Testbed, cfg Config) *runner {
+func newRunner(tb *machine.Testbed, cfg Config, seed int64) *runner {
 	eng := sim.New()
-	return &runner{cfg: cfg, tb: tb, eng: eng, dev: device.New(eng, tb, cfg.Seed, false)}
+	return &runner{cfg: cfg, tb: tb, eng: eng, dev: device.New(eng, tb, seed, false)}
+}
+
+// cellSeed derives a cell's noise seed from the campaign seed and the
+// cell key (FNV-1a mix, matching the style of eval's per-repetition
+// seeds).
+func cellSeed(base int64, key string) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range key {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return h ^ (base * 6364136223846793005)
 }
 
 // measure repeats fn (which must return one sample of the measured
@@ -234,24 +255,16 @@ func AxpyTileGrid() []int {
 	return g
 }
 
-// fitDirection measures one direction's latency, unidirectional and
-// bidirectional bandwidth, and fits the Table II coefficients.
-func (r *runner) fitDirection(dir machine.LinkDir) TransferFit {
-	// t_l: average of single-byte transfers.
-	var lat []float64
-	for i := 0; i < r.cfg.LatencyProbes; i++ {
-		lat = append(lat, r.timedTransfer(dir, 1))
-	}
-	tl := stats.Mean(lat)
-
+// assembleFit fits the Table II coefficients of one direction from the
+// campaign's measured cell values.
+func assembleFit(dirName string, vals map[string]float64) TransferFit {
+	tl := vals["lat|"+dirName]
 	var xs, ysUni, ysBid []float64
 	for _, d := range TransferGrid() {
 		bytes := int64(d) * int64(d) * 8
-		uni := r.measure(func() float64 { return r.timedTransfer(dir, bytes) })
-		bid := r.measure(func() float64 { return r.timedTransferBid(dir, bytes) })
 		xs = append(xs, float64(bytes))
-		ysUni = append(ysUni, uni-tl)
-		ysBid = append(ysBid, bid-tl)
+		ysUni = append(ysUni, vals[fmt.Sprintf("uni|%s|%d", dirName, d)]-tl)
+		ysBid = append(ysBid, vals[fmt.Sprintf("bid|%s|%d", dirName, d)]-tl)
 	}
 	tb, rse, err := stats.FitZeroIntercept(xs, ysUni)
 	if err != nil {
@@ -285,59 +298,125 @@ func (r *runner) timedKernel(name string, baseDuration float64) float64 {
 	return end - start
 }
 
-// benchKernels builds the lookup tables for the three paper routines.
-func (r *runner) benchKernels() map[string]*KernelTable {
-	gpu := &r.tb.GPU
-	tables := map[string]*KernelTable{}
+// mcell is one independent measurement cell of the deployment campaign:
+// a unique key (which also seeds the cell's noise stream) and the probe
+// routine producing the measured value on the cell's private device.
+type mcell struct {
+	key string
+	run func(r *runner) float64
+}
 
-	gemmGrid := GemmTileGrid()
+// campaignCells enumerates the full deployment work-list: per-direction
+// latency, unidirectional and bidirectional bandwidth over the transfer
+// grid, and the per-routine kernel lookup tables.
+func campaignCells(tb *machine.Testbed, cfg Config) []mcell {
+	var cells []mcell
+	add := func(key string, run func(r *runner) float64) {
+		cells = append(cells, mcell{key: key, run: run})
+	}
+
+	for _, d := range []struct {
+		name string
+		dir  machine.LinkDir
+	}{{"h2d", machine.H2D}, {"d2h", machine.D2H}} {
+		dir := d.dir
+		// t_l: average of single-byte transfers.
+		add("lat|"+d.name, func(r *runner) float64 {
+			var lat []float64
+			for i := 0; i < r.cfg.LatencyProbes; i++ {
+				lat = append(lat, r.timedTransfer(dir, 1))
+			}
+			return stats.Mean(lat)
+		})
+		for _, side := range TransferGrid() {
+			bytes := int64(side) * int64(side) * 8
+			add(fmt.Sprintf("uni|%s|%d", d.name, side), func(r *runner) float64 {
+				return r.measure(func() float64 { return r.timedTransfer(dir, bytes) })
+			})
+			add(fmt.Sprintf("bid|%s|%d", d.name, side), func(r *runner) float64 {
+				return r.measure(func() float64 { return r.timedTransferBid(dir, bytes) })
+			})
+		}
+	}
+
+	gpu := &tb.GPU
 	for _, spec := range []struct {
 		name string
 		dt   kernelmodel.Dtype
 	}{{"dgemm", kernelmodel.F64}, {"sgemm", kernelmodel.F32}} {
-		times := make([]float64, len(gemmGrid))
-		for i, T := range gemmGrid {
+		spec := spec
+		for _, T := range GemmTileGrid() {
 			base := kernelmodel.GemmTime(gpu, spec.dt, T, T, T)
-			times[i] = r.measure(func() float64 { return r.timedKernel(spec.name, base) })
-		}
-		tables[spec.name] = &KernelTable{
-			Routine: spec.name, Dtype: spec.dt.String(), Grid: gemmGrid, Times: times,
+			add(fmt.Sprintf("kern|%s|%d", spec.name, T), func(r *runner) float64 {
+				return r.measure(func() float64 { return r.timedKernel(spec.name, base) })
+			})
 		}
 	}
-
 	// Level-2: square TxT tiles of the matrix operand.
-	gemvTimes := make([]float64, len(gemmGrid))
-	for i, T := range gemmGrid {
+	for _, T := range GemmTileGrid() {
 		base := kernelmodel.GemvTime(gpu, kernelmodel.F64, T, T)
-		gemvTimes[i] = r.measure(func() float64 { return r.timedKernel("dgemv", base) })
+		add(fmt.Sprintf("kern|dgemv|%d", T), func(r *runner) float64 {
+			return r.measure(func() float64 { return r.timedKernel("dgemv", base) })
+		})
 	}
-	tables["dgemv"] = &KernelTable{
-		Routine: "dgemv", Dtype: kernelmodel.F64.String(), Grid: gemmGrid, Times: gemvTimes,
-	}
-
-	axpyGrid := AxpyTileGrid()
-	times := make([]float64, len(axpyGrid))
-	for i, n := range axpyGrid {
+	for _, n := range AxpyTileGrid() {
 		base := kernelmodel.AxpyTime(gpu, kernelmodel.F64, n)
-		times[i] = r.measure(func() float64 { return r.timedKernel("daxpy", base) })
+		add(fmt.Sprintf("kern|daxpy|%d", n), func(r *runner) float64 {
+			return r.measure(func() float64 { return r.timedKernel("daxpy", base) })
+		})
 	}
-	tables["daxpy"] = &KernelTable{
-		Routine: "daxpy", Dtype: kernelmodel.F64.String(), Grid: axpyGrid, Times: times,
-	}
-	return tables
+	return cells
 }
 
-// Run executes the full deployment campaign on a testbed.
-func Run(tb *machine.Testbed, cfg Config) *Deployment {
-	r := newRunner(tb, cfg)
-	d := &Deployment{
-		TestbedName: tb.Name,
-		H2D:         r.fitDirection(machine.H2D),
-		D2H:         r.fitDirection(machine.D2H),
-		Kernels:     r.benchKernels(),
+// kernelTable assembles one routine's lookup table from measured cells.
+func kernelTable(routine, dtype string, grid []int, vals map[string]float64) *KernelTable {
+	times := make([]float64, len(grid))
+	for i, T := range grid {
+		times[i] = vals[fmt.Sprintf("kern|%s|%d", routine, T)]
 	}
-	d.VirtualSeconds = r.eng.Now()
-	return d
+	return &KernelTable{Routine: routine, Dtype: dtype, Grid: grid, Times: times}
+}
+
+// Run executes the full deployment campaign on a testbed. The campaign
+// enumerates its measurement cells up front, fans them across
+// cfg.Workers cores (each cell simulating on a private device seeded
+// from the cell key), and assembles the fits sequentially — so the
+// resulting database is bit-for-bit identical at any worker count.
+func Run(tb *machine.Testbed, cfg Config) *Deployment {
+	cells := campaignCells(tb, cfg)
+	type cellOut struct {
+		value   float64
+		virtual float64
+	}
+	outs, err := parallel.Map(parallel.NewPool(cfg.Workers), cells,
+		func(_ int, c mcell) (cellOut, error) {
+			r := newRunner(tb, cfg, cellSeed(cfg.Seed, c.key))
+			v := c.run(r)
+			return cellOut{value: v, virtual: r.eng.Now()}, nil
+		})
+	if err != nil {
+		panic(fmt.Sprintf("microbench: %v", err)) // cells never return errors
+	}
+	vals := make(map[string]float64, len(cells))
+	virtual := 0.0
+	for i, c := range cells {
+		vals[c.key] = outs[i].value
+		virtual += outs[i].virtual
+	}
+
+	gemmGrid := GemmTileGrid()
+	return &Deployment{
+		TestbedName: tb.Name,
+		H2D:         assembleFit("h2d", vals),
+		D2H:         assembleFit("d2h", vals),
+		Kernels: map[string]*KernelTable{
+			"dgemm": kernelTable("dgemm", kernelmodel.F64.String(), gemmGrid, vals),
+			"sgemm": kernelTable("sgemm", kernelmodel.F32.String(), gemmGrid, vals),
+			"dgemv": kernelTable("dgemv", kernelmodel.F64.String(), gemmGrid, vals),
+			"daxpy": kernelTable("daxpy", kernelmodel.F64.String(), AxpyTileGrid(), vals),
+		},
+		VirtualSeconds: virtual,
+	}
 }
 
 // TableII renders the fitted transfer sub-models in the format of the

@@ -3,6 +3,7 @@ package microbench
 import (
 	"math"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -170,5 +171,21 @@ func TestGrids(t *testing.T) {
 	ag := AxpyTileGrid()
 	if len(ag) != 256 || ag[0] != 1<<18 || ag[255] != 1<<26 {
 		t.Errorf("axpy grid wrong: len=%d", len(ag))
+	}
+}
+
+// TestDeploymentParallelDeterminism checks the parallel campaign's core
+// guarantee at the deployment layer: every micro-benchmark cell seeds its
+// noise from the cell key, so the fitted databases are identical at any
+// worker count.
+func TestDeploymentParallelDeterminism(t *testing.T) {
+	serial := DefaultConfig()
+	serial.Workers = 1
+	fanned := DefaultConfig()
+	fanned.Workers = 8
+	a := Run(machine.TestbedII(), serial)
+	b := Run(machine.TestbedII(), fanned)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("deployments differ between 1 and 8 workers:\nserial: %+v\nparallel: %+v", a, b)
 	}
 }

@@ -1,0 +1,135 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, p := range []*Pool{nil, NewPool(1), NewPool(4), NewPool(64)} {
+		got, err := Map(p, items, func(i, item int) (int, error) { return item * item, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", p.Workers(), i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(NewPool(4), nil, func(i, item int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestMapFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	items := make([]int, 1000)
+	var ran atomic.Int64
+	_, err := Map(NewPool(4), items, func(i, _ int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("error should cancel remaining work, %d items ran", n)
+	}
+}
+
+func TestMapSerialErrorStopsImmediately(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	_, err := Map(nil, make([]int, 10), func(i, _ int) (int, error) {
+		ran++
+		if i == 2 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) || ran != 3 {
+		t.Fatalf("serial error path: ran=%d err=%v", ran, err)
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(NewPool(workers), make([]int, 50), func(_, _ int) (int, error) {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent items, bound is %d", p, workers)
+	}
+}
+
+func TestPoolStatsAccumulate(t *testing.T) {
+	p := NewPool(2)
+	if err := ForEach(p, make([]int, 8), func(_, _ int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Jobs != 8 {
+		t.Errorf("jobs = %d, want 8", st.Jobs)
+	}
+	if st.Busy < 8*time.Millisecond {
+		t.Errorf("busy = %v, want >= 8ms", st.Busy)
+	}
+	if u := p.Utilization(st.Busy); u <= 0 {
+		t.Errorf("utilization = %g, want > 0", u)
+	}
+}
+
+func TestNilPoolIsServiceable(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Error("nil pool should report one worker")
+	}
+	if st := p.Stats(); st.Jobs != 0 || st.Busy != 0 {
+		t.Error("nil pool stats should be zero")
+	}
+	if p.Utilization(time.Second) != 0 {
+		t.Error("nil pool utilization should be zero")
+	}
+	if err := ForEach(p, []int{1, 2, 3}, func(_, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Error("default pool must have at least one worker")
+	}
+	if NewPool(-3).Workers() < 1 {
+		t.Error("negative worker count must be normalized")
+	}
+}

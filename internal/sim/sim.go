@@ -20,6 +20,12 @@ type Time = float64
 
 // Event is a scheduled callback. The zero value is not useful; events are
 // created through Engine.Schedule or Engine.After.
+//
+// Lifetime: an *Event reference is only valid while the event is pending.
+// Once it fires or is cancelled the engine recycles the Event object
+// through a free list, and a later Schedule call may reuse it — holders
+// must drop their references at that point (the link model clears its
+// completion-event pointer when a transfer finishes).
 type Event struct {
 	at       Time
 	seq      uint64
@@ -71,10 +77,39 @@ type Engine struct {
 	seq     uint64
 	queue   eventHeap
 	stepped uint64
+	// free recycles fired and cancelled events so steady-state scheduling
+	// allocates no *Event per call (the per-simulation constant the
+	// campaign engine's hot path pays millions of times).
+	free []*Event
 }
 
+// initialHeapCap pre-sizes the event heap so short simulations never grow
+// it and long ones grow it logarithmically few times.
+const initialHeapCap = 256
+
 // New returns an engine with the clock at zero and an empty event queue.
-func New() *Engine { return &Engine{} }
+func New() *Engine {
+	return &Engine{queue: make(eventHeap, 0, initialHeapCap)}
+}
+
+// alloc returns a reset Event from the free list, or a fresh one.
+func (e *Engine) alloc(at Time, fn func()) *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.index, ev.canceled = at, e.seq, fn, -1, false
+		return ev
+	}
+	return &Event{at: at, seq: e.seq, fn: fn, index: -1}
+}
+
+// recycle parks a no-longer-pending event on the free list, dropping its
+// callback so captured state can be collected.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -96,7 +131,7 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	ev := e.alloc(at, fn)
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -116,6 +151,7 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.canceled = true
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -1
+	e.recycle(ev)
 }
 
 // Reschedule moves a pending event to a new time, keeping its callback.
@@ -142,6 +178,10 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.stepped++
 	ev.fn()
+	// Recycle only after the callback returns: the callback may consult
+	// the firing event (it is no longer pending), and recycling earlier
+	// would let a Schedule inside the callback reuse it mid-flight.
+	e.recycle(ev)
 	return true
 }
 

@@ -209,11 +209,78 @@ func TestCancelSubsetProperty(t *testing.T) {
 	}
 }
 
+func TestEventRecycling(t *testing.T) {
+	// Fired events return to the free list and back future Schedule calls,
+	// so steady-state simulation allocates no events.
+	e := New()
+	ev1 := e.Schedule(1, func() {})
+	e.Run()
+	ev2 := e.Schedule(2, func() {})
+	if ev1 != ev2 {
+		t.Error("fired event should be recycled by the next Schedule")
+	}
+	if !ev2.Pending() || ev2.At() != 2 {
+		t.Error("recycled event should be pending at its new time")
+	}
+	e.Run()
+
+	// Cancelled events recycle too, and the stale reference reads as dead.
+	ev3 := e.Schedule(5, func() {})
+	e.Cancel(ev3)
+	if ev3.Pending() {
+		t.Error("cancelled event should not be pending")
+	}
+	ev4 := e.Schedule(6, func() { t.Error("cancelled slot must not fire the old callback") })
+	if ev4 != ev3 {
+		t.Error("cancelled event should be recycled")
+	}
+	e.Cancel(ev4)
+}
+
+func TestScheduleSteadyStateDoesNotAllocateEvents(t *testing.T) {
+	e := New()
+	var fn func()
+	fn = func() {}
+	// Warm up the free list and the pre-sized heap.
+	for i := 0; i < 100; i++ {
+		e.After(1, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule+step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 func BenchmarkEngineThroughput(b *testing.B) {
 	e := New()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.After(1, func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkEngineChurn mimics the fluid-flow link's workload: a standing
+// population of events with frequent reschedules and cancellations.
+func BenchmarkEngineChurn(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	const standing = 64
+	evs := make([]*Event, standing)
+	for i := range evs {
+		evs[i] = e.Schedule(e.Now()+1+Time(i), func() {})
+	}
+	for i := 0; i < b.N; i++ {
+		slot := i % standing
+		if evs[slot].Pending() {
+			e.Reschedule(evs[slot], e.Now()+2)
+		} else {
+			evs[slot] = e.Schedule(e.Now()+2, func() {})
+		}
 		e.Step()
 	}
 }
