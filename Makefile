@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench results
+.PHONY: build test vet lint race verify bench results
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project's invariant analyzers (determinism, maporder,
+# outputpurity, layering, floatorder — see DESIGN.md "Enforced
+# invariants") via go run, so the check needs no installed binaries.
+lint:
+	$(GO) run ./cmd/cocolint ./...
 
 test:
 	$(GO) test ./...
@@ -17,8 +23,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the pre-commit gate: compile, vet, and the race-enabled suite.
-verify: build vet race
+# verify is the pre-commit gate: compile, vet, the invariant analyzers,
+# and the race-enabled suite.
+verify: build vet lint race
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

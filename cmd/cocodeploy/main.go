@@ -55,16 +55,19 @@ func main() {
 
 	var deps []*microbench.Deployment
 	for _, tb := range tbs {
-		fmt.Printf("deploying on %s (%s, %s)...\n", tb.Name, tb.GPU.Name, tb.PCIe)
+		// Progress and file-system diagnostics go to stderr; stdout
+		// carries only the deterministic deployment report (virtual time
+		// and the Table II rendering).
+		log.Printf("deploying on %s (%s, %s)...", tb.Name, tb.GPU.Name, tb.PCIe)
 		start := time.Now()
 		dep := microbench.Run(tb, cfg)
 		log.Printf("%s: %.2fs wall", tb.Name, time.Since(start).Seconds())
-		fmt.Printf("  micro-benchmarks consumed %.1f virtual minutes\n", dep.VirtualSeconds/60)
+		fmt.Printf("%s micro-benchmarks consumed %.1f virtual minutes\n", tb.Name, dep.VirtualSeconds/60)
 		path := filepath.Join(*out, deployFileName(tb.Name))
 		if err := dep.Save(path); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  wrote %s\n", path)
+		log.Printf("wrote %s", path)
 		deps = append(deps, dep)
 	}
 	fmt.Println()

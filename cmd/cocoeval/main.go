@@ -254,12 +254,15 @@ func campaignFor(tb *machine.Testbed, deployDir string, fast bool, workers int) 
 		slug := strings.ReplaceAll(strings.ToLower(tb.Name), " ", "-")
 		path := filepath.Join(deployDir, "deploy-"+slug+".json")
 		if dep, err := microbench.Load(path); err == nil {
-			fmt.Printf("(reusing deployment %s)\n", path)
+			// Diagnostics go to stderr: stdout carries only experiment
+			// output, so it stays byte-identical whether or not a saved
+			// deployment exists.
+			log.Printf("reusing deployment %s", path)
 			c := eval.NewCampaignWithDeployment(tb, dep, fast)
 			c.SetParallel(workers)
 			return c, dep
 		}
-		fmt.Printf("(no deployment at %s; running micro-benchmarks)\n", path)
+		log.Printf("no deployment at %s; running micro-benchmarks", path)
 	}
 	cfg := microbench.DefaultConfig()
 	cfg.Workers = workers

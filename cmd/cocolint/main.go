@@ -1,0 +1,165 @@
+// Command cocolint runs the project's invariant analyzers (package
+// internal/analysis) over the module and reports findings as
+//
+//	file:line: [analyzer] message
+//
+// exiting non-zero when anything is found. The analyzers enforce the
+// simulator's reproducibility contract: no wall-clock or global-RNG use
+// outside the allowlist (determinism), no unsorted map iteration feeding
+// output (maporder), stdout reserved for render layers (outputpurity), the
+// layered import DAG (layering), and no order-sensitive float patterns
+// (floatorder). Rules are configured declaratively in cocolint.json at the
+// module root; individual findings can be suppressed with
+// "//lint:ignore analyzer reason" on or directly above the offending line.
+//
+// Usage:
+//
+//	cocolint [-json] [-config FILE] [packages]
+//
+// The package arguments accept ./... (the default, everything) or
+// directory paths like ./internal/sim; they filter which packages are
+// reported, while the whole module is always loaded so cross-package
+// checks see the full import graph.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cocopelia/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cocolint: ")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	configPath := flag.String("config", "", "rule configuration file (default: cocolint.json at the module root)")
+	flag.Usage = usage
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := analysis.Load(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg *analysis.Config
+	if *configPath != "" {
+		cfg, err = analysis.LoadConfigFile(*configPath)
+	} else {
+		cfg, err = analysis.LoadConfig(mod.Dir)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	keep, err := packageFilter(mod, cwd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := analysis.Run(mod, cfg, analysis.All())
+	n := 0
+	var shown []analysis.Diagnostic
+	for _, d := range diags {
+		if !keep(d.File) {
+			continue
+		}
+		n++
+		if *jsonOut {
+			d.File = relPath(cwd, d.File)
+			shown = append(shown, d)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d: [%s] %s\n", relPath(cwd, d.File), d.Line, d.Analyzer, d.Message)
+	}
+	if *jsonOut {
+		if shown == nil {
+			shown = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(shown); err != nil {
+			fatal(err)
+		}
+	}
+	if n > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "cocolint: %d finding(s)\n", n)
+		}
+		os.Exit(1)
+	}
+}
+
+// packageFilter converts the command-line package patterns into a
+// predicate over finding file paths. Patterns are directories relative to
+// the working directory; a trailing /... includes the subtree.
+func packageFilter(mod *analysis.Module, cwd string, args []string) (func(string) bool, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []struct {
+		dir     string
+		subtree bool
+	}
+	for _, a := range args {
+		pat, subtree := strings.CutSuffix(a, "/...")
+		if pat == "." || pat == "" {
+			pat = cwd
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(cwd, pat)
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, struct {
+			dir     string
+			subtree bool
+		}{abs, subtree})
+	}
+	return func(file string) bool {
+		fdir := filepath.Dir(file)
+		for _, d := range dirs {
+			if fdir == d.dir {
+				return true
+			}
+			if d.subtree && strings.HasPrefix(fdir, d.dir+string(filepath.Separator)) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// relPath shortens a path relative to the working directory when that
+// yields something inside the tree.
+func relPath(cwd, path string) string {
+	rel, err := filepath.Rel(cwd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: cocolint [-json] [-config FILE] [packages]\n\nanalyzers:\n")
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	log.Print(err)
+	os.Exit(2)
+}

@@ -83,7 +83,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("deploying on %s...\n", tb.Name)
+	// Progress goes to stderr so stdout carries only the prediction table.
+	log.Printf("deploying on %s...", tb.Name)
 	cfg := microbench.DefaultConfig()
 	cfg.Workers = *par
 	dep := microbench.Run(tb, cfg)

@@ -81,7 +81,8 @@ func main() {
 	// Automatic tile selection for the CoCoPeLia library.
 	T := *tile
 	if T == 0 && (*lib == "cocopelia" || *lib == "noreuse") {
-		fmt.Printf("deploying model on %s...\n", tb.Name)
+		// Progress goes to stderr; stdout carries only the run report.
+		log.Printf("deploying model on %s...", tb.Name)
 		dep := microbench.Run(tb, microbench.DefaultConfig())
 		pred := predictor.New(dep)
 		prm := p.Params()
@@ -138,7 +139,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote Chrome/Perfetto trace to %s\n", *traceFile)
+		log.Printf("wrote Chrome/Perfetto trace to %s", *traceFile)
 	}
 }
 

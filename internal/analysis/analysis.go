@@ -1,0 +1,148 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// in the style of golang.org/x/tools/go/analysis, built only on the
+// standard library (go/ast, go/parser, go/types, go/token). It exists to
+// mechanically enforce the simulator's reproducibility contract — the
+// "byte-identical output at any worker count" guarantee the evaluation
+// campaigns rely on — instead of leaving it to convention:
+//
+//   - determinism: no wall-clock or global-RNG calls outside an explicit
+//     allowlist;
+//   - maporder: no map iteration feeding output rows or result slices
+//     without sorting;
+//   - outputpurity: stdout is reserved for the render/output layers,
+//     diagnostics go to stderr;
+//   - layering: the package import DAG follows the checked-in layer spec;
+//   - floatorder: no order-sensitive float comparisons or accumulation
+//     over map iteration.
+//
+// The cocolint CLI (cmd/cocolint) loads the module, runs every analyzer,
+// and reports findings as "file:line: [analyzer] message". Individual
+// findings can be suppressed with a
+//
+//	//lint:ignore analyzer reason
+//
+// comment on the offending line or the line directly above it; the reason
+// is mandatory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. Run inspects a single
+// type-checked package and reports findings through the pass.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and suppression comments
+	// (lowercase, no spaces).
+	Name string
+	// Doc is a one-line description shown by cocolint -help.
+	Doc string
+	// Run executes the check on one package.
+	Run func(*Pass)
+}
+
+// Pass carries one package's parsed and type-checked form to an analyzer,
+// plus the module-wide context the layering rules need.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Module is the loaded module (all packages), for whole-program
+	// checks such as layering.
+	Module *Module
+	// Config is the declarative rule configuration (allowlists, layer
+	// spec) loaded from cocolint.json.
+	Config *Config
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression in the package under analysis
+// (nil if unknown).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+
+	// Flattened position for the -json mode.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// String renders the finding in the canonical "file:line: [analyzer]
+// message" form (column included when known).
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run executes the analyzers over every package of the module and returns
+// the surviving findings (suppressions applied) sorted by position. It
+// also reports misuse of the suppression syntax itself: an ignore
+// directive without a reason, or one that suppressed nothing.
+func Run(mod *Module, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range mod.Packages {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     mod.Fset,
+				Pkg:      pkg,
+				Module:   mod,
+				Config:   cfg,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	diags = applySuppressions(mod, diags)
+	for i := range diags {
+		diags[i].File = diags[i].Pos.Filename
+		diags[i].Line = diags[i].Pos.Line
+		diags[i].Col = diags[i].Pos.Column
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns every analyzer the project ships, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		MapOrder,
+		OutputPurity,
+		Layering,
+		FloatOrder,
+	}
+}

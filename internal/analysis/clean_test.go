@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"os"
+	"testing"
+)
+
+// TestModuleIsClean runs every analyzer over the real module with the
+// checked-in cocolint.json and requires zero findings — the in-process
+// equivalent of `make lint`. If this fails, either fix the reported code
+// or (for a deliberate exception) add a "//lint:ignore analyzer reason"
+// with a real justification.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(mod.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Layering.Layers) == 0 {
+		t.Fatal("cocolint.json has no layering spec; the import DAG is unenforced")
+	}
+	diags := Run(mod, cfg, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("the tree must stay cocolint-clean; see DESIGN.md \"Enforced invariants\"")
+	}
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// wallClockFuncs are the time-package entry points that sample or depend
+// on the real clock. Formatting helpers (time.Duration methods,
+// time.Unix, ...) are pure and stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// randConstructors are the math/rand entry points that build explicitly
+// seeded generators; everything else at package level touches the global,
+// unseeded source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true,
+	// math/rand/v2 seeded constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism forbids wall-clock sampling and the global math/rand source
+// outside the allowlist in cocolint.json. The simulator's reproducibility
+// contract (byte-identical campaign output at any worker count, noise
+// seeds derived from cell keys) survives only if simulation, model and
+// eval code never observes real time or shared RNG state; explicitly
+// seeded rand.New(rand.NewSource(seed)) generators remain allowed
+// everywhere.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock and global-RNG use outside the allowlist",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		filename := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if allowed(pass.Config.Determinism.Allow, pass.Pkg.Path, filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := pkgNameOf(pass, sel)
+			if !ok {
+				return true
+			}
+			// Only function references matter: type names like rand.Rand
+			// or time.Duration are inert.
+			if _, isFunc := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgPath {
+			case "time":
+				if wallClockFuncs[name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s observes the wall clock; derive timing from the simulation clock or inject a parallel.Clock (allowlist: cocolint.json)", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[name] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s uses the global random source; use rand.New(rand.NewSource(seed)) with a seed derived from the work item", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pkgNameOf resolves a selector's receiver to an imported package path,
+// when the receiver is a package name rather than a value.
+func pkgNameOf(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrder flags floating-point patterns whose result depends on
+// evaluation or iteration order:
+//
+//   - `==` / `!=` between two computed float values (comparisons against
+//     compile-time constants — the BLAS-style `beta == 0` sentinel checks —
+//     are exact and stay allowed);
+//   - accumulating into a float (`+=`, `-=`, `*=`, or `x = x + ...`)
+//     inside a map iteration, where the randomized order changes the
+//     rounding of the running sum.
+var FloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "flag order-sensitive float comparison and accumulation patterns",
+	Run:  runFloatOrder,
+}
+
+func runFloatOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkFloatEquality(pass, n)
+			case *ast.RangeStmt:
+				if isMapRange(pass, n) {
+					checkFloatAccumulation(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFloatEquality reports ==/!= between two non-constant floats.
+func checkFloatEquality(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass.TypeOf(b.X)) || !isFloat(pass.TypeOf(b.Y)) {
+		return
+	}
+	if isConstant(pass, b.X) || isConstant(pass, b.Y) {
+		return
+	}
+	pass.Reportf(b.Pos(),
+		"%s between computed floats is rounding-sensitive; compare with an explicit tolerance", b.Op)
+}
+
+// checkFloatAccumulation reports float running sums inside a map range.
+func checkFloatAccumulation(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+			if len(as.Lhs) == 1 && isFloat(pass.TypeOf(as.Lhs[0])) && declaredOutside(pass, as.Lhs[0], rng) {
+				pass.Reportf(as.Pos(),
+					"float accumulation into %s over map iteration depends on iteration order; range over sorted keys", exprString(as.Lhs[0]))
+			}
+		case token.ASSIGN:
+			// x = x + ... (and x - / x *) spelled out.
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || !isFloat(pass.TypeOf(lhs)) || !declaredOutside(pass, lhs, rng) {
+				return true
+			}
+			bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.ADD && bin.Op != token.SUB && bin.Op != token.MUL) {
+				return true
+			}
+			lobj := pass.Pkg.Info.ObjectOf(lhs)
+			for _, side := range []ast.Expr{bin.X, bin.Y} {
+				if id, ok := side.(*ast.Ident); ok && lobj != nil && pass.Pkg.Info.ObjectOf(id) == lobj {
+					pass.Reportf(as.Pos(),
+						"float accumulation into %s over map iteration depends on iteration order; range over sorted keys", lhs.Name)
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstant reports whether the expression has a compile-time value.
+func isConstant(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

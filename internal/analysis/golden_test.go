@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts golden expectations: a comment of the form
+//
+//	// want `regexp`
+//
+// on a source line asserts that some analyzer reports a finding on that
+// line whose "[analyzer] message" rendering matches the regexp.
+var wantRe = regexp.MustCompile("want `([^`]+)`")
+
+// loadGolden loads one testdata mini-module and runs every analyzer with
+// the module's own cocolint.json.
+func loadGolden(t *testing.T, name string) (*Module, []Diagnostic) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", name, err)
+	}
+	cfg, err := LoadConfig(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod, Run(mod, cfg, All())
+}
+
+// expectation is one parsed want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants parses want comments from every file of the module.
+func collectWants(t *testing.T, mod *Module) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := mod.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkGolden matches findings against want comments one-to-one by line.
+func checkGolden(t *testing.T, name string) {
+	t.Helper()
+	mod, diags := loadGolden(t, name)
+	wants := collectWants(t, mod)
+
+	for _, d := range diags {
+		rendered := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(rendered) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDeterminismGolden(t *testing.T)  { checkGolden(t, "determinism") }
+func TestMapOrderGolden(t *testing.T)     { checkGolden(t, "maporder") }
+func TestOutputPurityGolden(t *testing.T) { checkGolden(t, "outputpurity") }
+func TestLayeringGolden(t *testing.T)     { checkGolden(t, "layering") }
+func TestFloatOrderGolden(t *testing.T)   { checkGolden(t, "floatorder") }
+
+// TestSuppressDiagnostics asserts the suppression machinery's own
+// findings (asserted in code: a want-comment cannot share a directive's
+// line without becoming its reason text).
+func TestSuppressDiagnostics(t *testing.T) {
+	_, diags := loadGolden(t, "suppress")
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s:%d:[%s] %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message))
+	}
+	want := []struct {
+		line int
+		sub  string
+	}{
+		{10, "malformed ignore directive"},
+		{12, "ignore directive suppresses nothing"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d findings, want %d: %v", len(diags), len(want), got)
+	}
+	for i, w := range want {
+		if diags[i].Pos.Line != w.line || diags[i].Analyzer != "lint" ||
+			!strings.Contains(diags[i].Message, w.sub) {
+			t.Errorf("finding %d = %s, want line %d containing %q", i, got[i], w.line, w.sub)
+		}
+	}
+}
+
+// TestConfigPatterns covers the pattern grammar: exact paths, subtree
+// globs, and file-granular entries.
+func TestConfigPatterns(t *testing.T) {
+	cases := []struct {
+		patterns []string
+		pkg      string
+		file     string
+		want     bool
+	}{
+		{[]string{"m/a"}, "m/a", "x.go", true},
+		{[]string{"m/a"}, "m/a/b", "x.go", false},
+		{[]string{"m/a/..."}, "m/a/b", "x.go", true},
+		{[]string{"m/a/..."}, "m/ab", "x.go", false},
+		{[]string{"m/a/clock.go"}, "m/a", "clock.go", true},
+		{[]string{"m/a/clock.go"}, "m/a", "other.go", false},
+		{[]string{"m/a/clock.go"}, "m/b", "clock.go", false},
+	}
+	for _, c := range cases {
+		if got := allowed(c.patterns, c.pkg, c.file); got != c.want {
+			t.Errorf("allowed(%v, %q, %q) = %v, want %v", c.patterns, c.pkg, c.file, got, c.want)
+		}
+	}
+}
+
+// TestFindModuleRoot checks the upward go.mod search.
+func TestFindModuleRoot(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "determinism", "clock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(root) != "determinism" {
+		t.Errorf("FindModuleRoot(%s) = %s, want the determinism testdata module", dir, root)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("module root %s has no go.mod: %v", root, err)
+	}
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Layering enforces the package import DAG declared in cocolint.json: the
+// spec assigns every module package to an ordered layer, and a package may
+// import module-internal packages only from its own layer or lower ones.
+// This is what keeps the simulation core (sim, link, device) ignorant of
+// the evaluation harness and the CLIs — e.g. internal/sim can never grow
+// an import of internal/eval or cmd/*. Packages missing from the spec are
+// reported, so the spec cannot silently fall behind the tree.
+var Layering = &Analyzer{
+	Name: "layering",
+	Doc:  "enforce the layered import DAG from cocolint.json",
+	Run:  runLayering,
+}
+
+func runLayering(pass *Pass) {
+	if len(pass.Config.Layering.Layers) == 0 {
+		return
+	}
+	pkg := pass.Pkg
+	idx, layerName, ok := pass.Config.layerOf(pkg.Path)
+	if !ok {
+		pass.Reportf(pkg.Files[0].Package,
+			"package %s is not assigned to any layer in %s; add it to the layering spec", pkg.Path, ConfigFileName)
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, spec := range f.Imports {
+			dep := strings.Trim(spec.Path.Value, `"`)
+			if dep != pass.Module.Path && !strings.HasPrefix(dep, pass.Module.Path+"/") {
+				continue
+			}
+			depIdx, depLayer, ok := pass.Config.layerOf(dep)
+			if !ok {
+				// The dep's own package pass reports the missing
+				// assignment; don't duplicate it here.
+				continue
+			}
+			if depIdx > idx {
+				pass.Reportf(spec.Pos(),
+					"layer %q package %s must not import layer %q package %s (lower layers cannot depend on higher ones)",
+					layerName, pkg.Path, depLayer, dep)
+			}
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	// Path is the import path ("cocopelia/internal/sim").
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Files holds the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+
+	// imports lists the package's module-internal import paths.
+	imports []string
+}
+
+// Module is a whole loaded module: every non-test package, type-checked.
+type Module struct {
+	// Path is the module path from go.mod.
+	Path string
+	// Dir is the module root (the directory holding go.mod).
+	Dir string
+	// Packages are the loaded packages sorted by import path.
+	Packages []*Package
+	Fset     *token.FileSet
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Load parses and type-checks every non-test package under the module
+// rooted at dir (which must contain go.mod). Test files, testdata
+// directories, hidden directories and vendor trees are skipped. Standard
+// library imports are resolved through the toolchain's export data, with a
+// from-source fallback; module-internal imports are resolved against the
+// packages being loaded, in dependency order.
+func Load(dir string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Path: modPath, Dir: root, Fset: token.NewFileSet()}
+
+	// Discover and parse.
+	byPath := map[string]*Package{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		pkg, err := parseDir(mod, path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			byPath[pkg.Path] = pkg
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Topological order over module-internal imports so every dependency
+	// is type-checked before its importers.
+	order, err := topoSort(byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{mod: mod, checked: map[string]*types.Package{}, fset: mod.Fset}
+	for _, pkg := range order {
+		if err := typeCheck(mod, pkg, imp); err != nil {
+			return nil, err
+		}
+		imp.checked[pkg.Path] = pkg.Types
+	}
+
+	mod.Packages = order
+	sort.Slice(mod.Packages, func(i, j int) bool { return mod.Packages[i].Path < mod.Packages[j].Path })
+	return mod, nil
+}
+
+// parseDir parses the non-test .go files of one directory, returning nil
+// when the directory holds no buildable Go package.
+func parseDir(mod *Module, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	rel, err := filepath.Rel(mod.Dir, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := mod.Path
+	if rel != "." {
+		path = mod.Path + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{Path: path, Dir: dir}
+	seen := map[string]bool{}
+	for _, n := range names {
+		f, err := parser.ParseFile(mod.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if (p == mod.Path || strings.HasPrefix(p, mod.Path+"/")) && !seen[p] {
+				seen[p] = true
+				pkg.imports = append(pkg.imports, p)
+			}
+		}
+	}
+	sort.Strings(pkg.imports)
+	return pkg, nil
+}
+
+// topoSort orders packages so that every module-internal dependency
+// precedes its importers.
+func topoSort(byPath map[string]*Package) ([]*Package, error) {
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []*Package
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", p)
+		}
+		state[p] = visiting
+		pkg := byPath[p]
+		for _, dep := range pkg.imports {
+			if _, ok := byPath[dep]; !ok {
+				return fmt.Errorf("analysis: %s imports unknown module package %s", p, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p] = done
+		order = append(order, pkg)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// typeCheck runs go/types over one package.
+func typeCheck(mod *Module, pkg *Package, imp types.Importer) error {
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.Path, mod.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return fmt.Errorf("analysis: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	return nil
+}
+
+// moduleImporter resolves module-internal imports from the packages loaded
+// so far and delegates everything else (the standard library) to the
+// toolchain's export-data importer, falling back to from-source type
+// checking when export data is unavailable.
+type moduleImporter struct {
+	mod     *Module
+	checked map[string]*types.Package
+	fset    *token.FileSet
+
+	gc  types.Importer
+	src types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.mod.Path || strings.HasPrefix(path, m.mod.Path+"/") {
+		if p, ok := m.checked[path]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("analysis: internal package %s not yet loaded (import cycle?)", path)
+	}
+	if m.gc == nil {
+		m.gc = importer.ForCompiler(m.fset, "gc", nil)
+	}
+	p, err := m.gc.Import(path)
+	if err == nil {
+		return p, nil
+	}
+	if m.src == nil {
+		m.src = importer.ForCompiler(m.fset, "source", nil)
+	}
+	p, srcErr := m.src.Import(path)
+	if srcErr != nil {
+		return nil, fmt.Errorf("analysis: importing %s: %v (source fallback: %v)", path, err, srcErr)
+	}
+	return p, nil
+}

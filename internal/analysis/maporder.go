@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose bodies feed
+// order-sensitive sinks: appending to a slice declared outside the loop
+// (result rows) or writing output (fmt printing, Write* methods on
+// builders/writers). Go randomizes map iteration order, so such loops
+// produce run-to-run different output. The canonical fix — collect the
+// keys, sort them, then range over the sorted slice — is recognized: an
+// appended-to slice that is later passed to a sort.* or slices.* call in
+// the same function is not reported, because the sort launders the
+// iteration order.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration that feeds output rows or result slices unsorted",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass, rng) {
+				return true
+			}
+			checkMapRangeBody(pass, rng, enclosingFunc(stack))
+			return true
+		})
+	}
+}
+
+// isMapRange reports whether the range expression has map type.
+func isMapRange(pass *Pass, rng *ast.RangeStmt) bool {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody reports order-sensitive sinks inside one map range.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		// append(outer, ...) accumulating results across iterations.
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+				target := call.Args[0]
+				if declaredOutside(pass, target, rng) && !sortedLater(pass, target, fnBody) {
+					pass.Reportf(call.Pos(),
+						"append to %s inside map iteration accumulates rows in random order; range over sorted keys (or sort the slice afterwards)",
+						exprString(target))
+				}
+				return true
+			}
+		}
+
+		// Output writes: fmt printing or Write* methods.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if pkgPath, ok := pkgNameOf(pass, sel); ok {
+				if pkgPath == "fmt" && (stdoutPrinters[sel.Sel.Name] ||
+					sel.Sel.Name == "Fprint" || sel.Sel.Name == "Fprintf" || sel.Sel.Name == "Fprintln") {
+					pass.Reportf(call.Pos(),
+						"fmt.%s inside map iteration emits output in random order; range over sorted keys", sel.Sel.Name)
+				}
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+				pass.Reportf(call.Pos(),
+					"%s.%s inside map iteration emits output in random order; range over sorted keys",
+					exprString(sel.X), sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// declaredOutside reports whether the append target is declared outside
+// the range statement (so appends accumulate across iterations). Selector
+// targets (struct fields) always count as outside.
+func declaredOutside(pass *Pass, target ast.Expr, rng *ast.RangeStmt) bool {
+	switch t := target.(type) {
+	case *ast.Ident:
+		obj := pass.Pkg.Info.ObjectOf(t)
+		if obj == nil {
+			return true
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		// out[k] = append(out[k], ...) regroups into a map/slice keyed
+		// independently of iteration order.
+		return false
+	}
+	return false
+}
+
+// sortedLater reports whether the slice is passed to a sort.* or slices.*
+// call somewhere in the enclosing function, which makes the accumulation
+// order irrelevant.
+func sortedLater(pass *Pass, target ast.Expr, fnBody *ast.BlockStmt) bool {
+	if fnBody == nil {
+		return false
+	}
+	var obj types.Object
+	var fieldName string
+	switch t := target.(type) {
+	case *ast.Ident:
+		obj = pass.Pkg.Info.ObjectOf(t)
+	case *ast.SelectorExpr:
+		fieldName = t.Sel.Name
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, ok := pkgNameOf(pass, sel)
+		if !ok || (pkgPath != "sort" && pkgPath != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			switch a := arg.(type) {
+			case *ast.Ident:
+				if obj != nil && pass.Pkg.Info.ObjectOf(a) == obj {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fieldName != "" && a.Sel.Name == fieldName {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a short name for simple expressions in messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "expression"
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// stdoutPrinters are the fmt entry points bound to os.Stdout.
+var stdoutPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// OutputPurity reserves standard output for the render/output layers
+// listed in cocolint.json. Everywhere else, stdout writes would interleave
+// diagnostics with experiment output and break the byte-identical-output
+// contract, so progress and timing messages must target stderr (the log
+// package's default) or an injected io.Writer.
+var OutputPurity = &Analyzer{
+	Name: "outputpurity",
+	Doc:  "restrict stdout writes to the declared render/output layers",
+	Run:  runOutputPurity,
+}
+
+func runOutputPurity(pass *Pass) {
+	if allowed(pass.Config.OutputPurity.Stdout, pass.Pkg.Path, "") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkgPath, ok := pkgNameOf(pass, n)
+				if !ok {
+					return true
+				}
+				if pkgPath == "os" && n.Sel.Name == "Stdout" {
+					pass.Reportf(n.Pos(),
+						"os.Stdout outside a render layer; diagnostics belong on stderr (allowlist: cocolint.json)")
+				}
+				if pkgPath == "fmt" && stdoutPrinters[n.Sel.Name] {
+					pass.Reportf(n.Pos(),
+						"fmt.%s writes to stdout outside a render layer; return a string, take an io.Writer, or log to stderr", n.Sel.Name)
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok &&
+						(b.Name() == "print" || b.Name() == "println") {
+						pass.Reportf(n.Pos(), "builtin %s bypasses the output layers; use log (stderr) instead", b.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}

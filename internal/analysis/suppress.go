@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed "//lint:ignore analyzer[,analyzer] reason"
+// comment. A directive covers findings on its own line (end-of-line form)
+// and on the line directly below it (comment-above form).
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+// collectDirectives parses every lint:ignore comment in the module.
+func collectDirectives(mod *Module) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, "/*")
+					text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+					rest, ok := strings.CutPrefix(text, "lint:ignore")
+					if !ok {
+						continue
+					}
+					d := &ignoreDirective{pos: mod.Fset.Position(c.Pos())}
+					fields := strings.Fields(rest)
+					if len(fields) > 0 {
+						d.analyzers = strings.Split(fields[0], ",")
+						d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions filters diags through the module's lint:ignore
+// directives and appends findings (analyzer "lint") for malformed or
+// unused directives, so suppressions can never silently rot.
+func applySuppressions(mod *Module, diags []Diagnostic) []Diagnostic {
+	directives := collectDirectives(mod)
+
+	// Index valid directives by (file, covered line).
+	type key struct {
+		file string
+		line int
+	}
+	index := map[key][]*ignoreDirective{}
+	var out []Diagnostic
+	for _, d := range directives {
+		if len(d.analyzers) == 0 || d.reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "lint",
+				Message:  "malformed ignore directive: want //lint:ignore analyzer reason",
+			})
+			continue
+		}
+		index[key{d.pos.Filename, d.pos.Line}] = append(index[key{d.pos.Filename, d.pos.Line}], d)
+		index[key{d.pos.Filename, d.pos.Line + 1}] = append(index[key{d.pos.Filename, d.pos.Line + 1}], d)
+	}
+
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range index[key{diag.Pos.Filename, diag.Pos.Line}] {
+			for _, a := range d.analyzers {
+				if a == diag.Analyzer {
+					d.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+
+	for _, d := range directives {
+		if len(d.analyzers) > 0 && d.reason != "" && !d.used {
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "lint",
+				Message:  "ignore directive suppresses nothing (remove it or fix the analyzer name)",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+// Package allowed is on the determinism allowlist (a render layer
+// equivalent): wall-clock summaries are permitted here.
+package allowed
+
+import "time"
+
+// Elapsed is allowlisted wall-clock use.
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,8 @@
+// Package clock exercises file-granular allowlisting: clock.go is
+// allowlisted, other.go in the same package is not.
+package clock
+
+import "time"
+
+// Wall is the sanctioned clock shim (this file is allowlisted).
+func Wall() time.Time { return time.Now() }

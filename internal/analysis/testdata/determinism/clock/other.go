@@ -1,0 +1,7 @@
+package clock
+
+import "time"
+
+func sneaky() time.Time {
+	return time.Now() // want `time.Now observes the wall clock`
+}

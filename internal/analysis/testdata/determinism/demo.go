@@ -1,0 +1,33 @@
+// Package demo exercises the determinism analyzer: wall-clock and
+// global-RNG uses are findings, seeded generators and type references are
+// not, and lint:ignore suppression works.
+package demo
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() {
+	_ = time.Now()          // want `time.Now observes the wall clock`
+	start := time.Time{}
+	_ = time.Since(start)   // want `time.Since observes the wall clock`
+	time.Sleep(time.Second) // want `time.Sleep observes the wall clock`
+	_ = time.Second         // constants are fine
+	var d time.Duration     // type references are fine
+	_ = d.Seconds()
+}
+
+func rng() float64 {
+	r := rand.New(rand.NewSource(42)) // seeded constructors are fine
+	_ = rand.Int()                    // want `rand.Int uses the global random source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle uses the global random source`
+	var keep *rand.Rand                // type reference, fine
+	_ = keep
+	return r.Float64()
+}
+
+func suppressed() {
+	//lint:ignore determinism this demo exercises the suppression syntax
+	_ = time.Now()
+}

@@ -1,0 +1,74 @@
+// Package demo exercises the floatorder analyzer: computed-float equality
+// and float accumulation over map iteration are findings; sentinel
+// comparisons against constants, integer arithmetic, and slice-order
+// accumulation are not.
+package demo
+
+func equality(a, b float64, xs []float32) bool {
+	if a == b { // want `== between computed floats is rounding-sensitive`
+		return true
+	}
+	if a != b*2 { // want `!= between computed floats is rounding-sensitive`
+		return false
+	}
+	if a == 0 { // sentinel against a constant is exact — fine
+		return false
+	}
+	if b != 1.0 { // fine
+		return false
+	}
+	return xs[0] == xs[1] // want `== between computed floats is rounding-sensitive`
+}
+
+func intsAreFine(i, j int) bool { return i == j }
+
+func sumOverMap(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `float accumulation into total over map iteration`
+	}
+	return total
+}
+
+func spelledOutSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `float accumulation into total over map iteration`
+	}
+	return total
+}
+
+func sumOverSlice(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs { // slice order is deterministic — fine
+		total += v
+	}
+	return total
+}
+
+func countOverMap(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++ // integer counting is order-independent — fine
+	}
+	return n
+}
+
+func maxOverMap(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best { // max is order-independent — fine
+			best = v
+		}
+	}
+	return best
+}
+
+func suppressed(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//lint:ignore floatorder demo of an accepted exception
+		total += v
+	}
+	return total
+}

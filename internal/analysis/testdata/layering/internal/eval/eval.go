@@ -1,0 +1,5 @@
+// Package eval is the top layer of the demo spec.
+package eval
+
+// Campaign is referenced from the (illegal) lower-layer import.
+const Campaign = "campaign"

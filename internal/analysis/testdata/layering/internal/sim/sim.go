@@ -1,0 +1,7 @@
+// Package sim sits in the foundation layer and must not look upward.
+package sim
+
+import "demo/internal/eval" // want `layer "foundation" package demo/internal/sim must not import layer "evaluation" package demo/internal/eval`
+
+// Uses keeps the illegal import referenced.
+const Uses = eval.Campaign

@@ -1,0 +1,5 @@
+// Package stray is missing from the layering spec.
+package stray // want `package demo/internal/stray is not assigned to any layer`
+
+// X keeps the package non-empty.
+const X = 1

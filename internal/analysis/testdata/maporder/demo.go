@@ -1,0 +1,83 @@
+// Package demo exercises the maporder analyzer: map iterations feeding
+// order-sensitive sinks are findings; the sorted-keys idiom, sorted-after
+// accumulation, and order-independent bodies are not.
+package demo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// appendUnsorted accumulates rows straight out of map order.
+func appendUnsorted(m map[string]int) []string {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k) // want `append to rows inside map iteration`
+	}
+	return rows
+}
+
+// appendThenSort launders the iteration order with a sort — fine.
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedKeysIdiom ranges the sorted slice, not the map — fine.
+func sortedKeysIdiom(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// printInMapRange emits output in map order.
+func printInMapRange(m map[string]int) {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want `fmt.Fprintf inside map iteration`
+		b.WriteString(k)                 // want `b.WriteString inside map iteration`
+		fmt.Println(v)                   // want `fmt.Println inside map iteration`
+	}
+}
+
+// innerSlice accumulates only within one iteration — fine.
+func innerSlice(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// rekeyed regroups into a keyed structure, independent of order — fine.
+func rekeyed(m map[string]int) map[string][]int {
+	out := map[string][]int{}
+	for k, v := range m {
+		out[k] = append(out[k], v)
+	}
+	return out
+}
+
+// suppressed shows an accepted exception.
+func suppressed(m map[string]int) []string {
+	var rows []string
+	for k := range m {
+		//lint:ignore maporder the caller sorts these rows before rendering
+		rows = append(rows, k)
+	}
+	return rows
+}

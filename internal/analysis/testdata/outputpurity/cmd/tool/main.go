@@ -1,0 +1,8 @@
+// Command tool is a declared render layer: stdout is its job.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("rendered output")
+}

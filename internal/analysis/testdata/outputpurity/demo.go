@@ -1,0 +1,21 @@
+// Package demo exercises the outputpurity analyzer: stdout writes outside
+// the declared render layers are findings, stderr and plain formatting are
+// not.
+package demo
+
+import (
+	"fmt"
+	"os"
+)
+
+func impure(x int) {
+	fmt.Println("progress:", x)           // want `fmt.Println writes to stdout outside a render layer`
+	fmt.Printf("%d\n", x)                 // want `fmt.Printf writes to stdout outside a render layer`
+	fmt.Fprintf(os.Stdout, "done %d", x)  // want `os.Stdout outside a render layer`
+	println("debug")                      // want `builtin println bypasses the output layers`
+}
+
+func pure(x int) string {
+	fmt.Fprintf(os.Stderr, "diag %d\n", x) // stderr is fine
+	return fmt.Sprintf("%d", x)            // formatting without a sink is fine
+}

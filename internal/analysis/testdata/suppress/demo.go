@@ -1,0 +1,14 @@
+// Package demo exercises the suppression machinery's own diagnostics:
+// a directive without a reason is malformed (line 10), and a directive
+// that suppresses nothing is reported as stale (line 12). The expected
+// findings are asserted by line number in the golden test, because a
+// want-comment cannot share the directive's line without becoming its
+// reason text.
+package demo
+
+func bad() {
+	//lint:ignore determinism
+	_ = 1
+	//lint:ignore maporder nothing here ranges a map
+	_ = 2
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import "go/ast"
+
+// inspectWithStack walks the AST like ast.Inspect but hands the callback
+// the stack of enclosing nodes (outermost first, not including n itself).
+// Traversal always descends; the callback's return value is ignored so the
+// push/pop bookkeeping stays balanced.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFunc returns the body of the innermost function declaration or
+// literal on the stack, or nil when the node is at package level.
+func enclosingFunc(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}

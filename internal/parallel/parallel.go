@@ -24,17 +24,29 @@ import (
 // execution on the calling goroutine.
 type Pool struct {
 	workers int
+	clock   Clock
 	jobs    atomic.Int64
 	busyNS  atomic.Int64
 }
 
 // NewPool returns a pool bounded to n concurrent workers; n <= 0 selects
-// runtime.GOMAXPROCS(0).
+// runtime.GOMAXPROCS(0). Utilization accounting samples the wall clock;
+// use NewPoolClock to inject a synthetic clock.
 func NewPool(n int) *Pool {
+	return NewPoolClock(n, wallClock)
+}
+
+// NewPoolClock is NewPool with an injected time source for the busy-time
+// accounting. The clock is sampled concurrently from every worker, so it
+// must be safe for concurrent use.
+func NewPoolClock(n int, clock Clock) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: n}
+	if clock == nil {
+		clock = wallClock
+	}
+	return &Pool{workers: n, clock: clock}
 }
 
 // Workers returns the pool's worker bound (1 for a nil pool).
@@ -87,10 +99,13 @@ func Map[T, R any](p *Pool, items []T, fn func(i int, item T) (R, error)) ([]R, 
 	}
 	if workers <= 1 {
 		for i, item := range items {
-			start := time.Now()
+			var start time.Time
+			if p != nil {
+				start = p.clock()
+			}
 			r, err := fn(i, item)
 			if p != nil {
-				p.busyNS.Add(int64(time.Since(start)))
+				p.busyNS.Add(int64(p.clock().Sub(start)))
 				p.jobs.Add(1)
 			}
 			if err != nil {
@@ -117,9 +132,9 @@ func Map[T, R any](p *Pool, items []T, fn func(i int, item T) (R, error)) ([]R, 
 				if i >= len(items) || stop.Load() {
 					return
 				}
-				start := time.Now()
+				start := p.clock()
 				r, err := fn(i, items[i])
-				p.busyNS.Add(int64(time.Since(start)))
+				p.busyNS.Add(int64(p.clock().Sub(start)))
 				p.jobs.Add(1)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })

@@ -125,6 +125,60 @@ func TestNilPoolIsServiceable(t *testing.T) {
 	}
 }
 
+// fakeClock is a deterministic, concurrency-safe Clock: every sample
+// advances virtual time by step, so each work item's measured busy span is
+// exactly step (one sample at start, one at end).
+type fakeClock struct {
+	ticks atomic.Int64
+	step  time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	return time.Unix(0, c.ticks.Add(1)*int64(c.step))
+}
+
+func TestInjectedClockMakesStatsExact(t *testing.T) {
+	const items = 16
+	for _, workers := range []int{1, 4} {
+		clk := &fakeClock{step: time.Millisecond}
+		p := NewPoolClock(workers, clk.now)
+		if err := ForEach(p, make([]int, items), func(_, _ int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		st := p.Stats()
+		if st.Jobs != items {
+			t.Errorf("workers=%d: jobs = %d, want %d", workers, st.Jobs, items)
+		}
+		// Each item samples the clock twice, so busy is exactly one step
+		// per item regardless of real scheduling.
+		if want := items * time.Millisecond; st.Busy != want {
+			t.Errorf("workers=%d: busy = %v, want exactly %v", workers, st.Busy, want)
+		}
+	}
+}
+
+func TestInjectedClockUtilization(t *testing.T) {
+	clk := &fakeClock{step: time.Millisecond}
+	p := NewPoolClock(2, clk.now)
+	if err := ForEach(p, make([]int, 10), func(_, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// 10 items x 1ms busy over a 5ms window on 2 workers = fully utilized.
+	if u := p.Utilization(5 * time.Millisecond); u != 1 {
+		t.Errorf("utilization = %g, want exactly 1", u)
+	}
+}
+
+func TestNewPoolClockNilFallsBackToWallClock(t *testing.T) {
+	p := NewPoolClock(2, nil)
+	if err := ForEach(p, make([]int, 4), func(_, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Jobs != 4 {
+		t.Errorf("jobs = %d, want 4", st.Jobs)
+	}
+}
+
 func TestNewPoolDefaultsToGOMAXPROCS(t *testing.T) {
 	if NewPool(0).Workers() < 1 {
 		t.Error("default pool must have at least one worker")

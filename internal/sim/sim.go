@@ -45,6 +45,7 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:ignore floatorder exact tie-break on stored event times; both sides are loaded values, no rounding happens here
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}

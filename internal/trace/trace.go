@@ -130,6 +130,7 @@ func (t *Trace) OverlapFraction() float64 {
 		edges = append(edges, edge{iv.Start, iv.Lane, +1}, edge{iv.End, iv.Lane, -1})
 	}
 	sort.Slice(edges, func(i, j int) bool {
+		//lint:ignore floatorder exact tie-break on stored interval edges; both sides are loaded values, no rounding happens here
 		if edges[i].at != edges[j].at {
 			return edges[i].at < edges[j].at
 		}
