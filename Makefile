@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench results
+.PHONY: build test vet lint race verify bench bench-blas bench-blas-smoke results
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,21 @@ race:
 	$(GO) test -race ./...
 
 # verify is the pre-commit gate: compile, vet, the invariant analyzers,
-# and the race-enabled suite.
-verify: build vet lint race
+# the race-enabled suite and the build-only benchmark smoke.
+verify: build vet lint race bench-blas-smoke
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# bench-blas measures the host GEMM payload engine (blocked vs naive,
+# serial and pooled) and writes GFLOP/s per (routine, size) as JSON.
+bench-blas:
+	$(GO) run ./cmd/cocobench -out results/bench-blas.json
+
+# bench-blas-smoke is the verify-time gate for the benchmark tool: it
+# must keep compiling, but verify should not spend minutes measuring.
+bench-blas-smoke:
+	$(GO) build -o /dev/null ./cmd/cocobench
 
 results: build
 	$(GO) run ./cmd/cocodeploy -out results

@@ -1,0 +1,174 @@
+// Command cocobench measures the host BLAS payload engine (the blocked,
+// packed GEMM of internal/blas) against the naive reference loop and
+// writes GFLOP/s per (routine, size) as JSON, by default under results/.
+//
+// These are real wall-clock measurements of the functional-verification
+// arithmetic, not the simulated-GPU numbers the eval pipeline produces:
+// they answer "how fast does the simulator's own math run", which bounds
+// campaign turnaround time.
+//
+// Examples:
+//
+//	cocobench                              # default sizes, results/bench-blas.json
+//	cocobench -sizes 256,512 -reps 5
+//	cocobench -smoke                       # one tiny size, sanity + CI smoke
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"cocopelia/internal/blas"
+	"cocopelia/internal/parallel"
+)
+
+// entry is one benchmark measurement in the output JSON.
+type entry struct {
+	Routine string  `json:"routine"`
+	Size    int     `json:"size"`
+	Workers int     `json:"workers"`
+	Reps    int     `json:"reps"`
+	Seconds float64 `json:"seconds"` // best-of-reps wall time per call
+	Gflops  float64 `json:"gflops"`
+}
+
+type report struct {
+	Arch    string  `json:"arch"`
+	Maxproc int     `json:"maxprocs"`
+	Entries []entry `json:"entries"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cocobench: ")
+	out := flag.String("out", filepath.Join("results", "bench-blas.json"), "output JSON path")
+	sizesFlag := flag.String("sizes", "256,512,1024,2048", "comma-separated square GEMM sizes")
+	reps := flag.Int("reps", 3, "repetitions per measurement (best is kept)")
+	smoke := flag.Bool("smoke", false, "single tiny size, for CI sanity")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *smoke {
+		sizes = []int{128}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	pool := parallel.NewPool(workers)
+	rep := report{Arch: runtime.GOARCH, Maxproc: workers}
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(7))
+		a := randMat(rng, n)
+		b := randMat(rng, n)
+		c := make([]float64, n*n)
+		a32, b32 := toF32(a), toF32(b)
+		c32 := make([]float32, n*n)
+
+		runs := []struct {
+			routine string
+			workers int
+			call    func() error
+		}{
+			{"dgemm-naive", 1, func() error {
+				return blas.GemmNaive(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+			}},
+			{"dgemm", 1, func() error {
+				return blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+			}},
+			{"dgemm-parallel", workers, func() error {
+				return blas.GemmParallel(pool, blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+			}},
+			{"sgemm", 1, func() error {
+				return blas.Sgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a32, n, b32, n, 0, c32, n)
+			}},
+		}
+		for _, r := range runs {
+			e, err := measure(r.routine, n, r.workers, *reps, r.call)
+			if err != nil {
+				log.Fatalf("%s n=%d: %v", r.routine, n, err)
+			}
+			log.Printf("%-14s n=%-5d workers=%-2d %8.1f ms  %7.2f GFLOP/s",
+				e.Routine, e.Size, e.Workers, e.Seconds*1e3, e.Gflops)
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d entries)", *out, len(rep.Entries))
+}
+
+// measure times call (after one warm-up) and keeps the best of reps.
+func measure(routine string, n, workers, reps int, call func() error) (entry, error) {
+	if err := call(); err != nil {
+		return entry{}, err
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := call(); err != nil {
+			return entry{}, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	sec := best.Seconds()
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	return entry{Routine: routine, Size: n, Workers: workers, Reps: reps,
+		Seconds: sec, Gflops: flops / sec / 1e9}, nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes in %q", s)
+	}
+	return out, nil
+}
+
+func randMat(rng *rand.Rand, n int) []float64 {
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func toF32(x []float64) []float32 {
+	y := make([]float32, len(x))
+	for i, v := range x {
+		y[i] = float32(v)
+	}
+	return y
+}

@@ -14,9 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"math/rand"
 	"os"
 	"strings"
+	"time"
 
+	"cocopelia/internal/blas"
 	"cocopelia/internal/cudart"
 	"cocopelia/internal/device"
 	"cocopelia/internal/eval"
@@ -47,6 +51,7 @@ func main() {
 	lib := flag.String("lib", "cocopelia", "library: cocopelia, noreuse, cublasxt, blasx, unified")
 	tile := flag.Int("T", 0, "tiling size (0 = automatic for cocopelia)")
 	doTrace := flag.Bool("trace", false, "print the engine timeline")
+	doVerify := flag.Bool("verify", false, "cross-check the blocked GEMM payload engine against the naive oracle and report its GFLOP/s")
 	traceFile := flag.String("tracefile", "", "write the timeline as a Chrome/Perfetto trace JSON to this path")
 	seed := flag.Int64("seed", 42, "measurement-noise seed")
 	flag.Parse()
@@ -78,11 +83,13 @@ func main() {
 		p.M, p.K = 0, 0
 	}
 
-	// Automatic tile selection for the CoCoPeLia library.
+	// Automatic tile selection for the CoCoPeLia library. All progress and
+	// phase reporting goes to stderr; stdout carries only the run report.
+	var deployDur time.Duration
 	T := *tile
 	if T == 0 && (*lib == "cocopelia" || *lib == "noreuse") {
-		// Progress goes to stderr; stdout carries only the run report.
 		log.Printf("deploying model on %s...", tb.Name)
+		deployStart := time.Now()
 		dep := microbench.Run(tb, microbench.DefaultConfig())
 		pred := predictor.New(dep)
 		prm := p.Params()
@@ -95,7 +102,8 @@ func main() {
 			log.Fatalf("tile selection: %v", err)
 		}
 		T = sel.T
-		fmt.Printf("selected T=%d (%s model predicts %.4fs)\n", T, kind, sel.Predicted)
+		deployDur = time.Since(deployStart)
+		log.Printf("selected T=%d (%s model predicts %.4fs)", T, kind, sel.Predicted)
 	}
 	if T == 0 && *lib != "blasx" && *lib != "unified" {
 		log.Fatal("this library needs -T")
@@ -109,10 +117,21 @@ func main() {
 	}
 	rt := cudart.New(dev)
 
+	simStart := time.Now()
 	res, err := runOnce(rt, *lib, p, T)
 	if err != nil {
 		log.Fatal(err)
 	}
+	simDur := time.Since(simStart)
+
+	var verifyDur time.Duration
+	if *doVerify {
+		verifyStart := time.Now()
+		verifyPayloadEngine(T)
+		verifyDur = time.Since(verifyStart)
+	}
+	log.Printf("phase timing: deploy %.3fs, simulate %.3fs, verify %.3fs (wall clock)",
+		deployDur.Seconds(), simDur.Seconds(), verifyDur.Seconds())
 	fmt.Printf("\n%s %s on %s\n", *lib, p.Name(), tb.Name)
 	fmt.Printf("  time       %.6f s (virtual)\n", res.Seconds)
 	if *routine != "daxpy" {
@@ -141,6 +160,43 @@ func main() {
 		}
 		log.Printf("wrote Chrome/Perfetto trace to %s", *traceFile)
 	}
+}
+
+// verifyPayloadEngine cross-checks the blocked GEMM payload engine (the
+// arithmetic behind every backed sub-kernel) against the naive oracle at
+// one tile-sized problem, requiring bitwise equality, and logs the
+// engine's wall-clock GFLOP/s to stderr.
+func verifyPayloadEngine(tile int) {
+	n := 1024
+	if tile > 0 && tile < n {
+		n = tile
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n*n)
+	if err := blas.GemmNaive(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, want, n); err != nil {
+		log.Fatalf("verify: oracle: %v", err)
+	}
+	got := make([]float64, n*n)
+	start := time.Now()
+	if err := blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, got, n); err != nil {
+		log.Fatalf("verify: payload engine: %v", err)
+	}
+	elapsed := time.Since(start)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			log.Fatalf("verify: payload engine differs from oracle at element %d: %v != %v",
+				i, got[i], want[i])
+		}
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	log.Printf("verify: payload engine bitwise-matches oracle at n=%d (%.2f GFLOP/s)",
+		n, flops/elapsed.Seconds()/1e9)
 }
 
 func parseLocs(s, routine string) ([]model.Loc, error) {

@@ -258,17 +258,34 @@ func Gemv[F Float](trans byte, m, n int, alpha F, a []F, lda int, x []F, incx in
 	if err := checkVector("y", rows, incy, y); err != nil {
 		return err
 	}
+	// The transpose branch is hoisted out of the loops so each inner loop
+	// is direct slice indexing (a per-element accessor closure would defeat
+	// bounds-check elimination and inlining).
+	if trans == Trans {
+		for i := 0; i < rows; i++ {
+			yi := vecIdx(i, rows, incy)
+			// op(A) row i is stored column i of A: unit stride.
+			arow := a[i*lda : i*lda+cols]
+			var acc F
+			if incx == 1 {
+				for j, av := range arow {
+					acc += av * x[j]
+				}
+			} else {
+				for j, av := range arow {
+					acc += av * x[vecIdx(j, cols, incx)]
+				}
+			}
+			y[yi] = alpha*acc + beta*y[yi]
+		}
+		return nil
+	}
 	for i := 0; i < rows; i++ {
 		yi := vecIdx(i, rows, incy)
+		arow := a[i:]
 		var acc F
 		for j := 0; j < cols; j++ {
-			var aij F
-			if trans == Trans {
-				aij = a[j+i*lda]
-			} else {
-				aij = a[i+j*lda]
-			}
-			acc += aij * x[vecIdx(j, cols, incx)]
+			acc += arow[j*lda] * x[vecIdx(j, cols, incx)]
 		}
 		y[yi] = alpha*acc + beta*y[yi]
 	}
@@ -286,96 +303,20 @@ func Ger[F Float](m, n int, alpha F, x []F, incx int, y []F, incy int, a []F, ld
 	if err := checkVector("y", n, incy, y); err != nil {
 		return err
 	}
+	if alpha == 0 || m == 0 || n == 0 {
+		return nil
+	}
 	for j := 0; j < n; j++ {
 		yj := alpha * y[vecIdx(j, n, incy)]
-		col := a[j*lda:]
+		col := a[j*lda : j*lda+m]
+		if incx == 1 {
+			for i, xv := range x[:m] {
+				col[i] += xv * yj
+			}
+			continue
+		}
 		for i := 0; i < m; i++ {
 			col[i] += x[vecIdx(i, m, incx)] * yj
-		}
-	}
-	return nil
-}
-
-// Gemm computes C = alpha*op(A)*op(B) + beta*C where op(A) is m x k,
-// op(B) is k x n and C is m x n, all column-major.
-func Gemm[F Float](transA, transB byte, m, n, k int, alpha F, a []F, lda int, b []F, ldb int, beta F, c []F, ldc int) error {
-	if err := checkTrans("gemm(A)", transA); err != nil {
-		return err
-	}
-	if err := checkTrans("gemm(B)", transB); err != nil {
-		return err
-	}
-	if m < 0 || n < 0 || k < 0 {
-		return badShape("gemm: negative dimensions m=%d n=%d k=%d", m, n, k)
-	}
-	// Stored shapes depend on the transpose flags.
-	aRows, aCols := m, k
-	if transA == Trans {
-		aRows, aCols = k, m
-	}
-	bRows, bCols := k, n
-	if transB == Trans {
-		bRows, bCols = n, k
-	}
-	if err := checkMatrix("A", aRows, aCols, lda, a); err != nil {
-		return err
-	}
-	if err := checkMatrix("B", bRows, bCols, ldb, b); err != nil {
-		return err
-	}
-	if err := checkMatrix("C", m, n, ldc, c); err != nil {
-		return err
-	}
-	if m == 0 || n == 0 {
-		return nil
-	}
-	// Scale C by beta first; then accumulate the product.
-	for j := 0; j < n; j++ {
-		col := c[j*ldc : j*ldc+m]
-		if beta == 0 {
-			for i := range col {
-				col[i] = 0
-			}
-		} else if beta != 1 {
-			for i := range col {
-				col[i] *= beta
-			}
-		}
-	}
-	if alpha == 0 || k == 0 {
-		return nil
-	}
-	at := func(i, l int) F {
-		if transA == Trans {
-			return a[l+i*lda]
-		}
-		return a[i+l*lda]
-	}
-	bt := func(l, j int) F {
-		if transB == Trans {
-			return b[j+l*ldb]
-		}
-		return b[l+j*ldb]
-	}
-	// Loop order j-l-i keeps the inner loop streaming down a C column for
-	// the common NoTrans-A case.
-	for j := 0; j < n; j++ {
-		cCol := c[j*ldc : j*ldc+m]
-		for l := 0; l < k; l++ {
-			blj := alpha * bt(l, j)
-			if blj == 0 {
-				continue
-			}
-			if transA == NoTrans {
-				aCol := a[l*lda : l*lda+m]
-				for i := 0; i < m; i++ {
-					cCol[i] += aCol[i] * blj
-				}
-			} else {
-				for i := 0; i < m; i++ {
-					cCol[i] += at(i, l) * blj
-				}
-			}
 		}
 	}
 	return nil
@@ -435,26 +376,75 @@ func Symm[F Float](side, uplo byte, m, n int, alpha F, a []F, lda int, b []F, ld
 	if err := checkMatrix("C", m, n, ldc, c); err != nil {
 		return err
 	}
-	// at reads the full symmetric A from its referenced triangle.
-	at := func(i, j int) F {
-		if (uplo == Upper && i > j) || (uplo == Lower && i < j) {
-			i, j = j, i
-		}
-		return a[i+j*lda]
+	if m == 0 || n == 0 {
+		return nil
 	}
+	// Beta pass over whole C columns first (as in Gemm), so the alpha == 0
+	// fast path and the accumulation loops below never rescale C.
 	for j := 0; j < n; j++ {
-		for i := 0; i < m; i++ {
-			var s F
-			if side == Left {
-				for l := 0; l < m; l++ {
-					s += at(i, l) * b[l+j*ldb]
-				}
-			} else {
-				for l := 0; l < n; l++ {
-					s += b[i+l*ldb] * at(l, j)
+		col := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range col {
+				col[i] = 0
+			}
+		} else if beta != 1 {
+			for i := range col {
+				col[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 {
+		return nil
+	}
+	if side == Left {
+		// C[:, j] += sum_l A[:, l] * (alpha*B[l, j]): column-sliced axpy
+		// accumulation, mirroring the Gemm idiom. Symmetric column l is
+		// read from the referenced triangle in two parts — a unit-stride
+		// stored column segment and the mirrored row at stride lda.
+		for j := 0; j < n; j++ {
+			cCol := c[j*ldc : j*ldc+m]
+			bCol := b[j*ldb : j*ldb+m]
+			for l := 0; l < m; l++ {
+				blj := alpha * bCol[l]
+				arow := a[l:]
+				if uplo == Upper {
+					// A[0..l, l] is stored column l; A[l+1.., l] mirrors
+					// stored row l.
+					aCol := a[l*lda : l*lda+l+1]
+					for i, av := range aCol {
+						cCol[i] += av * blj
+					}
+					for i := l + 1; i < m; i++ {
+						cCol[i] += arow[i*lda] * blj
+					}
+				} else {
+					// A[0..l-1, l] mirrors stored row l; A[l.., l] is
+					// stored column l.
+					for i := 0; i < l; i++ {
+						cCol[i] += arow[i*lda] * blj
+					}
+					aCol := a[l+l*lda : l*lda+m]
+					for o, av := range aCol {
+						cCol[l+o] += av * blj
+					}
 				}
 			}
-			c[i+j*ldc] = alpha*s + beta*c[i+j*ldc]
+		}
+		return nil
+	}
+	// Side == Right: C[:, j] += sum_l B[:, l] * (alpha*A[l, j]).
+	for j := 0; j < n; j++ {
+		cCol := c[j*ldc : j*ldc+m]
+		for l := 0; l < n; l++ {
+			i, jj := l, j
+			if (uplo == Upper && i > jj) || (uplo == Lower && i < jj) {
+				i, jj = jj, i
+			}
+			alj := alpha * a[i+jj*lda]
+			bCol := b[l*ldb : l*ldb+m]
+			for ii, bv := range bCol {
+				cCol[ii] += bv * alj
+			}
 		}
 	}
 	return nil

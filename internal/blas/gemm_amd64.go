@@ -1,0 +1,39 @@
+//go:build amd64
+
+package blas
+
+// Native micro-kernel plumbing for amd64: init installs the AVX float64
+// kernel (gemm_amd64.s) into the engine's dispatch hook when the CPU and
+// OS support 256-bit vector state. Every other configuration — other
+// architectures, pre-AVX CPUs, non-float64 element types, edge tiles —
+// runs the portable Go micro-kernels, which produce the same bits.
+
+//go:noescape
+func dgemmKernel4x4AVX(kc int, a, b, c *float64, ldc int)
+
+func cpuidAsm(op, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbvAsm() (eax, edx uint32)
+
+// hasAVX reports CPU AVX support with OS-enabled YMM state (OSXSAVE set
+// and XCR0 covering the XMM|YMM bits).
+func hasAVX() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuidAsm(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbvAsm()
+	return xcr0&0x6 == 0x6
+}
+
+func init() {
+	if hasAVX() {
+		dgemmKernel4x4 = dgemmKernel4x4AVX
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"cocopelia/internal/device"
 	"cocopelia/internal/kernelmodel"
 	"cocopelia/internal/machine"
+	"cocopelia/internal/parallel"
 	"cocopelia/internal/sim"
 )
 
@@ -63,10 +64,17 @@ type Runtime struct {
 	dev         *device.Device
 	outstanding int
 	streams     int
+	payloadPool *parallel.Pool
 }
 
 // New creates a runtime bound to a device.
 func New(dev *device.Device) *Runtime { return &Runtime{dev: dev} }
+
+// SetPayloadPool installs a worker pool for the functional GEMM payloads
+// of backed buffers. The blocked engine is bitwise deterministic across
+// worker counts, so the pool changes only wall-clock time, never results.
+// A nil pool (the default) runs payloads inline.
+func (rt *Runtime) SetPayloadPool(p *parallel.Pool) { rt.payloadPool = p }
 
 // Device returns the underlying simulated device.
 func (rt *Runtime) Device() *device.Device { return rt.dev }
@@ -429,10 +437,10 @@ func (s *Stream) GemmAsync(transA, transB byte, m, n, k int,
 		payload = func() {
 			var err error
 			if dt == kernelmodel.F64 {
-				err = blas.Dgemm(transA, transB, m, n, k, alpha,
+				err = blas.GemmParallel(s.rt.payloadPool, transA, transB, m, n, k, alpha,
 					a.f64[offA:], lda, b.f64[offB:], ldb, beta, c.f64[offC:], ldc)
 			} else {
-				err = blas.Sgemm(transA, transB, m, n, k, float32(alpha),
+				err = blas.GemmParallel(s.rt.payloadPool, transA, transB, m, n, k, float32(alpha),
 					a.f32[offA:], lda, b.f32[offB:], ldb, float32(beta), c.f32[offC:], ldc)
 			}
 			if err != nil {

@@ -9,6 +9,7 @@ import (
 	"cocopelia/internal/device"
 	"cocopelia/internal/kernelmodel"
 	"cocopelia/internal/machine"
+	"cocopelia/internal/parallel"
 	"cocopelia/internal/sim"
 )
 
@@ -205,6 +206,51 @@ func TestGemmAsyncFunctional(t *testing.T) {
 	for i := range ref {
 		if math.Abs(hostC[i]-ref[i]) > 1e-12 {
 			t.Fatalf("gemm async mismatch at %d: %g vs %g", i, hostC[i], ref[i])
+		}
+	}
+}
+
+// TestGemmAsyncPayloadPoolBitwise runs the same GEMM payload serially and
+// through a worker pool installed with SetPayloadPool: the blocked engine
+// guarantees bitwise identical results at any worker count.
+func TestGemmAsyncPayloadPoolBitwise(t *testing.T) {
+	m, n, k := 130, 70, 65
+	rng := rand.New(rand.NewSource(41))
+	hostA := make([]float64, m*k)
+	hostB := make([]float64, k*n)
+	for i := range hostA {
+		hostA[i] = rng.NormFloat64()
+	}
+	for i := range hostB {
+		hostB[i] = rng.NormFloat64()
+	}
+	run := func(pool *parallel.Pool) []float64 {
+		rt := newRT()
+		rt.SetPayloadPool(pool)
+		s := rt.NewStream()
+		dA, _ := rt.Malloc(kernelmodel.F64, int64(m*k), true)
+		dB, _ := rt.Malloc(kernelmodel.F64, int64(k*n), true)
+		dC, _ := rt.Malloc(kernelmodel.F64, int64(m*n), true)
+		_, _ = s.MemcpyH2DAsync(dA, 0, hostA, nil, int64(m*k))
+		_, _ = s.MemcpyH2DAsync(dB, 0, hostB, nil, int64(k*n))
+		if _, err := s.GemmAsync(blas.NoTrans, blas.NoTrans, m, n, k, 1.25, dA, 0, m, dB, 0, k, 0, dC, 0, m); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, m*n)
+		_, _ = s.MemcpyD2HAsync(out, nil, dC, 0, int64(m*n))
+		if _, err := rt.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(nil)
+	for _, w := range []int{2, 8} {
+		pooled := run(parallel.NewPool(w))
+		for i := range serial {
+			if math.Float64bits(serial[i]) != math.Float64bits(pooled[i]) {
+				t.Fatalf("workers=%d: payload differs from serial at %d: %v != %v",
+					w, i, pooled[i], serial[i])
+			}
 		}
 	}
 }
