@@ -1,17 +1,21 @@
-// Command cocobench measures the host BLAS payload engine (the blocked,
-// packed GEMM of internal/blas) against the naive reference loop and
-// writes GFLOP/s per (routine, size) as JSON, by default under results/.
+// Command cocobench measures the two wall-clock throughput surfaces of the
+// simulator itself (not the simulated-GPU numbers the eval pipeline
+// produces):
 //
-// These are real wall-clock measurements of the functional-verification
-// arithmetic, not the simulated-GPU numbers the eval pipeline produces:
-// they answer "how fast does the simulator's own math run", which bounds
-// campaign turnaround time.
+//   - the host BLAS payload engine (the blocked, packed GEMM of
+//     internal/blas) against the naive reference loop, as GFLOP/s per
+//     (routine, size) — this bounds functional-verification turnaround;
+//   - with -campaign, the discrete-event campaign pipeline itself, as
+//     cells/sec and events/sec over a timing-only measurement sweep —
+//     this bounds how fast tables and figures regenerate.
 //
 // Examples:
 //
 //	cocobench                              # default sizes, results/bench-blas.json
 //	cocobench -sizes 256,512 -reps 5
 //	cocobench -smoke                       # one tiny size, sanity + CI smoke
+//	cocobench -campaign                    # DES sweep, results/bench-campaign.json
+//	cocobench -campaign -cpuprofile results/campaign.pprof
 package main
 
 import (
@@ -23,11 +27,16 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"cocopelia/internal/blas"
+	"cocopelia/internal/eval"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/machine"
+	"cocopelia/internal/model"
 	"cocopelia/internal/parallel"
 )
 
@@ -50,11 +59,37 @@ type report struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cocobench: ")
-	out := flag.String("out", filepath.Join("results", "bench-blas.json"), "output JSON path")
+	out := flag.String("out", "", "output JSON path (default per mode under results/)")
 	sizesFlag := flag.String("sizes", "256,512,1024,2048", "comma-separated square GEMM sizes")
 	reps := flag.Int("reps", 3, "repetitions per measurement (best is kept)")
-	smoke := flag.Bool("smoke", false, "single tiny size, for CI sanity")
+	smoke := flag.Bool("smoke", false, "tiny work-list, for CI sanity")
+	campaign := flag.Bool("campaign", false, "benchmark the DES campaign pipeline (cells/sec) instead of the BLAS payload engine")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured section to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *campaign {
+		if *out == "" {
+			*out = filepath.Join("results", "bench-campaign.json")
+		}
+		if err := runCampaign(*out, *smoke); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		*out = filepath.Join("results", "bench-blas.json")
+	}
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
@@ -115,6 +150,125 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s (%d entries)", *out, len(rep.Entries))
+}
+
+// campaignReport is the JSON schema of results/bench-campaign.json: the
+// single-worker throughput of the discrete-event campaign pipeline on a
+// timing-only sweep, in measurement cells per second and simulation events
+// per second.
+type campaignReport struct {
+	Testbed      string  `json:"testbed"`
+	Workers      int     `json:"workers"`
+	Reps         int     `json:"reps"`
+	Cells        int     `json:"cells"`
+	Events       int64   `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	CellsPerSec  float64 `json:"cells_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// campaignCells builds the benchmark's timing-only work-list: a tile-size
+// sweep of every level-3 library over square dgemm problems across the
+// host/device location combinations, plus a CoCoPeLia daxpy sweep — the
+// same cell shapes the Fig. 4-7 campaigns are made of, scaled to run in
+// seconds rather than minutes.
+func campaignCells(smoke bool) []eval.MeasureCell {
+	sizes := []int{2048, 4096, 8192}
+	tiles := map[int][]int{
+		2048: {256, 512, 1024},
+		4096: {256, 512, 1024, 2048},
+		8192: {256, 512, 1024, 2048},
+	}
+	if smoke {
+		sizes = []int{512}
+		tiles = map[int][]int{512: {128, 256}}
+	}
+	combos := [][]model.Loc{
+		{model.OnHost, model.OnHost, model.OnHost},
+		{model.OnDevice, model.OnHost, model.OnHost},
+		{model.OnDevice, model.OnDevice, model.OnHost},
+	}
+	libs := []eval.Lib{eval.LibCoCoPeLia, eval.LibNoReuse, eval.LibCuBLASXt}
+	if smoke {
+		libs = []eval.Lib{eval.LibCoCoPeLia}
+	}
+	var cells []eval.MeasureCell
+	for _, s := range sizes {
+		for _, locs := range combos {
+			p := eval.Problem{
+				Routine: "dgemm", Dtype: kernelmodel.F64, M: s, N: s, K: s,
+				Locs: append([]model.Loc(nil), locs...), Tag: "square",
+			}
+			for _, lib := range libs {
+				for _, T := range tiles[s] {
+					cells = append(cells, eval.MeasureCell{Lib: lib, P: p, T: T})
+				}
+			}
+			if !smoke {
+				cells = append(cells, eval.MeasureCell{Lib: eval.LibBLASX, P: p, T: 0})
+			}
+		}
+	}
+	if !smoke {
+		for _, locs := range model.LocCombos(2) {
+			p := eval.Problem{
+				Routine: "daxpy", Dtype: kernelmodel.F64, N: 32 << 20,
+				Locs: append([]model.Loc(nil), locs...), Tag: "vector",
+			}
+			for _, T := range []int{1 << 20, 4 << 20} {
+				cells = append(cells, eval.MeasureCell{Lib: eval.LibCoCoPeLia, P: p, T: T})
+			}
+		}
+	}
+	return cells
+}
+
+// runCampaign measures the single-worker throughput of the DES campaign
+// pipeline on a cold runner and writes the report JSON.
+func runCampaign(out string, smoke bool) error {
+	tb := machine.TestbedI()
+	cells := campaignCells(smoke)
+	r := eval.NewRunner(tb)
+
+	start := time.Now()
+	if err := r.MeasureBatch(nil, cells); err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+
+	events := r.EventsProcessed()
+	rep := campaignReport{
+		Testbed:      tb.Name,
+		Workers:      1,
+		Reps:         r.Reps,
+		Cells:        len(cells),
+		Events:       events,
+		WallSeconds:  wall,
+		CellsPerSec:  float64(len(cells)) / wall,
+		EventsPerSec: float64(events) / wall,
+	}
+	log.Printf("campaign: %d cells, %d events in %.2fs  (%.1f cells/s, %.3g events/s)",
+		rep.Cells, rep.Events, rep.WallSeconds, rep.CellsPerSec, rep.EventsPerSec)
+	if err := writeJSON(out, &rep); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", out)
+	return nil
+}
+
+// writeJSON marshals v indented and writes it to path, creating the
+// directory when needed.
+func writeJSON(path string, v any) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "/" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // measure times call (after one warm-up) and keeps the best of reps.

@@ -17,6 +17,14 @@
 // Every operation optionally carries a functional payload that performs the
 // real arithmetic/data movement on backed buffers, so schedulers are
 // verified numerically and timed by the same code path.
+//
+// The launch path is allocation-free in steady state: per-launch op objects
+// and their completion events come from runtime-owned free lists, operand
+// descriptions live in fields of the op (dispatched by kind) instead of
+// per-call closures, and the dependency-edge slices reuse their backing
+// arrays. Ops recycle as soon as their hardware work completes; events
+// recycle at the next successful Sync, which is also when every stream's
+// tail is reset to the shared pre-completed event.
 package cudart
 
 import (
@@ -33,23 +41,70 @@ import (
 
 // Event is a completion marker, as in CUDA. The zero value is not useful;
 // events come from Stream.Record or are pre-completed via DoneEvent.
+//
+// Lifetime: an *Event returned by this package is valid until the
+// Runtime.Sync call that drains it returns successfully; at that point the
+// runtime recycles the object for later launches and holders must drop
+// their references (every scheduler in this repository consumes its events
+// within one enqueue+Sync cycle).
 type Event struct {
 	done    bool
 	waiters []*op
 }
 
+// doneEvent is the shared pre-completed event. It is immutable in effect:
+// fire is a no-op on a done event and addWaiter never appends to one.
+var doneEvent = &Event{done: true}
+
 // DoneEvent returns an already-completed event.
-func DoneEvent() *Event { return &Event{done: true} }
+func DoneEvent() *Event { return doneEvent }
 
 // Done reports whether the event has completed.
 func (e *Event) Done() bool { return e.done }
 
-// op is one scheduled stream operation.
+// opKind selects what an op does when its dependencies are satisfied. The
+// operands live in fields of the op itself, so enqueueing an operation
+// allocates no per-call closures.
+type opKind uint8
+
+const (
+	opCallback opKind = iota // host function, zero duration
+	opKernel                 // compute-engine kernel
+	opH2D                    // 1-D host-to-device copy
+	opD2H                    // 1-D device-to-host copy
+	opSet2D                  // 2-D host-to-device submatrix copy
+	opGet2D                  // 2-D device-to-host submatrix copy
+)
+
+// op is one scheduled stream operation. Ops are recycled through the
+// runtime free list the moment their hardware work completes.
 type op struct {
 	rt       *Runtime
 	deps     int
-	submit   func(done func())
+	kind     opKind
 	complete *Event
+
+	// depFn and hwDone are method values created once per op object; they
+	// survive free-list recycling, so the steady-state launch path pays no
+	// closure allocations.
+	depFn  func()
+	hwDone func()
+
+	// kernel and callback operands.
+	name     string
+	duration float64
+	payload  func()
+
+	// transfer operands.
+	dir        machine.LinkDir
+	bytes      int64
+	buf        *DevBuffer
+	hostF64    []float64
+	hostF32    []float32
+	off        int64
+	elems      int64
+	rows, cols int
+	ldh, ldd   int
 }
 
 func (o *op) depSatisfied() {
@@ -59,16 +114,176 @@ func (o *op) depSatisfied() {
 	}
 }
 
+// hwComplete is the hardware-completion callback: it performs the data
+// movement of transfer ops (kernel payloads run inside the device model)
+// and then finishes the op.
+func (o *op) hwComplete() {
+	switch o.kind {
+	case opH2D, opD2H, opSet2D, opGet2D:
+		o.runCopy()
+	}
+	o.finish()
+}
+
+// finish retires a completed op: it is recycled before its completion event
+// fires, so waiters launched by the event can reuse the object immediately.
+func (o *op) finish() {
+	rt := o.rt
+	rt.outstanding--
+	ev := o.complete
+	rt.recycleOp(o)
+	fire(ev)
+}
+
+// runCopy performs the functional data movement of a transfer op on backed
+// buffers. Timing-only transfers (accounting-only buffer or no host slice)
+// return before the column loop: there is nothing to move, and paper-scale
+// sweeps issue millions of such transfers.
+func (o *op) runCopy() {
+	b := o.buf
+	if (b.f64 == nil && b.f32 == nil) || (o.hostF64 == nil && o.hostF32 == nil) {
+		return
+	}
+	switch o.kind {
+	case opH2D:
+		switch {
+		case b.f64 != nil && o.hostF64 != nil:
+			copy(b.f64[o.off:o.off+o.elems], o.hostF64[:o.elems])
+		case b.f32 != nil && o.hostF32 != nil:
+			copy(b.f32[o.off:o.off+o.elems], o.hostF32[:o.elems])
+		}
+	case opD2H:
+		switch {
+		case b.f64 != nil && o.hostF64 != nil:
+			copy(o.hostF64[:o.elems], b.f64[o.off:o.off+o.elems])
+		case b.f32 != nil && o.hostF32 != nil:
+			copy(o.hostF32[:o.elems], b.f32[o.off:o.off+o.elems])
+		}
+	case opSet2D:
+		for j := 0; j < o.cols; j++ {
+			d := o.off + int64(j)*int64(o.ldd)
+			h := j * o.ldh
+			switch {
+			case b.f64 != nil && o.hostF64 != nil:
+				copy(b.f64[d:d+int64(o.rows)], o.hostF64[h:h+o.rows])
+			case b.f32 != nil && o.hostF32 != nil:
+				copy(b.f32[d:d+int64(o.rows)], o.hostF32[h:h+o.rows])
+			}
+		}
+	case opGet2D:
+		for j := 0; j < o.cols; j++ {
+			d := o.off + int64(j)*int64(o.ldd)
+			h := j * o.ldh
+			switch {
+			case b.f64 != nil && o.hostF64 != nil:
+				copy(o.hostF64[h:h+o.rows], b.f64[d:d+int64(o.rows)])
+			case b.f32 != nil && o.hostF32 != nil:
+				copy(o.hostF32[h:h+o.rows], b.f32[d:d+int64(o.rows)])
+			}
+		}
+	}
+}
+
 // Runtime owns the streams and buffers of one simulated process.
 type Runtime struct {
 	dev         *device.Device
 	outstanding int
 	streams     int
+	streamList  []*Stream
 	payloadPool *parallel.Pool
+
+	// opFree recycles op objects the moment their hardware work completes;
+	// evFree recycles completion events at Sync, with evLive tracking the
+	// events handed out since the last Sync.
+	opFree []*op
+	evFree []*Event
+	evLive []*Event
+
+	// kernelTimes memoizes the pure kernel-model duration lookups: a tiled
+	// sweep launches thousands of identically-shaped kernels, and the
+	// model's exp/log/cbrt evaluation dominates an otherwise trivial path.
+	kernelTimes map[kernelTimeKey]float64
+}
+
+// kernelTimeKey identifies one kernel-model evaluation. The routine is
+// encoded in which dims are used (gemm: m,n,k; gemv: m,n with k = -1;
+// axpy: n with m = k = -1), so the three routines never collide.
+type kernelTimeKey struct {
+	dt      kernelmodel.Dtype
+	m, n, k int
+}
+
+// store records a freshly computed duration.
+func (rt *Runtime) storeKernelTime(key kernelTimeKey, dur float64) {
+	if rt.kernelTimes == nil {
+		rt.kernelTimes = make(map[kernelTimeKey]float64)
+	}
+	rt.kernelTimes[key] = dur
+}
+
+// gemmTime returns the memoized gemm kernel duration for the shape.
+func (rt *Runtime) gemmTime(dt kernelmodel.Dtype, m, n, k int) float64 {
+	key := kernelTimeKey{dt: dt, m: m, n: n, k: k}
+	if dur, ok := rt.kernelTimes[key]; ok {
+		return dur
+	}
+	dur := kernelmodel.GemmTime(&rt.dev.Testbed().GPU, dt, m, n, k)
+	rt.storeKernelTime(key, dur)
+	return dur
+}
+
+// gemvTime returns the memoized gemv kernel duration for the shape.
+func (rt *Runtime) gemvTime(dt kernelmodel.Dtype, m, n int) float64 {
+	key := kernelTimeKey{dt: dt, m: m, n: n, k: -1}
+	if dur, ok := rt.kernelTimes[key]; ok {
+		return dur
+	}
+	dur := kernelmodel.GemvTime(&rt.dev.Testbed().GPU, dt, m, n)
+	rt.storeKernelTime(key, dur)
+	return dur
+}
+
+// axpyTime returns the memoized axpy kernel duration for the length.
+func (rt *Runtime) axpyTime(dt kernelmodel.Dtype, n int) float64 {
+	key := kernelTimeKey{dt: dt, m: -1, n: n, k: -1}
+	if dur, ok := rt.kernelTimes[key]; ok {
+		return dur
+	}
+	dur := kernelmodel.AxpyTime(&rt.dev.Testbed().GPU, dt, n)
+	rt.storeKernelTime(key, dur)
+	return dur
 }
 
 // New creates a runtime bound to a device.
 func New(dev *device.Device) *Runtime { return &Runtime{dev: dev} }
+
+// Reset rebinds the runtime to a fresh device while keeping its warmed
+// object pools: the op and event free lists, and — when the new device runs
+// the same testbed — the memoized kernel durations. Streams of the previous
+// run are dropped. Operations still pending (after a failed Sync) are
+// abandoned exactly as discarding the runtime would abandon them, with
+// their live events recycled. After Reset the runtime behaves identically
+// to New(dev); only allocation behaviour differs.
+func (rt *Runtime) Reset(dev *device.Device) {
+	if rt.dev == nil || dev == nil || rt.dev.Testbed() != dev.Testbed() {
+		rt.kernelTimes = nil
+	}
+	rt.dev = dev
+	rt.outstanding = 0
+	rt.streams = 0
+	rt.payloadPool = nil
+	for i := range rt.streamList {
+		rt.streamList[i] = nil
+	}
+	rt.streamList = rt.streamList[:0]
+	for i, e := range rt.evLive {
+		rt.evLive[i] = nil
+		e.done = false
+		e.waiters = e.waiters[:0]
+		rt.evFree = append(rt.evFree, e)
+	}
+	rt.evLive = rt.evLive[:0]
+}
 
 // SetPayloadPool installs a worker pool for the functional GEMM payloads
 // of backed buffers. The blocked engine is bitwise deterministic across
@@ -85,22 +300,75 @@ func (rt *Runtime) Engine() *sim.Engine { return rt.dev.Engine() }
 // Now returns the current virtual time.
 func (rt *Runtime) Now() sim.Time { return rt.dev.Engine().Now() }
 
-// launch hands a ready op to the hardware.
-func (rt *Runtime) launch(o *op) {
-	o.submit(func() {
-		rt.outstanding--
-		fire(o.complete)
-	})
+// allocOp returns a recycled (or fresh) op of the given kind with a live
+// completion event attached.
+func (rt *Runtime) allocOp(kind opKind) *op {
+	var o *op
+	if n := len(rt.opFree); n > 0 {
+		o = rt.opFree[n-1]
+		rt.opFree[n-1] = nil
+		rt.opFree = rt.opFree[:n-1]
+	} else {
+		o = &op{rt: rt}
+		o.depFn = o.depSatisfied
+		o.hwDone = o.hwComplete
+	}
+	o.kind = kind
+	o.complete = rt.allocEvent()
+	return o
 }
 
-// fire completes an event and releases its waiters.
+// recycleOp clears an op's references and parks it on the free list.
+func (rt *Runtime) recycleOp(o *op) {
+	o.complete = nil
+	o.name = ""
+	o.payload = nil
+	o.buf = nil
+	o.hostF64, o.hostF32 = nil, nil
+	rt.opFree = append(rt.opFree, o)
+}
+
+// allocEvent returns a recycled (or fresh) incomplete event, tracked for
+// recycling at the next successful Sync.
+func (rt *Runtime) allocEvent() *Event {
+	var e *Event
+	if n := len(rt.evFree); n > 0 {
+		e = rt.evFree[n-1]
+		rt.evFree[n-1] = nil
+		rt.evFree = rt.evFree[:n-1]
+		e.done = false
+	} else {
+		e = &Event{}
+	}
+	rt.evLive = append(rt.evLive, e)
+	return e
+}
+
+// launch hands a ready op to the hardware.
+func (rt *Runtime) launch(o *op) {
+	switch o.kind {
+	case opCallback:
+		if o.payload != nil {
+			o.payload()
+		}
+		o.finish()
+	case opKernel:
+		rt.dev.LaunchKernel(o.name, o.duration, o.payload, o.hwDone)
+	default:
+		rt.dev.Link().Submit(o.dir, o.bytes, o.hwDone)
+	}
+}
+
+// fire completes an event and releases its waiters. The waiters backing
+// array is kept for reuse: no appends can race the drain because a done
+// event never accepts new waiters.
 func fire(e *Event) {
 	if e.done {
 		return
 	}
 	e.done = true
 	ws := e.waiters
-	e.waiters = nil
+	e.waiters = e.waiters[:0]
 	for _, w := range ws {
 		w.depSatisfied()
 	}
@@ -124,10 +392,13 @@ type Stream struct {
 	waits []*Event
 }
 
-// NewStream creates a stream.
+// NewStream creates a stream. The runtime tracks it so Sync can reset its
+// tail when the completed batch's events are recycled.
 func (rt *Runtime) NewStream() *Stream {
 	rt.streams++
-	return &Stream{rt: rt, id: rt.streams, tail: DoneEvent()}
+	s := &Stream{rt: rt, id: rt.streams, tail: doneEvent}
+	rt.streamList = append(rt.streamList, s)
+	return s
 }
 
 // ID returns a small integer identifying the stream (useful in traces).
@@ -145,11 +416,8 @@ func (s *Stream) WaitEvent(ev *Event) {
 // far has completed.
 func (s *Stream) Record() *Event { return s.tail }
 
-// enqueue appends an operation to the stream. submit is invoked when all
-// dependencies are satisfied and must call its argument exactly once, when
-// the hardware operation completes.
-func (s *Stream) enqueue(submit func(done func())) *Event {
-	o := &op{rt: s.rt, submit: submit, complete: &Event{}}
+// enqueue appends a filled op to the stream, wiring its dependency edges.
+func (s *Stream) enqueue(o *op) *Event {
 	s.rt.outstanding++
 	deps := 0
 	if addWaiter(s.tail, o) {
@@ -160,13 +428,13 @@ func (s *Stream) enqueue(submit func(done func())) *Event {
 			deps++
 		}
 	}
-	s.waits = nil
+	s.waits = s.waits[:0]
 	s.tail = o.complete
 	if deps == 0 {
 		o.deps = 1
 		// Defer through the engine so submission order among independent
 		// ops is preserved and callers never re-enter the hardware model.
-		s.rt.Engine().After(0, o.depSatisfied)
+		s.rt.Engine().After(0, o.depFn)
 	} else {
 		o.deps = deps
 	}
@@ -176,22 +444,33 @@ func (s *Stream) enqueue(submit func(done func())) *Event {
 // Callback enqueues a zero-duration host function that runs in stream
 // order (like cudaLaunchHostFunc).
 func (s *Stream) Callback(fn func()) *Event {
-	return s.enqueue(func(done func()) {
-		if fn != nil {
-			fn()
-		}
-		done()
-	})
+	o := s.rt.allocOp(opCallback)
+	o.payload = fn
+	return s.enqueue(o)
 }
 
 // Sync runs the simulation until every submitted operation has completed.
 // It returns the virtual time, or an error if operations remain blocked on
 // dependencies that can never fire (a scheduling bug: a dependency cycle or
 // an event that is never recorded).
+//
+// On success the completed batch's events are recycled and every stream's
+// tail resets to the pre-completed event, so event handles returned before
+// this call must not be used afterwards.
 func (rt *Runtime) Sync() (sim.Time, error) {
 	end := rt.Engine().Run()
 	if rt.outstanding != 0 {
 		return end, fmt.Errorf("cudart: deadlock: %d operations still blocked after drain", rt.outstanding)
+	}
+	for i, e := range rt.evLive {
+		rt.evLive[i] = nil
+		e.waiters = e.waiters[:0]
+		rt.evFree = append(rt.evFree, e)
+	}
+	rt.evLive = rt.evLive[:0]
+	for _, s := range rt.streamList {
+		s.tail = doneEvent
+		s.waits = s.waits[:0]
 	}
 	return end, nil
 }
@@ -271,22 +550,11 @@ func (s *Stream) MemcpyH2DAsync(dst *DevBuffer, dstOff int64, hostF64 []float64,
 	if err := memcpyBounds(dst, dstOff, elems, "h2d"); err != nil {
 		return nil, err
 	}
-	bytes := elems * dst.dt.Size()
-	payload := func() {
-		switch {
-		case dst.f64 != nil && hostF64 != nil:
-			copy(dst.f64[dstOff:dstOff+elems], hostF64[:elems])
-		case dst.f32 != nil && hostF32 != nil:
-			copy(dst.f32[dstOff:dstOff+elems], hostF32[:elems])
-		}
-	}
-	ev := s.enqueue(func(done func()) {
-		s.rt.dev.Link().Submit(machine.H2D, bytes, func() {
-			payload()
-			done()
-		})
-	})
-	return ev, nil
+	o := s.rt.allocOp(opH2D)
+	o.dir, o.bytes = machine.H2D, elems*dst.dt.Size()
+	o.buf, o.off, o.elems = dst, dstOff, elems
+	o.hostF64, o.hostF32 = hostF64, hostF32
+	return s.enqueue(o), nil
 }
 
 // MemcpyD2HAsync enqueues a 1-D device-to-host copy.
@@ -294,22 +562,11 @@ func (s *Stream) MemcpyD2HAsync(hostF64 []float64, hostF32 []float32, src *DevBu
 	if err := memcpyBounds(src, srcOff, elems, "d2h"); err != nil {
 		return nil, err
 	}
-	bytes := elems * src.dt.Size()
-	payload := func() {
-		switch {
-		case src.f64 != nil && hostF64 != nil:
-			copy(hostF64[:elems], src.f64[srcOff:srcOff+elems])
-		case src.f32 != nil && hostF32 != nil:
-			copy(hostF32[:elems], src.f32[srcOff:srcOff+elems])
-		}
-	}
-	ev := s.enqueue(func(done func()) {
-		s.rt.dev.Link().Submit(machine.D2H, bytes, func() {
-			payload()
-			done()
-		})
-	})
-	return ev, nil
+	o := s.rt.allocOp(opD2H)
+	o.dir, o.bytes = machine.D2H, elems*src.dt.Size()
+	o.buf, o.off, o.elems = src, srcOff, elems
+	o.hostF64, o.hostF32 = hostF64, hostF32
+	return s.enqueue(o), nil
 }
 
 // matrixArgs describes one side of a 2-D (sub)matrix copy, in the manner of
@@ -343,26 +600,12 @@ func (s *Stream) SetMatrixAsync(rows, cols int, hostF64 []float64, hostF32 []flo
 	if err := memcpyBounds(dst, dstOff, need, "setmatrix"); err != nil {
 		return nil, err
 	}
-	bytes := int64(rows) * int64(cols) * dst.dt.Size()
-	payload := func() {
-		for j := 0; j < cols; j++ {
-			d := dstOff + int64(j)*int64(ldd)
-			h := j * ldh
-			switch {
-			case dst.f64 != nil && hostF64 != nil:
-				copy(dst.f64[d:d+int64(rows)], hostF64[h:h+rows])
-			case dst.f32 != nil && hostF32 != nil:
-				copy(dst.f32[d:d+int64(rows)], hostF32[h:h+rows])
-			}
-		}
-	}
-	ev := s.enqueue(func(done func()) {
-		s.rt.dev.Link().Submit(machine.H2D, bytes, func() {
-			payload()
-			done()
-		})
-	})
-	return ev, nil
+	o := s.rt.allocOp(opSet2D)
+	o.dir, o.bytes = machine.H2D, int64(rows)*int64(cols)*dst.dt.Size()
+	o.buf, o.off = dst, dstOff
+	o.rows, o.cols, o.ldh, o.ldd = rows, cols, ldh, ldd
+	o.hostF64, o.hostF32 = hostF64, hostF32
+	return s.enqueue(o), nil
 }
 
 // GetMatrixAsync enqueues a 2-D d2h copy (the cublasGetMatrixAsync analog).
@@ -380,26 +623,12 @@ func (s *Stream) GetMatrixAsync(rows, cols int, src *DevBuffer, srcOff int64, ld
 	if err := memcpyBounds(src, srcOff, need, "getmatrix"); err != nil {
 		return nil, err
 	}
-	bytes := int64(rows) * int64(cols) * src.dt.Size()
-	payload := func() {
-		for j := 0; j < cols; j++ {
-			d := srcOff + int64(j)*int64(lds)
-			h := j * ldh
-			switch {
-			case src.f64 != nil && hostF64 != nil:
-				copy(hostF64[h:h+rows], src.f64[d:d+int64(rows)])
-			case src.f32 != nil && hostF32 != nil:
-				copy(hostF32[h:h+rows], src.f32[d:d+int64(rows)])
-			}
-		}
-	}
-	ev := s.enqueue(func(done func()) {
-		s.rt.dev.Link().Submit(machine.D2H, bytes, func() {
-			payload()
-			done()
-		})
-	})
-	return ev, nil
+	o := s.rt.allocOp(opGet2D)
+	o.dir, o.bytes = machine.D2H, int64(rows)*int64(cols)*src.dt.Size()
+	o.buf, o.off = src, srcOff
+	o.rows, o.cols, o.ldh, o.ldd = rows, cols, ldh, lds
+	o.hostF64, o.hostF32 = hostF64, hostF32
+	return s.enqueue(o), nil
 }
 
 // KernelAsync enqueues a generic kernel with an explicit duration and an
@@ -409,10 +638,9 @@ func (s *Stream) KernelAsync(name string, duration float64, payload func()) (*Ev
 	if duration < 0 {
 		return nil, fmt.Errorf("cudart: negative kernel duration %g", duration)
 	}
-	ev := s.enqueue(func(done func()) {
-		s.rt.dev.LaunchKernel(name, duration, payload, done)
-	})
-	return ev, nil
+	o := s.rt.allocOp(opKernel)
+	o.name, o.duration, o.payload = name, duration, payload
+	return s.enqueue(o), nil
 }
 
 // GemmAsync enqueues C = alpha*op(A)*op(B) + beta*C on the stream, where
@@ -427,7 +655,7 @@ func (s *Stream) GemmAsync(transA, transB byte, m, n, k int,
 	if a.dt != dt || b.dt != dt {
 		return nil, errors.New("cudart: gemm operand dtype mismatch")
 	}
-	dur := kernelmodel.GemmTime(&s.rt.dev.Testbed().GPU, dt, m, n, k)
+	dur := s.rt.gemmTime(dt, m, n, k)
 	name := "dgemm"
 	if dt == kernelmodel.F32 {
 		name = "sgemm"
@@ -448,10 +676,15 @@ func (s *Stream) GemmAsync(transA, transB byte, m, n, k int,
 			}
 		}
 	}
-	ev := s.enqueue(func(done func()) {
-		s.rt.dev.LaunchKernel(name, dur, payload, done)
-	})
-	return ev, nil
+	o := s.allocKernelOp(name, dur, payload)
+	return s.enqueue(o), nil
+}
+
+// allocKernelOp builds a kernel op (shared by the BLAS launch wrappers).
+func (s *Stream) allocKernelOp(name string, dur float64, payload func()) *op {
+	o := s.rt.allocOp(opKernel)
+	o.name, o.duration, o.payload = name, dur, payload
+	return o
 }
 
 // AxpyAsync enqueues y += alpha*x over device vectors.
@@ -466,7 +699,7 @@ func (s *Stream) AxpyAsync(n int, alpha float64, x *DevBuffer, offX int64, y *De
 		return nil, err
 	}
 	dt := y.dt
-	dur := kernelmodel.AxpyTime(&s.rt.dev.Testbed().GPU, dt, n)
+	dur := s.rt.axpyTime(dt, n)
 	name := "daxpy"
 	if dt == kernelmodel.F32 {
 		name = "saxpy"
@@ -485,10 +718,8 @@ func (s *Stream) AxpyAsync(n int, alpha float64, x *DevBuffer, offX int64, y *De
 			}
 		}
 	}
-	ev := s.enqueue(func(done func()) {
-		s.rt.dev.LaunchKernel(name, dur, payload, done)
-	})
-	return ev, nil
+	o := s.allocKernelOp(name, dur, payload)
+	return s.enqueue(o), nil
 }
 
 // GemvAsync enqueues y = alpha*op(A)*x + beta*y over device operands.
@@ -499,7 +730,7 @@ func (s *Stream) GemvAsync(trans byte, m, n int, alpha float64,
 		return nil, errors.New("cudart: gemv operand dtype mismatch")
 	}
 	dt := y.dt
-	dur := kernelmodel.GemvTime(&s.rt.dev.Testbed().GPU, dt, m, n)
+	dur := s.rt.gemvTime(dt, m, n)
 	var payload func()
 	if y.Backed() {
 		payload = func() {
@@ -514,8 +745,6 @@ func (s *Stream) GemvAsync(trans byte, m, n int, alpha float64,
 			}
 		}
 	}
-	ev := s.enqueue(func(done func()) {
-		s.rt.dev.LaunchKernel("gemv", dur, payload, done)
-	})
-	return ev, nil
+	o := s.allocKernelOp("gemv", dur, payload)
+	return s.enqueue(o), nil
 }

@@ -390,3 +390,38 @@ func TestMallocFree(t *testing.T) {
 		t.Error("negative malloc should error")
 	}
 }
+
+// TestLaunchSyncSteadyStateDoesNotAllocate pins the zero-allocation
+// invariant of the timing-only launch path: once the op, event, kernel-task
+// and transfer free lists are warm, a full enqueue+Sync cycle over all
+// three engines allocates nothing (the cudart analog of the sim package's
+// TestScheduleSteadyStateDoesNotAllocateEvents).
+func TestLaunchSyncSteadyStateDoesNotAllocate(t *testing.T) {
+	rt := newRT()
+	s := rt.NewStream()
+	buf, err := rt.Malloc(kernelmodel.F64, 4096, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := func() {
+		if _, err := s.MemcpyH2DAsync(buf, 0, nil, nil, 1024); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.KernelAsync("k", 1e-6, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.MemcpyD2HAsync(nil, nil, buf, 0, 1024); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		cycle()
+	}
+	allocs := testing.AllocsPerRun(500, cycle)
+	if allocs != 0 {
+		t.Errorf("steady-state launch+sync allocates %.1f objects/op, want 0", allocs)
+	}
+}

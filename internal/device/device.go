@@ -35,12 +35,17 @@ type Buffer struct {
 // Size returns the allocation size in bytes.
 func (b *Buffer) Size() int64 { return b.size }
 
-// kernelTask is one queued kernel execution.
+// kernelTask is one queued kernel execution. Tasks recycle through the
+// device free list at completion, and the fire closure is created once per
+// task object, so steady-state launches allocate nothing.
 type kernelTask struct {
+	dev      *Device
 	name     string
 	duration float64
 	payload  func()
 	done     func()
+	start    sim.Time
+	fire     func() // cached method value: completes this task
 }
 
 // Device is one simulated GPU attached to a sim.Engine.
@@ -50,7 +55,11 @@ type Device struct {
 	link *link.Link
 	rng  *rand.Rand
 
+	// queue is a FIFO ring over a reusable backing array: qHead indexes the
+	// next task to run and the slice compacts to [:0] whenever it drains.
 	queue      []*kernelTask
+	qHead      int
+	taskFree   []*kernelTask
 	computing  bool
 	busy       float64
 	kernels    int64
@@ -150,6 +159,19 @@ func (d *Device) noisy(duration float64) float64 {
 	return duration * f
 }
 
+// allocTask returns a recycled (or fresh) kernel task.
+func (d *Device) allocTask() *kernelTask {
+	if n := len(d.taskFree); n > 0 {
+		t := d.taskFree[n-1]
+		d.taskFree[n-1] = nil
+		d.taskFree = d.taskFree[:n-1]
+		return t
+	}
+	t := &kernelTask{dev: d}
+	t.fire = t.complete
+	return t
+}
+
 // LaunchKernel enqueues a kernel with the given base duration on the
 // compute engine. payload (optional) performs the functional arithmetic
 // and runs at completion time, before onDone (optional) is notified.
@@ -158,7 +180,9 @@ func (d *Device) LaunchKernel(name string, duration float64, payload, onDone fun
 	if duration < 0 {
 		panic(fmt.Sprintf("device: negative kernel duration %g", duration))
 	}
-	d.queue = append(d.queue, &kernelTask{name: name, duration: duration, payload: payload, done: onDone})
+	t := d.allocTask()
+	t.name, t.duration, t.payload, t.done = name, duration, payload, onDone
+	d.queue = append(d.queue, t)
 	if !d.computing {
 		d.runNext()
 	}
@@ -166,32 +190,52 @@ func (d *Device) LaunchKernel(name string, duration float64, payload, onDone fun
 
 // runNext pops the compute queue and executes its head.
 func (d *Device) runNext() {
-	if d.computing || len(d.queue) == 0 {
+	if d.computing {
 		return
 	}
-	t := d.queue[0]
-	d.queue = d.queue[1:]
+	if d.qHead == len(d.queue) {
+		if d.qHead > 0 {
+			d.queue = d.queue[:0]
+			d.qHead = 0
+		}
+		return
+	}
+	t := d.queue[d.qHead]
+	d.queue[d.qHead] = nil
+	d.qHead++
+	if d.qHead == len(d.queue) {
+		d.queue = d.queue[:0]
+		d.qHead = 0
+	}
 	d.computing = true
-	start := d.eng.Now()
-	dur := d.noisy(t.duration)
-	d.eng.After(dur, func() {
-		d.computing = false
-		d.busy += d.eng.Now() - start
-		d.kernels++
-		if d.kernelObs != nil {
-			d.kernelObs(t.name, start, d.eng.Now())
-		}
-		if t.payload != nil {
-			t.payload()
-		}
-		// Start the next kernel before the completion callback so a
-		// callback that enqueues more work observes a busy engine,
-		// matching hardware queues.
-		d.runNext()
-		if t.done != nil {
-			t.done()
-		}
-	})
+	t.start = d.eng.Now()
+	d.eng.After(d.noisy(t.duration), t.fire)
+}
+
+// complete finishes an executed kernel: accounting and the trace observer
+// first, then the task recycles (its callbacks are saved locally, so a
+// payload or completion callback that launches more kernels may reuse the
+// object immediately), the next kernel starts, and the completion callback
+// runs last — so a callback that enqueues more work observes a busy
+// engine, matching hardware queues.
+func (t *kernelTask) complete() {
+	d := t.dev
+	d.computing = false
+	d.busy += d.eng.Now() - t.start
+	d.kernels++
+	if d.kernelObs != nil {
+		d.kernelObs(t.name, t.start, d.eng.Now())
+	}
+	payload, done := t.payload, t.done
+	t.name, t.payload, t.done = "", nil, nil
+	d.taskFree = append(d.taskFree, t)
+	if payload != nil {
+		payload()
+	}
+	d.runNext()
+	if done != nil {
+		done()
+	}
 }
 
 // ComputeStats describes the compute engine's accumulated activity.

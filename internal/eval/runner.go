@@ -2,7 +2,6 @@ package eval
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
@@ -41,15 +40,31 @@ const (
 // only needs to exceed typical worker counts to keep lock contention low.
 const cacheShards = 16
 
+// cellKey is the comparable cache key of one measurement cell. It carries
+// every field the rendered string key (testbed|lib|problem-name|T) encodes,
+// so the cache partition it induces matches the legacy string keys — but a
+// lookup is a struct compare with no formatting or allocation on the hit
+// path. The testbed is omitted because each Runner serves exactly one.
+type cellKey struct {
+	lib     Lib
+	routine string
+	dtype   kernelmodel.Dtype
+	m, n, k int
+	locs    [3]model.Loc
+	nlocs   int
+	tag     string
+	tile    int
+}
+
 // cacheShard is one mutex-protected partition of the measurement cache.
 type cacheShard struct {
 	mu sync.Mutex
 	// results holds completed measurements by cell key.
-	results map[string]operand.Result
+	results map[cellKey]operand.Result
 	// inflight deduplicates concurrent requests for the same cell: the
 	// first caller simulates, later callers wait on the call's done
 	// channel (per-key singleflight).
-	inflight map[string]*inflightCall
+	inflight map[cellKey]*inflightCall
 }
 
 // inflightCall is one in-progress measurement that concurrent callers of
@@ -83,25 +98,58 @@ type Runner struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 	waits  atomic.Int64
+	events atomic.Int64
+
+	// rtPool recycles cudart runtimes across this runner's repetitions so
+	// their op/event free lists and kernel-duration memos stay warm. The
+	// pool is per-runner because the duration memo is testbed-specific.
+	rtPool sync.Pool
 }
 
 // NewRunner creates a runner for a testbed.
 func NewRunner(tb *machine.Testbed) *Runner {
 	r := &Runner{TB: tb, Reps: 3, SeedBase: 1}
 	for i := range r.shards {
-		r.shards[i].results = map[string]operand.Result{}
-		r.shards[i].inflight = map[string]*inflightCall{}
+		r.shards[i].results = map[cellKey]operand.Result{}
+		r.shards[i].inflight = map[cellKey]*inflightCall{}
 	}
 	return r
 }
 
-// shard maps a cell key to its cache partition.
-func (r *Runner) shard(key string) *cacheShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &r.shards[h.Sum32()%cacheShards]
+// cell builds the comparable cache key for a measurement.
+func cell(lib Lib, p Problem, T int) cellKey {
+	ck := cellKey{
+		lib: lib, routine: p.Routine, dtype: p.Dtype,
+		m: p.M, n: p.N, k: p.K, nlocs: len(p.Locs), tag: p.Tag, tile: T,
+	}
+	copy(ck.locs[:], p.Locs)
+	return ck
 }
 
+// shard maps a cell key to its cache partition. Sharding only spreads lock
+// contention, so the hash needs no stability guarantee — an inline FNV-1a
+// over the discriminating fields avoids allocating a hasher per lookup.
+func (r *Runner) shard(ck cellKey) *cacheShard {
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		h ^= v
+		h *= 16777619
+	}
+	for i := 0; i < len(ck.lib); i++ {
+		mix(uint32(ck.lib[i]))
+	}
+	for i := 0; i < len(ck.routine); i++ {
+		mix(uint32(ck.routine[i]))
+	}
+	mix(uint32(ck.m))
+	mix(uint32(ck.n))
+	mix(uint32(ck.k))
+	mix(uint32(ck.tile))
+	return &r.shards[h%cacheShards]
+}
+
+// key renders the legacy string cell key; it survives only as the input of
+// seedFor, so cached repetitions keep their exact historical noise seeds.
 func (r *Runner) key(lib Lib, p Problem, T int) string {
 	return fmt.Sprintf("%s|%s|%s|%d", r.TB.Name, lib, p.Name(), T)
 }
@@ -167,11 +215,32 @@ func axpyOperands(rt *cudart.Runtime, p Problem) (x, y *operand.Vector, err erro
 	return x, y, nil
 }
 
+// enginePool recycles simulation engines across repetitions: Engine.Reset
+// restores a drained (or failed) engine to the exact state of sim.New while
+// keeping its heap backing and event free list, so steady-state campaign
+// repetitions schedule events with no heap growth.
+var enginePool = sync.Pool{New: func() any { return sim.New() }}
+
 // runOnce executes one repetition on a fresh device and returns its result.
+// The engine is pooled (reset-on-reuse is indistinguishable from fresh —
+// pinned by the sim package's reuse property test); the device, runtime and
+// scheduling context are per-repetition so no measurement state leaks.
 func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result, error) {
-	eng := sim.New()
+	eng := enginePool.Get().(*sim.Engine)
+	eng.Reset()
 	dev := device.New(eng, r.TB, seed, false)
-	rt := cudart.New(dev)
+	var rt *cudart.Runtime
+	if v := r.rtPool.Get(); v != nil {
+		rt = v.(*cudart.Runtime)
+		rt.Reset(dev)
+	} else {
+		rt = cudart.New(dev)
+	}
+	defer func() {
+		r.events.Add(int64(eng.Processed()))
+		enginePool.Put(eng)
+		r.rtPool.Put(rt)
+	}()
 
 	if p.Routine == "daxpy" {
 		x, y, err := axpyOperands(rt, p)
@@ -270,31 +339,33 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 // concurrent use, and concurrent calls for the same cell simulate it
 // exactly once; errors are returned to every waiter but never cached.
 func (r *Runner) Measure(lib Lib, p Problem, T int) (operand.Result, error) {
-	key := r.key(lib, p, T)
-	s := r.shard(key)
+	ck := cell(lib, p, T)
+	s := r.shard(ck)
 	s.mu.Lock()
-	if res, ok := s.results[key]; ok {
+	if res, ok := s.results[ck]; ok {
 		s.mu.Unlock()
 		r.hits.Add(1)
 		return res, nil
 	}
-	if c, ok := s.inflight[key]; ok {
+	if c, ok := s.inflight[ck]; ok {
 		s.mu.Unlock()
 		r.waits.Add(1)
 		<-c.done
 		return c.res, c.err
 	}
 	c := &inflightCall{done: make(chan struct{})}
-	s.inflight[key] = c
+	s.inflight[ck] = c
 	s.mu.Unlock()
 	r.misses.Add(1)
 
-	c.res, c.err = r.measureCell(key, lib, p, T)
+	// The string key is rendered only on this miss path: it feeds the
+	// per-repetition seed derivation, which must stay byte-identical.
+	c.res, c.err = r.measureCell(r.key(lib, p, T), lib, p, T)
 
 	s.mu.Lock()
-	delete(s.inflight, key)
+	delete(s.inflight, ck)
 	if c.err == nil {
-		s.results[key] = c.res
+		s.results[ck] = c.res
 	}
 	s.mu.Unlock()
 	close(c.done)
@@ -342,10 +413,10 @@ type MeasureCell struct {
 // (the legacy execution order); the cached results are identical either
 // way because every cell's noise seed derives from its key alone.
 func (r *Runner) MeasureBatch(pool *parallel.Pool, cells []MeasureCell) error {
-	seen := make(map[string]bool, len(cells))
+	seen := make(map[cellKey]bool, len(cells))
 	uniq := make([]MeasureCell, 0, len(cells))
 	for _, c := range cells {
-		k := r.key(c.Lib, c.P, c.T)
+		k := cell(c.Lib, c.P, c.T)
 		if !seen[k] {
 			seen[k] = true
 			uniq = append(uniq, c)
@@ -364,6 +435,12 @@ func (r *Runner) MeasureBatch(pool *parallel.Pool, cells []MeasureCell) error {
 func (r *Runner) CacheStats() (hits, misses, waits int) {
 	return int(r.hits.Load()), int(r.misses.Load()), int(r.waits.Load())
 }
+
+// EventsProcessed returns the total number of discrete events the runner's
+// simulations have fired so far (across all repetitions and cells). It is
+// the denominator-independent throughput counter the campaign benchmark
+// reports as events/sec.
+func (r *Runner) EventsProcessed() int64 { return r.events.Load() }
 
 // FullKernelTime measures the un-tiled full-problem kernel time on the
 // device (the input the CSO comparator model requires).

@@ -30,8 +30,12 @@ import (
 // of the latency phase; bytes is the payload size.
 type Observer func(dir machine.LinkDir, start, end sim.Time, bytes int64)
 
-// transfer is one queued or in-flight copy.
+// transfer is one queued or in-flight copy. Transfers recycle through the
+// link free list at completion; the two scheduling closures are created
+// once per transfer object, so steady-state submissions allocate nothing.
 type transfer struct {
+	link      *Link
+	dir       machine.LinkDir
 	bytes     int64
 	remaining float64 // bytes left to drain in the data phase
 	rate      float64 // current drain rate, bytes/s
@@ -41,12 +45,15 @@ type transfer struct {
 	inData    bool     // latency phase finished
 	done      func()
 	complete  *sim.Event
+	enterFn   func() // cached: begins this transfer's data phase
+	finishFn  func() // cached: completes this transfer's direction
 }
 
 // channel is one direction of the link.
 type channel struct {
 	params  machine.LinkParams
-	queue   []*transfer
+	queue   []*transfer // FIFO ring over a reusable backing array
+	qHead   int
 	active  *transfer
 	busy    float64 // accumulated busy seconds (latency + data)
 	started sim.Time
@@ -62,6 +69,7 @@ type Link struct {
 	rng      *rand.Rand
 	noise    float64
 	observer Observer
+	free     []*transfer
 }
 
 // New creates a link on eng with the testbed's parameters. noiseSigma is
@@ -101,12 +109,32 @@ func (l *Link) Submit(dir machine.LinkDir, bytes int64, onDone func()) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("link: negative transfer size %d", bytes))
 	}
-	t := &transfer{bytes: bytes, remaining: float64(bytes), done: onDone, bwFactor: l.bwFactor()}
+	t := l.allocTransfer(dir, bytes, onDone)
 	c := l.dirs[dir]
 	c.queue = append(c.queue, t)
 	if c.active == nil {
 		l.startNext(dir)
 	}
+}
+
+// allocTransfer returns a recycled (or fresh) transfer, drawing the
+// bandwidth noise at submission time exactly as before.
+func (l *Link) allocTransfer(dir machine.LinkDir, bytes int64, onDone func()) *transfer {
+	var t *transfer
+	if n := len(l.free); n > 0 {
+		t = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		t.rate, t.dataStart, t.updated = 0, 0, 0
+		t.inData = false
+	} else {
+		t = &transfer{link: l}
+		t.enterFn = func() { t.link.enterData(t.dir, t) }
+		t.finishFn = func() { t.link.finish(t.dir) }
+	}
+	t.dir, t.bytes, t.remaining = dir, bytes, float64(bytes)
+	t.done, t.bwFactor = onDone, l.bwFactor()
+	return t
 }
 
 // bwFactor draws the per-transfer bandwidth noise.
@@ -124,14 +152,26 @@ func (l *Link) bwFactor() float64 {
 // startNext pops the queue head of dir and begins its latency phase.
 func (l *Link) startNext(dir machine.LinkDir) {
 	c := l.dirs[dir]
-	if c.active != nil || len(c.queue) == 0 {
+	if c.active != nil {
 		return
 	}
-	t := c.queue[0]
-	c.queue = c.queue[1:]
+	if c.qHead == len(c.queue) {
+		if c.qHead > 0 {
+			c.queue = c.queue[:0]
+			c.qHead = 0
+		}
+		return
+	}
+	t := c.queue[c.qHead]
+	c.queue[c.qHead] = nil
+	c.qHead++
+	if c.qHead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qHead = 0
+	}
 	c.active = t
 	c.started = l.eng.Now()
-	l.eng.After(c.params.LatencyS, func() { l.enterData(dir, t) })
+	l.eng.After(c.params.LatencyS, t.enterFn)
 }
 
 // enterData moves a transfer from its latency phase into the fluid data
@@ -180,11 +220,10 @@ func (l *Link) replan() {
 		if t.remaining > 0 {
 			finish = now + t.remaining/rate
 		}
-		dir := dir
 		if t.complete != nil && t.complete.Pending() {
 			l.eng.Reschedule(t.complete, finish)
 		} else {
-			t.complete = l.eng.Schedule(finish, func() { l.finish(dir) })
+			t.complete = l.eng.Schedule(finish, t.finishFn)
 		}
 	}
 }
@@ -215,10 +254,15 @@ func (l *Link) finish(dir machine.LinkDir) {
 	if l.observer != nil {
 		l.observer(dir, t.dataStart, now, t.bytes)
 	}
-	// The opposite direction speeds up now that we are done.
+	// The opposite direction speeds up now that we are done. The transfer
+	// recycles before its completion callback runs (the callback is saved
+	// locally), so a callback that submits more transfers may reuse it.
 	l.replan()
 	l.startNext(dir)
-	if t.done != nil {
-		t.done()
+	done := t.done
+	t.done = nil
+	l.free = append(l.free, t)
+	if done != nil {
+		done()
 	}
 }

@@ -59,20 +59,23 @@ func (c *Context) Gemv(opts GemvOpts) (Result, error) {
 		return Result{}, err
 	}
 
-	// x chunks: fetched once, reused by every tile row (vector reuse).
-	type chunk struct {
-		buf   *cudart.DevBuffer
-		off   int64
-		ready *cudart.Event
+	// x chunks: fetched once, reused by every tile row (vector reuse). The
+	// chunk grid reuses context-owned backing; ready == nil marks an unused
+	// slot.
+	if cap(c.xChunks) < nt {
+		c.xChunks = make([]vecChunk, nt)
 	}
-	xChunks := make([]*chunk, nt)
-	getX := func(tj, n int) (*chunk, error) {
-		if xChunks[tj] != nil {
-			return xChunks[tj], nil
+	xChunks := c.xChunks[:nt]
+	for i := range xChunks {
+		xChunks[i] = vecChunk{}
+	}
+	getX := func(tj, n int) (*vecChunk, error) {
+		ch := &xChunks[tj]
+		if ch.ready != nil {
+			return ch, nil
 		}
 		if opts.X.Loc == model.OnDevice {
-			ch := &chunk{buf: opts.X.Dev, off: int64(tj * T), ready: cudart.DoneEvent()}
-			xChunks[tj] = ch
+			*ch = vecChunk{buf: opts.X.Dev, off: int64(tj * T), ready: cudart.DoneEvent()}
 			return ch, nil
 		}
 		buf, err := c.acquire(kernelmodel.F64, int64(n))
@@ -89,8 +92,7 @@ func (c *Context) Gemv(opts GemvOpts) (Result, error) {
 			return nil, err
 		}
 		res.BytesH2D += int64(n) * 8
-		ch := &chunk{buf: buf, off: 0, ready: ev}
-		xChunks[tj] = ch
+		*ch = vecChunk{buf: buf, off: 0, ready: ev}
 		return ch, nil
 	}
 

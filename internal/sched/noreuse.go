@@ -91,9 +91,13 @@ func (c *Context) GemmNoReuse(opts GemmOpts) (Result, error) {
 			nSlots = 2
 		}
 	}
-	slots := make([]*slotGroup, nSlots)
+	if cap(c.slots) < nSlots {
+		c.slots = make([]slotGroup, maxNoReuseSlots)
+	}
+	slots := c.slots[:nSlots]
 	for i := range slots {
-		g := &slotGroup{lastKernel: cudart.DoneEvent(), lastWriteback: cudart.DoneEvent()}
+		g := &slots[i]
+		*g = slotGroup{lastKernel: cudart.DoneEvent(), lastWriteback: cudart.DoneEvent()}
 		var err error
 		if opts.A.Loc == model.OnHost {
 			if g.a, err = c.acquire(dt, tileA); err != nil {
@@ -113,12 +117,18 @@ func (c *Context) GemmNoReuse(opts GemmOpts) (Result, error) {
 			}
 			pooled = append(pooled, g.c)
 		}
-		slots[i] = g
 	}
 
 	// writebackOf tracks the last write-back event of each host C tile so
-	// its next fetch reads the updated host data.
-	writebackOf := map[[2]int]*cudart.Event{}
+	// its next fetch reads the updated host data; the flat grid reuses
+	// context-owned backing.
+	if cap(c.wbEvents) < mt*nt {
+		c.wbEvents = make([]*cudart.Event, mt*nt)
+	}
+	writebackOf := c.wbEvents[:mt*nt]
+	for i := range writebackOf {
+		writebackOf[i] = nil
+	}
 
 	// Sub-kernels iterate with the K dimension outermost, so consecutive
 	// sub-kernels belong to different output tiles: each C tile's
@@ -131,7 +141,7 @@ func (c *Context) GemmNoReuse(opts GemmOpts) (Result, error) {
 			for ti := 0; ti < mt; ti++ {
 				rows := min(T, opts.M-ti*T)
 				cols := min(T, opts.N-tj*T)
-				g := slots[idx%nSlots]
+				g := &slots[idx%nSlots]
 				idx++
 				// The staging slots may still feed an in-flight kernel or
 				// write-back from their previous use.
@@ -168,7 +178,7 @@ func (c *Context) GemmNoReuse(opts GemmOpts) (Result, error) {
 					if fetch {
 						// The previous write-back of this C tile must land
 						// in host memory before we re-read it.
-						if wb := writebackOf[[2]int{ti, tj}]; wb != nil {
+						if wb := writebackOf[ti*nt+tj]; wb != nil {
 							c.h2d.WaitEvent(wb)
 						}
 						h64, h32 := opts.C.HostSlices(ti*T, tj*T)
@@ -204,7 +214,7 @@ func (c *Context) GemmNoReuse(opts GemmOpts) (Result, error) {
 					}
 					res.BytesD2H += int64(rows) * int64(cols) * dt.Size()
 					g.lastWriteback = c.d2h.Record()
-					writebackOf[[2]int{ti, tj}] = g.lastWriteback
+					writebackOf[ti*nt+tj] = g.lastWriteback
 				}
 			}
 		}

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"cocopelia/internal/cudart"
+	"cocopelia/internal/device"
+	"cocopelia/internal/kernelmodel"
+)
+
+// poolCount returns how many free buffers the pool holds for a shape.
+func poolCount(c *Context, elems int64) int {
+	if bk := c.bucket(poolKey{kernelmodel.F64, elems}); bk != nil {
+		return len(bk.bufs)
+	}
+	return 0
+}
+
+// TestAcquireOOMEvictsOtherShapesLargestFirst pins the pool's memory-
+// pressure policy: an allocation that does not fit evicts pooled buffers
+// of OTHER shapes, largest first and one at a time, and never touches the
+// requested shape's pool — so a tile-size sweep keeps the working set of
+// the tile size it is currently measuring.
+func TestAcquireOOMEvictsOtherShapesLargestFirst(t *testing.T) {
+	c := newCtx(false)
+	mem := c.rt.Device().Testbed().GPU.MemBytes
+	eBig := mem / (4 * 8)   // ~mem/4 per buffer
+	eMid := mem / (8 * 8)   // ~mem/8
+	eSmall := mem / (16 * 8) // ~mem/16
+
+	// Pool two buffers of each shape: ~7/8 of device memory stays
+	// allocated and pooled.
+	for _, elems := range []int64{eBig, eMid, eSmall} {
+		var bufs []*cudart.DevBuffer
+		for i := 0; i < 2; i++ {
+			b, err := c.acquire(kernelmodel.F64, elems)
+			if err != nil {
+				t.Fatalf("staging acquire(%d): %v", elems, err)
+			}
+			bufs = append(bufs, b)
+		}
+		for _, b := range bufs {
+			c.release(b)
+		}
+	}
+	if free := mem - c.rt.Device().MemUsed(); free >= eBig*8 {
+		t.Fatalf("test setup failed to exhaust memory: %d free", free)
+	}
+
+	// A request for a shape not in the pool must evict exactly one big
+	// buffer (largest-first), leaving the smaller pools intact.
+	eNew := mem / (5 * 8) // ~mem/5: fits only after one big eviction
+	b, err := c.acquire(kernelmodel.F64, eNew)
+	if err != nil {
+		t.Fatalf("acquire under memory pressure: %v", err)
+	}
+	if got := poolCount(c, eBig); got != 1 {
+		t.Errorf("big pool has %d buffers after eviction, want 1", got)
+	}
+	if got := poolCount(c, eMid); got != 2 {
+		t.Errorf("mid pool has %d buffers, want 2 (evicted mid before a larger shape)", got)
+	}
+	if got := poolCount(c, eSmall); got != 2 {
+		t.Errorf("small pool has %d buffers, want 2", got)
+	}
+	c.release(b)
+
+	// When nothing of another shape is left to evict, the out-of-memory
+	// error surfaces instead of the pool being purged.
+	c2 := newCtx(false)
+	inUse, err := c2.acquire(kernelmodel.F64, mem*7/(8*8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.acquire(kernelmodel.F64, mem/(4*8)); !errors.Is(err, device.ErrOutOfMemory) {
+		t.Errorf("acquire with no evictable buffers returned %v, want ErrOutOfMemory", err)
+	}
+	c2.release(inUse)
+}

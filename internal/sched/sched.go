@@ -38,6 +38,15 @@ type poolKey struct {
 	elems int64
 }
 
+// poolBucket holds the free buffers of one shape. Buckets live in a slice
+// rather than a map: a call touches only a handful of shapes, the linear
+// scan is cheaper than hashing on the per-tile acquire path, and iteration
+// order is deterministic.
+type poolBucket struct {
+	key  poolKey
+	bufs []*cudart.DevBuffer
+}
+
 // Context holds the reusable state of the CoCoPeLia library on one device:
 // the three operation streams and the tile-buffer pool. Reusing a Context
 // across calls emulates the paper's iterative use-case (no per-call
@@ -47,8 +56,16 @@ type Context struct {
 	h2d    *cudart.Stream
 	d2h    *cudart.Stream
 	comp   *cudart.Stream
-	pool   map[poolKey][]*cudart.DevBuffer
+	pool   []poolBucket
 	backed bool
+
+	// Reusable per-call scratch, so the tile loops of gemm/gemv/noreuse
+	// allocate nothing once the context is warm.
+	aCache, bCache, cCache tileCache
+	gemmPooled             []*cudart.DevBuffer
+	xChunks                []vecChunk
+	wbEvents               []*cudart.Event
+	slots                  []slotGroup
 	// overheadS is an optional per-sub-kernel dispatch overhead occupying
 	// the compute pipeline; the CoCoPeLia library leaves it zero, while
 	// comparator wrappers (e.g. the BLASX-style library with its runtime
@@ -77,7 +94,6 @@ func NewContext(rt *cudart.Runtime, backed bool) *Context {
 		h2d:    rt.NewStream(),
 		d2h:    rt.NewStream(),
 		comp:   rt.NewStream(),
-		pool:   map[poolKey][]*cudart.DevBuffer{},
 		backed: backed,
 	}
 }
@@ -85,43 +101,94 @@ func NewContext(rt *cudart.Runtime, backed bool) *Context {
 // Runtime returns the underlying CUDA-like runtime.
 func (c *Context) Runtime() *cudart.Runtime { return c.rt }
 
+// bucket returns the pool bucket for key, or nil.
+func (c *Context) bucket(key poolKey) *poolBucket {
+	for i := range c.pool {
+		if c.pool[i].key == key {
+			return &c.pool[i]
+		}
+	}
+	return nil
+}
+
 // acquire returns a device buffer of at least elems elements, reusing the
-// pool when possible. When the device is out of memory, buffers pooled by
-// previous calls (with different tile shapes) are evicted and the
-// allocation retried, so long sweeps over many tile sizes stay within the
-// device capacity.
+// pool when possible. When the device is out of memory, pooled buffers of
+// OTHER shapes are evicted largest-first — one at a time, retrying the
+// allocation after each — so the current tile shape's pool survives long
+// sweeps over many tile sizes.
 func (c *Context) acquire(dt kernelmodel.Dtype, elems int64) (*cudart.DevBuffer, error) {
 	key := poolKey{dt, elems}
-	if free := c.pool[key]; len(free) > 0 {
-		b := free[len(free)-1]
-		c.pool[key] = free[:len(free)-1]
+	if bk := c.bucket(key); bk != nil && len(bk.bufs) > 0 {
+		n := len(bk.bufs) - 1
+		b := bk.bufs[n]
+		bk.bufs[n] = nil
+		bk.bufs = bk.bufs[:n]
 		return b, nil
 	}
 	b, err := c.rt.Malloc(dt, elems, c.backed)
-	if errors.Is(err, device.ErrOutOfMemory) && len(c.pool) > 0 {
-		if rerr := c.ReleaseAll(); rerr != nil {
-			return nil, rerr
+	for errors.Is(err, device.ErrOutOfMemory) {
+		evicted, ferr := c.evictLargest(key)
+		if ferr != nil {
+			return nil, ferr
+		}
+		if !evicted {
+			break
 		}
 		b, err = c.rt.Malloc(dt, elems, c.backed)
 	}
 	return b, err
 }
 
+// evictLargest frees one pooled buffer of the largest byte size among the
+// shapes other than keep, reporting whether anything was freed.
+func (c *Context) evictLargest(keep poolKey) (bool, error) {
+	best := -1
+	var bestBytes int64
+	for i := range c.pool {
+		bk := &c.pool[i]
+		if bk.key == keep || len(bk.bufs) == 0 {
+			continue
+		}
+		if bytes := bk.key.elems * bk.key.dt.Size(); bytes > bestBytes {
+			best, bestBytes = i, bytes
+		}
+	}
+	if best < 0 {
+		return false, nil
+	}
+	bk := &c.pool[best]
+	n := len(bk.bufs) - 1
+	b := bk.bufs[n]
+	bk.bufs[n] = nil
+	bk.bufs = bk.bufs[:n]
+	if err := c.rt.Free(b); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // release returns a buffer to the pool for reuse by later calls.
 func (c *Context) release(b *cudart.DevBuffer) {
 	key := poolKey{b.Dtype(), b.Elems()}
-	c.pool[key] = append(c.pool[key], b)
+	if bk := c.bucket(key); bk != nil {
+		bk.bufs = append(bk.bufs, b)
+		return
+	}
+	c.pool = append(c.pool, poolBucket{key: key, bufs: []*cudart.DevBuffer{b}})
 }
 
-// ReleaseAll frees every pooled buffer back to the device.
+// ReleaseAll frees every pooled buffer back to the device, keeping the
+// (empty) buckets for reuse.
 func (c *Context) ReleaseAll() error {
-	for key, bufs := range c.pool {
-		for _, b := range bufs {
+	for i := range c.pool {
+		bk := &c.pool[i]
+		for j, b := range bk.bufs {
+			bk.bufs[j] = nil
 			if err := c.rt.Free(b); err != nil {
 				return err
 			}
 		}
-		delete(c.pool, key)
+		bk.bufs = bk.bufs[:0]
 	}
 	return nil
 }
@@ -160,10 +227,58 @@ type devTile struct {
 	ready *cudart.Event
 }
 
+// tileCache maps tile coordinates to device tiles over a reusable flat
+// array with per-slot generation stamps: reset bumps the generation
+// instead of clearing, so repeated calls on a warm context allocate
+// nothing and never pay a per-slot wipe.
+type tileCache struct {
+	tiles []devTile
+	gen   []uint32
+	cols  int
+	cur   uint32
+}
+
+// reset prepares the cache for a rows x cols tile grid, invalidating every
+// slot.
+func (tc *tileCache) reset(rows, cols int) {
+	n := rows * cols
+	if cap(tc.tiles) < n {
+		tc.tiles = make([]devTile, n)
+		tc.gen = make([]uint32, n)
+		tc.cur = 0
+	}
+	tc.tiles = tc.tiles[:n]
+	tc.gen = tc.gen[:n]
+	tc.cols = cols
+	tc.cur++
+}
+
+// at returns the slot for tile (ti, tj) and whether it holds a live entry.
+// An absent slot's contents are stale; the caller fills it and calls put.
+func (tc *tileCache) at(ti, tj int) (*devTile, bool) {
+	i := ti*tc.cols + tj
+	return &tc.tiles[i], tc.gen[i] == tc.cur
+}
+
+// put marks the slot for tile (ti, tj) live.
+func (tc *tileCache) put(ti, tj int) {
+	tc.gen[ti*tc.cols+tj] = tc.cur
+}
+
+// vecChunk is a staged 1-D chunk of a host vector (the level-2 path's x
+// reuse cache). ready is nil while the slot is unused.
+type vecChunk struct {
+	buf   *cudart.DevBuffer
+	off   int64
+	ready *cudart.Event
+}
+
 // PendingGemm is an enqueued-but-not-drained tiled gemm: every transfer
 // and kernel is on its streams, but the virtual clock has not been run.
 // It exists so cooperating schedulers (the multi-GPU layer) can enqueue
 // several schedules that then execute concurrently on a shared clock.
+// A context supports one pending gemm at a time: the pending run borrows
+// the context's reusable scratch, which the next enqueue reclaims.
 type PendingGemm struct {
 	ctx    *Context
 	res    Result
@@ -259,35 +374,44 @@ func (c *Context) GemmEnqueue(opts GemmOpts) (*PendingGemm, error) {
 	res := Result{T: T}
 	start := c.rt.Now()
 
-	// Tile caches: fetched-once device tiles per operand, keyed by tile
-	// coordinates. Device-resident operands use in-place subviews.
-	aTiles := make(map[[2]int]*devTile)
-	bTiles := make(map[[2]int]*devTile)
-	cTiles := make(map[[2]int]*devTile)
-	var pooled []*cudart.DevBuffer
+	// Tile caches: fetched-once device tiles per operand, keyed by STORED
+	// tile coordinates (so the grids follow the transposes). The caches and
+	// the pooled-buffer list reuse context-owned backing; a context
+	// therefore supports one pending gemm at a time (see PendingGemm).
+	aGridR, aGridC := mt, kt
+	if transA == blas.Trans {
+		aGridR, aGridC = kt, mt
+	}
+	bGridR, bGridC := kt, nt
+	if transB == blas.Trans {
+		bGridR, bGridC = nt, kt
+	}
+	c.aCache.reset(aGridR, aGridC)
+	c.bCache.reset(bGridR, bGridC)
+	c.cCache.reset(mt, nt)
+	pooled := c.gemmPooled[:0]
 
 	fail := func(err error) (*PendingGemm, error) {
 		for _, b := range pooled {
 			c.release(b)
 		}
+		c.gemmPooled = pooled[:0]
 		return nil, err
 	}
 
 	// getTile returns (fetching on first use) the device tile (ti, tj) of
 	// the operand. rows/cols are the tile's actual dimensions.
-	getTile := func(m *Matrix, cache map[[2]int]*devTile, ti, tj, rows, cols int, fetch bool) (*devTile, error) {
-		key := [2]int{ti, tj}
-		if t, ok := cache[key]; ok {
+	getTile := func(m *Matrix, cache *tileCache, ti, tj, rows, cols int, fetch bool) (*devTile, error) {
+		t, ok := cache.at(ti, tj)
+		if ok {
 			return t, nil
 		}
 		if m.Loc == model.OnDevice {
-			t := &devTile{
-				buf:   m.Dev,
-				off:   int64(ti*T) + int64(tj*T)*int64(m.DevLd),
-				ld:    m.DevLd,
-				ready: cudart.DoneEvent(),
-			}
-			cache[key] = t
+			t.buf = m.Dev
+			t.off = int64(ti*T) + int64(tj*T)*int64(m.DevLd)
+			t.ld = m.DevLd
+			t.ready = cudart.DoneEvent()
+			cache.put(ti, tj)
 			return t, nil
 		}
 		buf, err := c.acquire(dt, int64(rows)*int64(cols))
@@ -295,7 +419,7 @@ func (c *Context) GemmEnqueue(opts GemmOpts) (*PendingGemm, error) {
 			return nil, err
 		}
 		pooled = append(pooled, buf)
-		t := &devTile{buf: buf, off: 0, ld: rows}
+		t.buf, t.off, t.ld = buf, 0, rows
 		if fetch {
 			h64, h32 := m.HostSlices(ti*T, tj*T)
 			ev, err := c.h2d.SetMatrixAsync(rows, cols, h64, h32, m.HostLd, buf, 0, rows)
@@ -307,7 +431,7 @@ func (c *Context) GemmEnqueue(opts GemmOpts) (*PendingGemm, error) {
 		} else {
 			t.ready = cudart.DoneEvent()
 		}
-		cache[key] = t
+		cache.put(ti, tj)
 		return t, nil
 	}
 
@@ -318,7 +442,7 @@ func (c *Context) GemmEnqueue(opts GemmOpts) (*PendingGemm, error) {
 		for ti := 0; ti < mt; ti++ {
 			rows := min(T, opts.M-ti*T)
 			cols := min(T, opts.N-tj*T)
-			cTile, err := getTile(opts.C, cTiles, ti, tj, rows, cols, fetchC)
+			cTile, err := getTile(opts.C, &c.cCache, ti, tj, rows, cols, fetchC)
 			if err != nil {
 				return fail(err)
 			}
@@ -330,7 +454,7 @@ func (c *Context) GemmEnqueue(opts GemmOpts) (*PendingGemm, error) {
 				if transA == blas.Trans {
 					ai, aj, ar, ac = tk, ti, inner, rows
 				}
-				aTile, err := getTile(opts.A, aTiles, ai, aj, ar, ac, true)
+				aTile, err := getTile(opts.A, &c.aCache, ai, aj, ar, ac, true)
 				if err != nil {
 					return fail(err)
 				}
@@ -338,7 +462,7 @@ func (c *Context) GemmEnqueue(opts GemmOpts) (*PendingGemm, error) {
 				if transB == blas.Trans {
 					bi, bj, br, bc = tj, tk, cols, inner
 				}
-				bTile, err := getTile(opts.B, bTiles, bi, bj, br, bc, true)
+				bTile, err := getTile(opts.B, &c.bCache, bi, bj, br, bc, true)
 				if err != nil {
 					return fail(err)
 				}
@@ -382,6 +506,7 @@ func (c *Context) GemmEnqueue(opts GemmOpts) (*PendingGemm, error) {
 		}
 	}
 
+	c.gemmPooled = pooled
 	return &PendingGemm{ctx: c, res: res, pooled: pooled, start: start}, nil
 }
 

@@ -3,17 +3,21 @@
 // copy engines, compute engine) are expressed as events on a single virtual
 // clock measured in seconds.
 //
-// The engine is deliberately simple: a binary heap of timestamped callbacks
-// with a monotonically increasing sequence number as the tie-breaker, so
-// that runs are bit-for-bit reproducible. Events may be cancelled and
-// rescheduled, which the fluid-flow transfer model uses to re-plan
-// completion times whenever link contention changes.
+// The engine is deliberately simple: a 4-ary min-heap of timestamped
+// callbacks with a monotonically increasing sequence number as the
+// tie-breaker, so that runs are bit-for-bit reproducible. Events may be
+// cancelled and rescheduled, which the fluid-flow transfer model uses to
+// re-plan completion times whenever link contention changes.
+//
+// The heap is hand-specialized rather than container/heap: the (at, seq)
+// comparison is inlined (no interface dispatch, no `any` boxing on
+// push/pop), and the 4-ary layout roughly halves the sift-down depth for
+// the queue sizes the campaign engine sustains. Since (at, seq) is a total
+// order, any correct heap pops the identical event sequence — the
+// specialization changes throughput only, never simulated results.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point on the virtual clock, in seconds since simulation start.
 type Time = float64
@@ -41,34 +45,13 @@ func (ev *Event) At() Time { return ev.at }
 // cancelled).
 func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 && !ev.canceled }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// before is the heap order: earlier time first, then issue order.
+func before(a, b *Event) bool {
 	//lint:ignore floatorder exact tie-break on stored event times; both sides are loaded values, no rounding happens here
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulator instance. It is not safe for
@@ -76,7 +59,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []*Event // 4-ary min-heap ordered by before()
 	stepped uint64
 	// free recycles fired and cancelled events so steady-state scheduling
 	// allocates no *Event per call (the per-simulation constant the
@@ -90,7 +73,24 @@ const initialHeapCap = 256
 
 // New returns an engine with the clock at zero and an empty event queue.
 func New() *Engine {
-	return &Engine{queue: make(eventHeap, 0, initialHeapCap)}
+	return &Engine{queue: make([]*Event, 0, initialHeapCap)}
+}
+
+// Reset returns the engine to its initial state — clock at zero, empty
+// queue, zeroed counters — while keeping the event free list and the heap
+// backing array, so a reused engine runs its next simulation without
+// re-paying the warm-up allocations. Events still pending are cancelled
+// and recycled; as with fired events, callers must drop their references.
+func (e *Engine) Reset() {
+	for i, ev := range e.queue {
+		e.queue[i] = nil
+		ev.index = -1
+		ev.canceled = true
+		ev.fn = nil
+		e.free = append(e.free, ev)
+	}
+	e.queue = e.queue[:0]
+	e.now, e.seq, e.stepped = 0, 0, 0
 }
 
 // alloc returns a reset Event from the free list, or a fresh one.
@@ -110,6 +110,102 @@ func (e *Engine) alloc(at Time, fn func()) *Event {
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
 	e.free = append(e.free, ev)
+}
+
+// push appends ev to the heap and restores the heap order.
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.siftUp(ev.index)
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *Event {
+	q := e.queue
+	root := q[0]
+	root.index = -1
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		q[0] = last
+		last.index = 0
+		e.siftDown(0)
+	}
+	return root
+}
+
+// remove deletes the event at heap position i.
+func (e *Engine) remove(i int) {
+	q := e.queue
+	q[i].index = -1
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if i < n {
+		q[i] = last
+		last.index = i
+		e.siftDown(i)
+		e.siftUp(q[i].index)
+	}
+}
+
+// fix restores the heap order after the event at position i changed time.
+func (e *Engine) fix(i int) {
+	e.siftDown(i)
+	e.siftUp(e.queue[i].index)
+}
+
+// siftUp moves the event at position i toward the root until its parent is
+// not after it.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !before(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = i
+		i = p
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+// siftDown moves the event at position i toward the leaves, swapping with
+// its earliest child while that child precedes it.
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if before(q[j], q[m]) {
+				m = j
+			}
+		}
+		if !before(q[m], ev) {
+			break
+		}
+		q[i] = q[m]
+		q[i].index = i
+		i = m
+	}
+	q[i] = ev
+	ev.index = i
 }
 
 // Now returns the current virtual time.
@@ -134,7 +230,7 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	}
 	ev := e.alloc(at, fn)
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -150,8 +246,7 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.remove(ev.index)
 	e.recycle(ev)
 }
 
@@ -166,7 +261,7 @@ func (e *Engine) Reschedule(ev *Event, at Time) {
 		panic(fmt.Sprintf("sim: reschedule at %.12g before now %.12g", at, e.now))
 	}
 	ev.at = at
-	heap.Fix(&e.queue, ev.index)
+	e.fix(ev.index)
 }
 
 // Step fires the earliest pending event, advancing the clock to its
@@ -175,7 +270,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.popMin()
 	e.now = ev.at
 	e.stepped++
 	ev.fn()

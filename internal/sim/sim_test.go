@@ -237,6 +237,144 @@ func TestEventRecycling(t *testing.T) {
 	e.Cancel(ev4)
 }
 
+// runWorkload drives one randomized schedule workload on e and returns the
+// fired (time, id) sequence and the final clock. Callbacks schedule
+// children, cancel and reschedule pending siblings, so the heap sees the
+// full operation mix the link model generates.
+func runWorkload(e *Engine, seed int64) (fired [][2]float64, end Time) {
+	rng := rand.New(rand.NewSource(seed))
+	id := 0
+	var pending []*Event
+	var schedule func(at Time, depth int)
+	schedule = func(at Time, depth int) {
+		myID := id
+		id++
+		ev := e.Schedule(at, func() {
+			fired = append(fired, [2]float64{e.Now(), float64(myID)})
+			switch op := rng.Intn(4); {
+			case op == 0 && depth < 3:
+				schedule(e.Now()+rng.Float64(), depth+1)
+			case op == 1 && len(pending) > 0:
+				victim := pending[rng.Intn(len(pending))]
+				if victim.Pending() {
+					e.Cancel(victim)
+				}
+			case op == 2 && len(pending) > 0:
+				victim := pending[rng.Intn(len(pending))]
+				if victim.Pending() {
+					e.Reschedule(victim, e.Now()+rng.Float64())
+				}
+			}
+		})
+		pending = append(pending, ev)
+	}
+	for i := 0; i < 60; i++ {
+		schedule(rng.Float64()*10, 0)
+	}
+	return fired, e.Run()
+}
+
+// Property: a Reset()-reused engine replays a workload with the identical
+// event order and final clock as a fresh engine (the invariant that lets
+// the campaign engine share one engine across repetitions and cells).
+func TestResetReuseIdenticalToFreshEngine(t *testing.T) {
+	reused := New()
+	// Dirty the reused engine with a different workload, including pending
+	// events at Reset time, so Reset has real state to clear.
+	reused.Schedule(1, func() {})
+	runWorkload(reused, 999)
+	reused.Schedule(reused.Now()+5, func() {})
+
+	f := func(seed int64) bool {
+		reused.Reset()
+		if reused.Now() != 0 || reused.Pending() != 0 || reused.Processed() != 0 {
+			t.Fatal("Reset did not clear engine state")
+		}
+		gotFired, gotEnd := runWorkload(reused, seed)
+		wantFired, wantEnd := runWorkload(New(), seed)
+		if gotEnd != wantEnd || len(gotFired) != len(wantFired) {
+			return false
+		}
+		for i := range wantFired {
+			if gotFired[i] != wantFired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the specialized 4-ary heap pops the same sequence as a naive
+// sorted reference under a random mix of schedules, cancels, reschedules
+// and steps.
+func TestHeapMatchesReferenceProperty(t *testing.T) {
+	type refEvent struct {
+		at  Time
+		seq uint64
+		id  int
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var ref []refEvent // alive reference events, unordered
+		live := map[int]*Event{}
+		var fired []int
+		nextID := 0
+		seq := uint64(0)
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // schedule
+				at := e.Now() + rng.Float64()*5
+				id := nextID
+				nextID++
+				live[id] = e.Schedule(at, func() { fired = append(fired, id) })
+				ref = append(ref, refEvent{at: at, seq: seq, id: id})
+				seq++
+			case 2: // cancel or reschedule a random live event
+				if len(ref) == 0 {
+					continue
+				}
+				i := rng.Intn(len(ref))
+				victim := ref[i]
+				if rng.Intn(2) == 0 {
+					e.Cancel(live[victim.id])
+					ref = append(ref[:i], ref[i+1:]...)
+				} else {
+					at := e.Now() + rng.Float64()*5
+					e.Reschedule(live[victim.id], at)
+					ref[i].at = at
+				}
+			case 3: // step: the reference min must fire
+				if len(ref) == 0 {
+					continue
+				}
+				minI := 0
+				for i := 1; i < len(ref); i++ {
+					if ref[i].at < ref[minI].at ||
+						(ref[i].at == ref[minI].at && ref[i].seq < ref[minI].seq) {
+						minI = i
+					}
+				}
+				want := ref[minI].id
+				before := len(fired)
+				e.Step()
+				if len(fired) != before+1 || fired[before] != want {
+					return false
+				}
+				delete(live, want)
+				ref = append(ref[:minI], ref[minI+1:]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestScheduleSteadyStateDoesNotAllocateEvents(t *testing.T) {
 	e := New()
 	var fn func()
