@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test vet lint race verify bench bench-blas bench-blas-smoke \
-	bench-campaign bench-campaign-smoke profile results
+	bench-campaign bench-campaign-smoke plan-golden-smoke profile results
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,9 @@ race:
 	$(GO) test -race ./...
 
 # verify is the pre-commit gate: compile, vet, the invariant analyzers,
-# the race-enabled suite, the build-only benchmark smoke and a sub-second
-# run of the campaign-throughput mode.
-verify: build vet lint race bench-blas-smoke bench-campaign-smoke
+# the race-enabled suite, the build-only benchmark smoke, a sub-second
+# run of the campaign-throughput mode and the golden tile-plan check.
+verify: build vet lint race bench-blas-smoke bench-campaign-smoke plan-golden-smoke
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
@@ -53,6 +53,12 @@ bench-campaign:
 # under a second without keeping an output file.
 bench-campaign-smoke:
 	$(GO) run ./cmd/cocobench -campaign -smoke -out /dev/null
+
+# plan-golden-smoke pins the tile-operation IR: the golden plan dumps in
+# internal/plan must stay byte-identical, since every scheduler entry point
+# replays these plans. Sub-second by construction (tiny shapes, no sim).
+plan-golden-smoke:
+	$(GO) test -run 'TestGoldenPlans' -count=1 ./internal/plan
 
 # profile captures a CPU profile of the campaign sweep for pprof:
 #   go tool pprof -top results/campaign.pprof

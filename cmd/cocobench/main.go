@@ -165,6 +165,11 @@ type campaignReport struct {
 	WallSeconds  float64 `json:"wall_seconds"`
 	CellsPerSec  float64 `json:"cells_per_sec"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Plan-cache counters: how many tile plans the runner built (misses)
+	// versus replayed from the memo (hits) across the sweep.
+	PlanHits    int     `json:"plan_hits"`
+	PlanMisses  int     `json:"plan_misses"`
+	PlanHitRate float64 `json:"plan_hit_rate"`
 }
 
 // campaignCells builds the benchmark's timing-only work-list: a tile-size
@@ -237,6 +242,7 @@ func runCampaign(out string, smoke bool) error {
 	wall := time.Since(start).Seconds()
 
 	events := r.EventsProcessed()
+	planHits, planMisses := r.PlanCacheStats()
 	rep := campaignReport{
 		Testbed:      tb.Name,
 		Workers:      1,
@@ -246,9 +252,16 @@ func runCampaign(out string, smoke bool) error {
 		WallSeconds:  wall,
 		CellsPerSec:  float64(len(cells)) / wall,
 		EventsPerSec: float64(events) / wall,
+		PlanHits:     planHits,
+		PlanMisses:   planMisses,
+	}
+	if total := planHits + planMisses; total > 0 {
+		rep.PlanHitRate = float64(planHits) / float64(total)
 	}
 	log.Printf("campaign: %d cells, %d events in %.2fs  (%.1f cells/s, %.3g events/s)",
 		rep.Cells, rep.Events, rep.WallSeconds, rep.CellsPerSec, rep.EventsPerSec)
+	log.Printf("campaign: plan cache %d hits / %d misses (%.0f%% hit rate)",
+		rep.PlanHits, rep.PlanMisses, 100*rep.PlanHitRate)
 	if err := writeJSON(out, &rep); err != nil {
 		return err
 	}

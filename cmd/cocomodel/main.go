@@ -20,13 +20,19 @@ import (
 	"log"
 	"strings"
 
+	"cocopelia/internal/cudart"
+	"cocopelia/internal/device"
 	"cocopelia/internal/eval"
 	"cocopelia/internal/kernelmodel"
 	"cocopelia/internal/machine"
 	"cocopelia/internal/microbench"
 	"cocopelia/internal/model"
+	"cocopelia/internal/operand"
 	"cocopelia/internal/parallel"
+	"cocopelia/internal/plan"
 	"cocopelia/internal/predictor"
+	"cocopelia/internal/sched"
+	"cocopelia/internal/sim"
 )
 
 func main() {
@@ -43,6 +49,7 @@ func main() {
 	extended := flag.Bool("extended", false, "include the Werkhoven/ablation model variants")
 	coarsen := flag.Int("coarsen", 4, "tile grid subsampling factor")
 	par := flag.Int("parallel", 0, "simulation workers: 0 = all cores, 1 = serial")
+	dumpPlan := flag.Int("dump-plan", 0, "print the tile plan for this tiling size and exit (no deployment)")
 	flag.Parse()
 
 	tb, err := machine.ByName("Testbed " + strings.ToUpper(*testbed))
@@ -81,6 +88,13 @@ func main() {
 		default:
 			log.Fatalf("bad location %q", ch)
 		}
+	}
+
+	if *dumpPlan > 0 {
+		if err := dumpPlanText(tb, p, *dumpPlan); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	// Progress goes to stderr so stdout carries only the prediction table.
@@ -174,4 +188,65 @@ func main() {
 			fmt.Printf("  %-14s T=%-6d predicted %.5fs\n", kind, b.T, b.v)
 		}
 	}
+}
+
+// dumpPlanText builds the CoCoPeLia tile plan for the problem at tiling
+// size T and prints its deterministic text form. Only the planner runs —
+// no micro-benchmark deployment, no simulation — so the output is exactly
+// what the scheduler would replay.
+func dumpPlanText(tb *machine.Testbed, p eval.Problem, T int) error {
+	rt := cudart.New(device.New(sim.New(), tb, 1, false))
+	ctx := sched.NewContext(rt, false)
+	var pl *plan.Plan
+	var err error
+	if p.Routine == "daxpy" {
+		vec := func(loc model.Loc) (*operand.Vector, error) {
+			if loc == model.OnHost {
+				return &operand.Vector{N: p.N, Loc: model.OnHost}, nil
+			}
+			buf, err := rt.Malloc(kernelmodel.F64, int64(p.N), false)
+			if err != nil {
+				return nil, err
+			}
+			return &operand.Vector{N: p.N, Loc: model.OnDevice, Dev: buf}, nil
+		}
+		var x, y *operand.Vector
+		if x, err = vec(p.Locs[0]); err != nil {
+			return err
+		}
+		if y, err = vec(p.Locs[1]); err != nil {
+			return err
+		}
+		pl, err = ctx.PlanAxpy(sched.AxpyOpts{N: p.N, Alpha: 1, X: x, Y: y, T: T})
+	} else {
+		mat := func(rows, cols int, loc model.Loc) (*operand.Matrix, error) {
+			if loc == model.OnHost {
+				return &operand.Matrix{Rows: rows, Cols: cols, Loc: model.OnHost, HostLd: rows}, nil
+			}
+			buf, err := rt.Malloc(p.Dtype, int64(rows)*int64(cols), false)
+			if err != nil {
+				return nil, err
+			}
+			return &operand.Matrix{Rows: rows, Cols: cols, Loc: model.OnDevice, Dev: buf, DevLd: rows}, nil
+		}
+		var a, b, c *operand.Matrix
+		if a, err = mat(p.M, p.K, p.Locs[0]); err != nil {
+			return err
+		}
+		if b, err = mat(p.K, p.N, p.Locs[1]); err != nil {
+			return err
+		}
+		if c, err = mat(p.M, p.N, p.Locs[2]); err != nil {
+			return err
+		}
+		pl, err = ctx.PlanGemm(sched.GemmOpts{
+			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
+			Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(pl.Dump())
+	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"cocopelia/internal/model"
 	"cocopelia/internal/operand"
 	"cocopelia/internal/parallel"
+	"cocopelia/internal/plan"
 	"cocopelia/internal/sched"
 	"cocopelia/internal/sim"
 	"cocopelia/internal/stats"
@@ -55,6 +56,39 @@ type cellKey struct {
 	tag     string
 	tile    int
 }
+
+// planKey identifies one memoized tile plan: the plan's routine variant
+// ("gemm" and "gemm-noreuse" separate the two gemm planners), dtype,
+// geometry, tiling size and operand location vector. The scalar
+// coefficients are fixed per routine in runOnce, so they do not
+// discriminate.
+type planKey struct {
+	routine string
+	dtype   kernelmodel.Dtype
+	m, n, k int
+	locs    [3]model.Loc
+	nlocs   int
+	tile    int
+}
+
+// planCell builds the plan-memoization key for a measurement.
+func planCell(routine string, p Problem, T int) planKey {
+	pk := planKey{
+		routine: routine, dtype: p.Dtype,
+		m: p.M, n: p.N, k: p.K, nlocs: len(p.Locs), tile: T,
+	}
+	copy(pk.locs[:], p.Locs)
+	return pk
+}
+
+// planOpsBudget bounds the plan cache by total op count (an op is ~100
+// bytes, so this is a few tens of MB): once exceeded, the oldest plans are
+// dropped FIFO. Repetitions of a cell reuse its plan back-to-back, so the
+// budget only needs to hold the plans currently being measured — it must
+// exceed the largest single plan (~2*10^5 ops for the no-reuse schedule at
+// the sweep's smallest tile), and keeping it tight keeps the live heap,
+// and with it GC cost across the whole campaign, small.
+const planOpsBudget = 1 << 18
 
 // cacheShard is one mutex-protected partition of the measurement cache.
 type cacheShard struct {
@@ -100,6 +134,18 @@ type Runner struct {
 	waits  atomic.Int64
 	events atomic.Int64
 
+	// The plan cache memoizes tile plans by invocation shape: a plan is a
+	// pure function of (routine variant, geometry, T, location vector) and
+	// the context knobs — which are the defaults on every fresh eval
+	// context — so a plan built during any repetition replays on every
+	// other repetition and cell of the same shape.
+	planMu     sync.Mutex
+	plans      map[planKey]*plan.Plan
+	planQueue  []planKey
+	planOps    int
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+
 	// rtPool recycles cudart runtimes across this runner's repetitions so
 	// their op/event free lists and kernel-duration memos stay warm. The
 	// pool is per-runner because the duration memo is testbed-specific.
@@ -109,6 +155,7 @@ type Runner struct {
 // NewRunner creates a runner for a testbed.
 func NewRunner(tb *machine.Testbed) *Runner {
 	r := &Runner{TB: tb, Reps: 3, SeedBase: 1}
+	r.plans = map[planKey]*plan.Plan{}
 	for i := range r.shards {
 		r.shards[i].results = map[cellKey]operand.Result{}
 		r.shards[i].inflight = map[cellKey]*inflightCall{}
@@ -146,6 +193,49 @@ func (r *Runner) shard(ck cellKey) *cacheShard {
 	mix(uint32(ck.k))
 	mix(uint32(ck.tile))
 	return &r.shards[h%cacheShards]
+}
+
+// planFor returns the memoized plan for key, building it with build on a
+// miss. Replays only read the plan, so one canonical *plan.Plan per key is
+// safely shared across concurrent repetitions. Concurrent misses on the
+// same key may build twice; the first insert wins and the duplicate is
+// discarded (builds are pure, so both are identical).
+func (r *Runner) planFor(key planKey, build func() (*plan.Plan, error)) (*plan.Plan, error) {
+	r.planMu.Lock()
+	if p, ok := r.plans[key]; ok {
+		r.planMu.Unlock()
+		r.planHits.Add(1)
+		return p, nil
+	}
+	r.planMu.Unlock()
+	p, err := build()
+	if err != nil {
+		return nil, err
+	}
+	r.planMisses.Add(1)
+	r.planMu.Lock()
+	defer r.planMu.Unlock()
+	if prev, ok := r.plans[key]; ok {
+		return prev, nil
+	}
+	r.plans[key] = p
+	r.planQueue = append(r.planQueue, key)
+	r.planOps += len(p.Ops)
+	for r.planOps > planOpsBudget && len(r.planQueue) > 1 {
+		old := r.planQueue[0]
+		r.planQueue = r.planQueue[1:]
+		if q, ok := r.plans[old]; ok {
+			r.planOps -= len(q.Ops)
+			delete(r.plans, old)
+		}
+	}
+	return p, nil
+}
+
+// PlanCacheStats reports plan-memoization activity: hits replayed an
+// already-built plan, misses built one.
+func (r *Runner) PlanCacheStats() (hits, misses int) {
+	return int(r.planHits.Load()), int(r.planMisses.Load())
 }
 
 // key renders the legacy string cell key; it survives only as the input of
@@ -250,7 +340,14 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 		switch lib {
 		case LibCoCoPeLia:
 			ctx := sched.NewContext(rt, false)
-			return ctx.Axpy(sched.AxpyOpts{N: p.N, Alpha: 1.1, X: x, Y: y, T: T})
+			opts := sched.AxpyOpts{N: p.N, Alpha: 1.1, X: x, Y: y, T: T}
+			pl, err := r.planFor(planCell("axpy", p, T), func() (*plan.Plan, error) {
+				return ctx.PlanAxpy(opts)
+			})
+			if err != nil {
+				return operand.Result{}, err
+			}
+			return ctx.AxpyWith(pl, opts)
 		case LibUnified:
 			return unified.Daxpy(rt, p.N, 1.1, x, y, false)
 		default:
@@ -290,7 +387,14 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 			return operand.Result{}, err
 		}
 		ctx := sched.NewContext(rt, false)
-		return ctx.Gemv(sched.GemvOpts{M: p.M, N: p.N, Alpha: 1, Beta: 1, A: a, X: x, Y: y, T: T})
+		opts := sched.GemvOpts{M: p.M, N: p.N, Alpha: 1, Beta: 1, A: a, X: x, Y: y, T: T}
+		pl, err := r.planFor(planCell("gemv", p, T), func() (*plan.Plan, error) {
+			return ctx.PlanGemv(opts)
+		})
+		if err != nil {
+			return operand.Result{}, err
+		}
+		return ctx.GemvWith(pl, opts)
 	}
 
 	a, b, c, err := gemmOperands(rt, p)
@@ -300,16 +404,34 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 	switch lib {
 	case LibCoCoPeLia:
 		ctx := sched.NewContext(rt, false)
-		return ctx.Gemm(sched.GemmOpts{
+		opts := sched.GemmOpts{
 			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
 			Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T,
+		}
+		pl, err := r.planFor(planCell("gemm", p, T), func() (*plan.Plan, error) {
+			return ctx.PlanGemm(opts)
 		})
+		if err != nil {
+			return operand.Result{}, err
+		}
+		return ctx.GemmWith(pl, opts)
 	case LibNoReuse:
 		ctx := sched.NewContext(rt, false)
-		return ctx.GemmNoReuse(sched.GemmOpts{
+		opts := sched.GemmOpts{
 			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
 			Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T,
+		}
+		// The no-reuse planner's slot count depends on free device memory,
+		// which is deterministic given the location vector (the same
+		// device-resident operands are staged before planning), so the
+		// shape key still fully determines the plan.
+		pl, err := r.planFor(planCell("gemm-noreuse", p, T), func() (*plan.Plan, error) {
+			return ctx.PlanGemmNoReuse(opts)
 		})
+		if err != nil {
+			return operand.Result{}, err
+		}
+		return ctx.GemmNoReuseWith(pl, opts)
 	case LibCuBLASXt:
 		h := cublasxt.New(rt, 0, false)
 		return h.Gemm(cublasxt.GemmOpts{

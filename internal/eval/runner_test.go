@@ -108,6 +108,44 @@ func TestMeasureBatchDeduplicates(t *testing.T) {
 	}
 }
 
+// TestPlanMemoization checks that repetitions and libraries sharing an
+// invocation shape replay one memoized plan — each distinct (routine
+// variant, geometry, T, locations) key is planned once, every further
+// repetition is a hit — without perturbing the measured results (each
+// repetition still runs on its own seeded device).
+func TestPlanMemoization(t *testing.T) {
+	r := NewRunner(machine.TestbedI())
+	p := Problem{Routine: "dgemm", Dtype: kernelmodel.F64, M: 2048, N: 2048, K: 2048,
+		Locs: []model.Loc{model.OnHost, model.OnHost, model.OnHost}, Tag: "square"}
+	first, err := r.Measure(LibCoCoPeLia, p, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := r.PlanCacheStats()
+	if misses != 1 || hits != r.Reps-1 {
+		t.Errorf("plan cache after one cell: hits=%d misses=%d, want %d/1", hits, misses, r.Reps-1)
+	}
+	// The no-reuse library shares the geometry but is a distinct routine
+	// variant, so it plans once more.
+	if _, err := r.Measure(LibNoReuse, p, 1024); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = r.PlanCacheStats()
+	if misses != 2 || hits != 2*(r.Reps-1) {
+		t.Errorf("plan cache after two libs: hits=%d misses=%d, want %d/2", hits, misses, 2*(r.Reps-1))
+	}
+	// A second runner (planning from scratch) reproduces the result
+	// exactly: memoization must not leak state between repetitions.
+	fresh := NewRunner(machine.TestbedI())
+	again, err := fresh.Measure(LibCoCoPeLia, p, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Errorf("memoized rerun %+v != first run %+v", again, first)
+	}
+}
+
 // TestCampaignParallelDeterminism is the determinism regression test the
 // parallel engine is built around: the same campaign rendered serially and
 // with 8 workers must produce byte-identical text and CSV, because every

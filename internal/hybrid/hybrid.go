@@ -34,6 +34,11 @@ type Plan struct {
 	PredictedSeconds float64
 	// PredictedHost and PredictedGPU are the per-side predictions.
 	PredictedHost, PredictedGPU float64
+	// GPUBytesH2D and GPUBytesD2H are the GPU side's transfer volumes for
+	// the chosen split, taken from the tile planners' annotations
+	// (multigpu.PanelVolumes) rather than re-derived transfer math. They
+	// assume the general beta != 0 case (C makes the round trip).
+	GPUBytesH2D, GPUBytesD2H int64
 }
 
 // PlanSplit chooses the host panel width and tiling size: for each
@@ -83,6 +88,14 @@ func PlanSplit(sm model.SubModels, tb *machine.Testbed, routine string, dtypeSiz
 				break
 			}
 		}
+	}
+	if best.PredictedSeconds >= 0 {
+		dt := kernelmodel.F32
+		if f64 {
+			dt = kernelmodel.F64
+		}
+		v := multigpu.PanelVolumes(dt, m, n-best.HostCols, k, best.T, gpus, 1)
+		best.GPUBytesH2D, best.GPUBytesD2H = v.BytesH2D, v.BytesD2H
 	}
 	return best, nil
 }

@@ -144,6 +144,52 @@ func TestHybridBeatsGPUOnlyMeasured(t *testing.T) {
 	}
 }
 
+// TestPlanSplitVolumeAnnotations pins the split plan's GPU transfer-volume
+// fields against an actual cluster execution of the GPU side: the
+// annotations come from the tile planners (via multigpu.PanelVolumes), so
+// they must equal the bytes the replayed panel plans really move.
+func TestPlanSplitVolumeAnnotations(t *testing.T) {
+	sm := subModels(t)
+	tb := machine.TestbedII()
+	m, gpus := 8192, 2
+	plan, err := PlanSplit(sm, tb, "dgemm", 8, m, m, m, gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.GPUBytesH2D <= 0 || plan.GPUBytesD2H <= 0 {
+		t.Fatalf("split plan carries no volume annotations: %+v", plan)
+	}
+	want := multigpu.PanelVolumes(kernelmodel.F64, m, m-plan.HostCols, m, plan.T, gpus, 1)
+	if plan.GPUBytesH2D != want.BytesH2D || plan.GPUBytesD2H != want.BytesD2H {
+		t.Errorf("annotations (%d, %d) != panel volumes (%d, %d)",
+			plan.GPUBytesH2D, plan.GPUBytesD2H, want.BytesH2D, want.BytesD2H)
+	}
+	cl, err := multigpu.NewCluster(tb, gpus, 13, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuCols := m - plan.HostCols
+	res, err := cl.Gemm(multigpu.GemmOpts{
+		Dtype: kernelmodel.F64, M: m, N: gpuCols, K: m, Alpha: 1, Beta: 1,
+		A: operand.HostMatrix(m, m, nil),
+		B: operand.HostMatrix(m, gpuCols, nil),
+		C: operand.HostMatrix(m, gpuCols, nil),
+		T: plan.T,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h2d, d2h int64
+	for _, g := range res.PerGPU {
+		h2d += g.BytesH2D
+		d2h += g.BytesD2H
+	}
+	if h2d != plan.GPUBytesH2D || d2h != plan.GPUBytesD2H {
+		t.Errorf("executed volumes (%d, %d) != plan annotations (%d, %d)",
+			h2d, d2h, plan.GPUBytesH2D, plan.GPUBytesD2H)
+	}
+}
+
 func TestHybridValidation(t *testing.T) {
 	cl, err := multigpu.NewCluster(machine.TestbedII(), 1, 3, false)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"cocopelia/internal/machine"
 	"cocopelia/internal/model"
 	"cocopelia/internal/operand"
+	"cocopelia/internal/plan"
 	"cocopelia/internal/sched"
 	"cocopelia/internal/sim"
 )
@@ -143,6 +144,26 @@ func SelectT(sm model.SubModels, routine string, dtypeSize int64, m, n, k, gpus 
 	return best, nil
 }
 
+// PanelVolumes sums the plan-level transfer-volume annotations of the
+// per-GPU column-panel sub-plans a cluster gemm of this shape would
+// replay, using the closed-form planner volumes (all operands
+// host-resident, as Gemm requires). Layers that budget traffic against a
+// split — the hybrid planner — consume these annotations instead of
+// re-deriving transfer math.
+func PanelVolumes(dt kernelmodel.Dtype, m, n, k, T, gpus int, beta float64) plan.Volumes {
+	var total plan.Volumes
+	for _, p := range panelCols(n, gpus, T) {
+		v := plan.GemmVolumes(plan.GemmSpec{
+			Dtype: dt, M: m, N: p[1], K: k, Beta: beta,
+			LocA: model.OnHost, LocB: model.OnHost, LocC: model.OnHost, T: T,
+		})
+		total.BytesH2D += v.BytesH2D
+		total.BytesD2H += v.BytesD2H
+		total.Subkernels += v.Subkernels
+	}
+	return total
+}
+
 // panelCols splits n columns into g contiguous panels aligned to the tile
 // size where possible, returning each panel's starting column and width.
 func panelCols(n, g, T int) [][2]int {
@@ -229,17 +250,29 @@ func (c *Cluster) Gemm(opts GemmOpts) (Result, error) {
 
 	// Enqueue every panel's full schedule before draining anything: the
 	// panels then execute concurrently on the shared virtual clock, each
-	// GPU bounded by its own link and compute engine.
+	// GPU bounded by its own link and compute engine. Each panel is one
+	// sub-plan replayed on its GPU's context; panelCols produces at most
+	// two distinct widths, consecutively, so memoizing the last width's
+	// plan dedupes the planning work across the cluster.
 	pending := make([]*sched.PendingGemm, len(panels))
 	panelEnd := make([]float64, len(panels))
+	var panelPlan *plan.Plan
 	for i, p := range panels {
 		bPanel := subMatrix(opts.B, p[0], p[1])
 		cPanel := subMatrix(opts.C, p[0], p[1])
-		pend, err := c.contexts[i].GemmEnqueue(sched.GemmOpts{
+		sub := sched.GemmOpts{
 			Dtype: opts.Dtype, M: opts.M, N: p[1], K: opts.K,
 			Alpha: opts.Alpha, Beta: opts.Beta,
 			A: opts.A, B: bPanel, C: cPanel, T: opts.T,
-		})
+		}
+		var err error
+		if panelPlan == nil || panelPlan.N != p[1] {
+			panelPlan, err = c.contexts[i].PlanGemm(sub)
+		}
+		var pend *sched.PendingGemm
+		if err == nil {
+			pend, err = c.contexts[i].GemmEnqueueWith(panelPlan, sub)
+		}
 		if err != nil {
 			// Drain whatever was enqueued so the engine is reusable, then
 			// surface the error.

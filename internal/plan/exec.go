@@ -1,0 +1,208 @@
+package plan
+
+import (
+	"fmt"
+
+	"cocopelia/internal/blas"
+	"cocopelia/internal/cudart"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/operand"
+)
+
+// Allocator is the staging-buffer pool a plan replays against (implemented
+// by sched.Context).
+type Allocator interface {
+	Acquire(dt kernelmodel.Dtype, elems int64) (*cudart.DevBuffer, error)
+	Release(b *cudart.DevBuffer)
+}
+
+// Target is the execution surface a plan replays onto: the three operation
+// streams and the staging allocator of one scheduler context.
+type Target struct {
+	H2D, D2H, Comp *cudart.Stream
+	Alloc          Allocator
+}
+
+// Arg binds one plan operand at replay time: exactly one of Mat/Vec is set,
+// per the plan routine's argument list.
+type Arg struct {
+	Mat *operand.Matrix
+	Vec *operand.Vector
+}
+
+// Executor replays plans onto a target. It owns reusable scratch (the
+// op-id -> event table, the slot bindings and the acquired-buffer list), so
+// replay allocates nothing once warm; like the scheduler context whose
+// scratch it replaces, one executor supports one in-flight replay at a
+// time.
+type Executor struct {
+	events []*cudart.Event
+	slots  []*cudart.DevBuffer
+	pooled []*cudart.DevBuffer
+}
+
+// resolve maps a kernel operand reference to (buffer, offset, ld).
+func (e *Executor) resolve(args []Arg, r Ref) (*cudart.DevBuffer, int64, int) {
+	if r.Slot >= 0 {
+		return e.slots[r.Slot], 0, int(r.Row) // a slot ref's Row carries the ld
+	}
+	a := args[r.Arg]
+	if a.Mat != nil {
+		return a.Mat.Dev, int64(r.Row) + int64(r.Col)*int64(a.Mat.DevLd), a.Mat.DevLd
+	}
+	return a.Vec.Dev, int64(r.Row), 0
+}
+
+// Run replays p onto tgt with the operands bound by args. It issues the
+// plan's stream calls in op order — each op's dependency waits first, in
+// their recorded order, then the matching asynchronous call — which is
+// exactly the call sequence the direct scheduler produced, so the
+// simulation's event order is preserved.
+//
+// Run returns the staging buffers acquired from the allocator; the caller
+// releases them after the engine drains. On error every acquired buffer
+// has already been released.
+func (e *Executor) Run(p *Plan, tgt Target, args []Arg) ([]*cudart.DevBuffer, error) {
+	if len(args) != p.NumArgs() {
+		return nil, fmt.Errorf("plan: %s plan wants %d operands, got %d",
+			p.Routine, p.NumArgs(), len(args))
+	}
+	// The event table is dense over referenced ops only (Op.Ev), so the
+	// pointer scratch — allocated, zeroed and GC-scanned per fresh context —
+	// stays proportional to the dependency structure, not the op count.
+	if cap(e.events) < p.EvSlots {
+		e.events = make([]*cudart.Event, p.EvSlots)
+	}
+	e.events = e.events[:p.EvSlots]
+	for i := range e.events {
+		e.events[i] = nil
+	}
+	if cap(e.slots) < len(p.Slots) {
+		e.slots = make([]*cudart.DevBuffer, len(p.Slots))
+	}
+	e.slots = e.slots[:len(p.Slots)]
+	e.pooled = e.pooled[:0]
+
+	fail := func(err error) ([]*cudart.DevBuffer, error) {
+		for _, b := range e.pooled {
+			tgt.Alloc.Release(b)
+		}
+		e.pooled = e.pooled[:0]
+		return nil, err
+	}
+
+	for i := range p.Ops {
+		o := &p.Ops[i]
+		deps := p.deps[o.depOff : o.depOff+o.depN]
+		switch o.Kind {
+		case OpAlloc:
+			s := p.Slots[o.Slot]
+			buf, err := tgt.Alloc.Acquire(s.Dtype, s.Elems)
+			if err != nil {
+				return fail(err)
+			}
+			e.slots[o.Slot] = buf
+			e.pooled = append(e.pooled, buf)
+
+		case OpFetch:
+			for _, d := range deps {
+				tgt.H2D.WaitEvent(e.events[p.Ops[d].Ev])
+			}
+			dst := e.slots[o.Slot]
+			var ev *cudart.Event
+			var err error
+			if o.N == 0 {
+				v := args[o.A.Arg].Vec
+				var host []float64
+				if v.HostF64 != nil {
+					host = v.HostF64[o.A.Row:]
+				}
+				ev, err = tgt.H2D.MemcpyH2DAsync(dst, 0, host, nil, int64(o.M))
+			} else {
+				m := args[o.A.Arg].Mat
+				h64, h32 := m.HostSlices(int(o.A.Row), int(o.A.Col))
+				ev, err = tgt.H2D.SetMatrixAsync(int(o.M), int(o.N),
+					h64, h32, m.HostLd, dst, 0, int(o.M))
+			}
+			if err != nil {
+				return fail(err)
+			}
+			if o.Ev >= 0 {
+				e.events[o.Ev] = ev
+			}
+
+		case OpKernel:
+			for _, d := range deps {
+				tgt.Comp.WaitEvent(e.events[p.Ops[d].Ev])
+			}
+			var ev *cudart.Event
+			var err error
+			switch o.Kernel {
+			case KDispatch:
+				ev, err = tgt.Comp.KernelAsync("dispatch", p.DispatchS, nil)
+			case KGemm:
+				aBuf, aOff, aLd := e.resolve(args, o.A)
+				bBuf, bOff, bLd := e.resolve(args, o.B)
+				cBuf, cOff, cLd := e.resolve(args, o.C)
+				ev, err = tgt.Comp.GemmAsync(o.TransA, o.TransB,
+					int(o.M), int(o.N), int(o.K), p.Alpha,
+					aBuf, aOff, aLd, bBuf, bOff, bLd,
+					p.opBeta(o), cBuf, cOff, cLd)
+			case KGemv:
+				aBuf, aOff, aLd := e.resolve(args, o.A)
+				xBuf, xOff, _ := e.resolve(args, o.B)
+				yBuf, yOff, _ := e.resolve(args, o.C)
+				ev, err = tgt.Comp.GemvAsync(blas.NoTrans,
+					int(o.M), int(o.N), p.Alpha,
+					aBuf, aOff, aLd, xBuf, xOff, p.opBeta(o), yBuf, yOff)
+			case KAxpy:
+				xBuf, xOff, _ := e.resolve(args, o.A)
+				yBuf, yOff, _ := e.resolve(args, o.C)
+				ev, err = tgt.Comp.AxpyAsync(int(o.N), p.Alpha, xBuf, xOff, yBuf, yOff)
+			}
+			if err != nil {
+				return fail(err)
+			}
+			if o.Ev >= 0 {
+				e.events[o.Ev] = ev
+			}
+
+		case OpWriteback:
+			for _, d := range deps {
+				tgt.D2H.WaitEvent(e.events[p.Ops[d].Ev])
+			}
+			src := e.slots[o.Slot]
+			var ev *cudart.Event
+			var err error
+			if o.N == 0 {
+				v := args[o.A.Arg].Vec
+				var host []float64
+				if v.HostF64 != nil {
+					host = v.HostF64[o.A.Row:]
+				}
+				ev, err = tgt.D2H.MemcpyD2HAsync(host, nil, src, 0, int64(o.M))
+			} else {
+				m := args[o.A.Arg].Mat
+				h64, h32 := m.HostSlices(int(o.A.Row), int(o.A.Col))
+				ev, err = tgt.D2H.GetMatrixAsync(int(o.M), int(o.N),
+					src, 0, int(o.M), h64, h32, m.HostLd)
+			}
+			if err != nil {
+				return fail(err)
+			}
+			if o.Ev >= 0 {
+				e.events[o.Ev] = ev
+			}
+		}
+	}
+
+	// Leave the streams in the exact state direct scheduling left them:
+	// waits the schedule registered but never consumed stay pending.
+	for _, id := range p.TailH2D {
+		tgt.H2D.WaitEvent(e.events[p.Ops[id].Ev])
+	}
+	for _, id := range p.TailComp {
+		tgt.Comp.WaitEvent(e.events[p.Ops[id].Ev])
+	}
+	return e.pooled, nil
+}

@@ -1,0 +1,412 @@
+package plan
+
+import (
+	"cocopelia/internal/blas"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/model"
+)
+
+// MaxNoReuseSlots bounds the in-flight staging depth of the no-reuse
+// schedule; the effective depth shrinks for very large tiles so the bounded
+// staging always fits device memory.
+const MaxNoReuseSlots = 8
+
+// GemmSpec parameterizes the level-3 planners. Transposes must be
+// normalized (blas.NoTrans or blas.Trans); validation happens in the sched
+// layer before planning.
+type GemmSpec struct {
+	Dtype            kernelmodel.Dtype
+	TransA, TransB   byte
+	M, N, K          int
+	Alpha, Beta      float64
+	LocA, LocB, LocC model.Loc
+	T                int
+	// DispatchOverheadS inserts a per-sub-kernel dispatch kernel on the
+	// compute stream (comparator runtimes); zero disables it.
+	DispatchOverheadS float64
+	// BlockingWriteback makes the compute stream wait for each output
+	// tile's write-back before the next tile's first kernel.
+	BlockingWriteback bool
+}
+
+// tileState is the planner-side record of one cached device tile: where a
+// kernel finds it (ref) and the fetch op it depends on (ready < 0 means
+// already available — a device-resident operand or an unfetched slot).
+type tileState struct {
+	ref   Ref
+	ready int32
+	live  bool
+}
+
+// tileGrid is the planner-time analog of the scheduler's tile cache.
+type tileGrid struct {
+	tiles []tileState
+	cols  int
+}
+
+func newTileGrid(rows, cols int) tileGrid {
+	return tileGrid{tiles: make([]tileState, rows*cols), cols: cols}
+}
+
+func (g *tileGrid) at(ti, tj int) *tileState { return &g.tiles[ti*g.cols+tj] }
+
+// BuildGemm emits the full-reuse tiled gemm schedule (the paper's Section
+// IV-C scheduler): each input tile is fetched exactly once, output tiles
+// accumulate over K on the compute stream and are written back once. Op
+// emission order matches the imperative scheduler's stream-call order
+// exactly, so replay is event-identical.
+func BuildGemm(spec GemmSpec) *Plan {
+	T := spec.T
+	mt := ceil(spec.M, T)
+	nt := ceil(spec.N, T)
+	kt := ceil(spec.K, T)
+	dt := spec.Dtype
+
+	p := &Plan{
+		Routine: "gemm", Dtype: dt,
+		TransA: spec.TransA, TransB: spec.TransB,
+		M: spec.M, N: spec.N, K: spec.K, T: T,
+		Alpha: spec.Alpha, Beta: spec.Beta,
+		DispatchS: spec.DispatchOverheadS,
+		Locs:      []model.Loc{spec.LocA, spec.LocB, spec.LocC},
+	}
+	b := &builder{p: p}
+
+	// Pre-size the arenas from the known schedule shape: appending tens of
+	// thousands of ops through slice growth would dominate planning time.
+	hostTiles := func(l model.Loc, n int) int {
+		if l == model.OnHost {
+			return n
+		}
+		return 0
+	}
+	aTiles := hostTiles(spec.LocA, mt*kt)
+	bTiles := hostTiles(spec.LocB, kt*nt)
+	cTiles := hostTiles(spec.LocC, mt*nt)
+	kernels := mt * nt * kt
+	kernelOps := kernels
+	if spec.DispatchOverheadS > 0 {
+		kernelOps *= 2
+	}
+	cFetches := 0
+	if spec.Beta != 0 {
+		cFetches = cTiles
+	}
+	slotsCap := aTiles + bTiles + cTiles
+	p.Slots = make([]Slot, 0, slotsCap)
+	p.Ops = make([]Op, 0, slotsCap+aTiles+bTiles+cFetches+kernelOps+cTiles)
+	p.deps = make([]int32, 0, 4*kernels+cTiles)
+
+	// Tile grids are keyed by STORED coordinates, following the transposes.
+	aGridR, aGridC := mt, kt
+	if spec.TransA == blas.Trans {
+		aGridR, aGridC = kt, mt
+	}
+	bGridR, bGridC := kt, nt
+	if spec.TransB == blas.Trans {
+		bGridR, bGridC = nt, kt
+	}
+	aCache := newTileGrid(aGridR, aGridC)
+	bCache := newTileGrid(bGridR, bGridC)
+	cCache := newTileGrid(mt, nt)
+
+	loc := func(arg int8) model.Loc { return p.Locs[arg] }
+
+	// getTile mirrors the scheduler's fetch-once tile cache: device-resident
+	// operands resolve to windows, host-resident ones get a slot (allocated
+	// in first-use order) and, when fetch is set, a fetch op.
+	getTile := func(arg int8, cache *tileGrid, ti, tj, rows, cols int, fetch bool) *tileState {
+		t := cache.at(ti, tj)
+		if t.live {
+			return t
+		}
+		t.live = true
+		if loc(arg) == model.OnDevice {
+			t.ref = argRef(arg, int32(ti*T), int32(tj*T))
+			t.ready = -1
+			return t
+		}
+		slot := b.slot(dt, int64(rows)*int64(cols))
+		b.alloc(slot)
+		t.ref = slotRef(slot, int32(rows))
+		t.ready = -1
+		if fetch {
+			t.ready = b.emit(Op{
+				Kind: OpFetch, Slot: slot,
+				A: argRef(arg, int32(ti*T), int32(tj*T)),
+				M: int32(rows), N: int32(cols),
+			})
+			p.BytesH2D += int64(rows) * int64(cols) * dt.Size()
+		}
+		return t
+	}
+
+	fetchC := spec.Beta != 0 // C contributes only when beta != 0
+	pendingWB := int32(-1)   // blocking write-back awaiting the next kernel
+	lastComp := int32(-1)
+
+	for tj := 0; tj < nt; tj++ {
+		for ti := 0; ti < mt; ti++ {
+			rows := min(T, spec.M-ti*T)
+			cols := min(T, spec.N-tj*T)
+			cTile := getTile(2, &cCache, ti, tj, rows, cols, fetchC)
+			for tk := 0; tk < kt; tk++ {
+				inner := min(T, spec.K-tk*T)
+				ai, aj, ar, ac := ti, tk, rows, inner
+				if spec.TransA == blas.Trans {
+					ai, aj, ar, ac = tk, ti, inner, rows
+				}
+				aTile := getTile(0, &aCache, ai, aj, ar, ac, true)
+				bi, bj, br, bc := tk, tj, inner, cols
+				if spec.TransB == blas.Trans {
+					bi, bj, br, bc = tj, tk, cols, inner
+				}
+				bTile := getTile(1, &bCache, bi, bj, br, bc, true)
+				// Compute-stream waits, in registration order: a pending
+				// blocking write-back attaches first, then the input tiles,
+				// then (first accumulation only) the output tile.
+				b.dep(pendingWB)
+				pendingWB = -1
+				b.dep(aTile.ready)
+				b.dep(bTile.ready)
+				beta := 1.0
+				if tk == 0 {
+					b.dep(cTile.ready)
+					beta = spec.Beta
+					if !fetchC {
+						beta = 0
+					}
+				}
+				if spec.DispatchOverheadS > 0 {
+					// The dispatch kernel drains the pending waits; the gemm
+					// follows it in stream order with no explicit deps.
+					b.emit(Op{Kind: OpKernel, Kernel: KDispatch})
+				}
+				lastComp = b.emit(Op{
+					Kind: OpKernel, Kernel: KGemm,
+					TransA: spec.TransA, TransB: spec.TransB,
+					M: int32(rows), N: int32(cols), K: int32(inner),
+					Beta: betaSel(beta),
+					A:    aTile.ref, B: bTile.ref, C: cTile.ref,
+				})
+				p.Subkernels++
+			}
+			if spec.LocC == model.OnHost {
+				b.dep(lastComp)
+				wb := b.emit(Op{
+					Kind: OpWriteback, Slot: cTile.ref.Slot,
+					A: argRef(2, int32(ti*T), int32(tj*T)),
+					M: int32(rows), N: int32(cols),
+				})
+				p.BytesD2H += int64(rows) * int64(cols) * dt.Size()
+				if spec.BlockingWriteback {
+					pendingWB = wb
+				}
+			}
+		}
+	}
+	if pendingWB >= 0 {
+		p.TailComp = append(p.TailComp, pendingWB)
+	}
+	return finish(p)
+}
+
+// BuildGemmNoReuse emits the stateless-sub-kernel schedule: every
+// sub-kernel fetches fresh tiles of its host-resident operands through a
+// bounded set of staging slot groups and writes its C tile back
+// immediately. freeBytes is the device memory available for staging at
+// plan time; it sizes the slot depth exactly as the imperative scheduler
+// did, so the plan embeds the staging depth.
+func BuildGemmNoReuse(spec GemmSpec, freeBytes int64) *Plan {
+	T := spec.T
+	mt := ceil(spec.M, T)
+	nt := ceil(spec.N, T)
+	kt := ceil(spec.K, T)
+	dt := spec.Dtype
+
+	p := &Plan{
+		Routine: "gemm-noreuse", Dtype: dt,
+		TransA: blas.NoTrans, TransB: blas.NoTrans,
+		M: spec.M, N: spec.N, K: spec.K, T: T,
+		Alpha: spec.Alpha, Beta: spec.Beta,
+		Locs: []model.Loc{spec.LocA, spec.LocB, spec.LocC},
+	}
+	b := &builder{p: p}
+
+	tileA := int64(min(T, spec.M)) * int64(min(T, spec.K))
+	tileB := int64(min(T, spec.K)) * int64(min(T, spec.N))
+	tileC := int64(min(T, spec.M)) * int64(min(T, spec.N))
+	var groupBytes int64
+	if spec.LocA == model.OnHost {
+		groupBytes += tileA * dt.Size()
+	}
+	if spec.LocB == model.OnHost {
+		groupBytes += tileB * dt.Size()
+	}
+	if spec.LocC == model.OnHost {
+		groupBytes += tileC * dt.Size()
+	}
+	nSlots := MaxNoReuseSlots
+	if groupBytes > 0 {
+		if byMem := int(freeBytes / (groupBytes + groupBytes/8)); byMem < nSlots {
+			nSlots = byMem
+		}
+		if nSlots < 2 {
+			nSlots = 2
+		}
+	}
+
+	// Pre-size the arenas (see BuildGemm): sk sub-kernels each emit up to
+	// three fetches, the kernel and a write-back, with a handful of
+	// dependency edges apiece.
+	sk := mt * nt * kt
+	hostOperands, fetchesPerSk := 0, 0
+	if spec.LocA == model.OnHost {
+		hostOperands, fetchesPerSk = hostOperands+1, fetchesPerSk+1
+	}
+	if spec.LocB == model.OnHost {
+		hostOperands, fetchesPerSk = hostOperands+1, fetchesPerSk+1
+	}
+	cFetches, wbs := 0, 0
+	if spec.LocC == model.OnHost {
+		hostOperands++
+		wbs = sk
+		cFetches = sk
+		if spec.Beta == 0 {
+			cFetches -= mt * nt
+		}
+	}
+	allocs := nSlots * hostOperands
+	p.Slots = make([]Slot, 0, allocs)
+	p.Ops = make([]Op, 0, allocs+fetchesPerSk*sk+cFetches+sk+wbs)
+	p.deps = make([]int32, 0, 6*sk)
+
+	type group struct {
+		a, b, c                   int32
+		lastKernel, lastWriteback int32
+	}
+	groups := make([]group, nSlots)
+	for i := range groups {
+		g := &groups[i]
+		*g = group{a: -1, b: -1, c: -1, lastKernel: -1, lastWriteback: -1}
+		if spec.LocA == model.OnHost {
+			g.a = b.slot(dt, tileA)
+			b.alloc(g.a)
+		}
+		if spec.LocB == model.OnHost {
+			g.b = b.slot(dt, tileB)
+			b.alloc(g.b)
+		}
+		if spec.LocC == model.OnHost {
+			g.c = b.slot(dt, tileC)
+			b.alloc(g.c)
+		}
+	}
+
+	writebackOf := make([]int32, mt*nt)
+	for i := range writebackOf {
+		writebackOf[i] = -1
+	}
+
+	// pendingH2D carries h2d-stream waits (slot-reuse hazards) to the next
+	// fetch op, exactly as Stream.WaitEvent accumulates waits until the
+	// next enqueue on the stream.
+	var pendingH2D []int32
+	lastH2D := int32(-1)
+
+	idx := 0
+	for tk := 0; tk < kt; tk++ {
+		inner := min(T, spec.K-tk*T)
+		for tj := 0; tj < nt; tj++ {
+			for ti := 0; ti < mt; ti++ {
+				rows := min(T, spec.M-ti*T)
+				cols := min(T, spec.N-tj*T)
+				g := &groups[idx%nSlots]
+				idx++
+				if g.lastKernel >= 0 {
+					pendingH2D = append(pendingH2D, g.lastKernel)
+				}
+				if g.lastWriteback >= 0 {
+					pendingH2D = append(pendingH2D, g.lastWriteback)
+				}
+
+				emitFetch := func(arg int8, slot, row, col, r, cl int) int32 {
+					for _, d := range pendingH2D {
+						b.dep(d)
+					}
+					pendingH2D = pendingH2D[:0]
+					id := b.emit(Op{
+						Kind: OpFetch, Slot: int32(slot),
+						A: argRef(arg, int32(row), int32(col)),
+						M: int32(r), N: int32(cl),
+					})
+					p.BytesH2D += int64(r) * int64(cl) * dt.Size()
+					lastH2D = id
+					return id
+				}
+
+				aRef := argRef(0, int32(ti*T), int32(tk*T))
+				if spec.LocA == model.OnHost {
+					emitFetch(0, int(g.a), ti*T, tk*T, rows, inner)
+					aRef = slotRef(g.a, int32(rows))
+				}
+				bRef := argRef(1, int32(tk*T), int32(tj*T))
+				if spec.LocB == model.OnHost {
+					emitFetch(1, int(g.b), tk*T, tj*T, inner, cols)
+					bRef = slotRef(g.b, int32(inner))
+				}
+				beta := 1.0
+				cRef := argRef(2, int32(ti*T), int32(tj*T))
+				if spec.LocC == model.OnHost {
+					cRef = slotRef(g.c, int32(rows))
+					fetch := tk > 0 || spec.Beta != 0
+					if fetch {
+						// The previous write-back of this C tile must land in
+						// host memory before the re-read: it joins the
+						// pending waits after the slot-reuse hazards.
+						if wb := writebackOf[ti*nt+tj]; wb >= 0 {
+							pendingH2D = append(pendingH2D, wb)
+						}
+						emitFetch(2, int(g.c), ti*T, tj*T, rows, cols)
+						if tk == 0 {
+							beta = spec.Beta
+						}
+					} else {
+						beta = 0
+					}
+				} else if tk == 0 {
+					beta = spec.Beta
+				}
+
+				// The kernel waits on the h2d stream's tail (everything
+				// fetched so far), mirroring comp.WaitEvent(h2d.Record()).
+				b.dep(lastH2D)
+				kid := b.emit(Op{
+					Kind: OpKernel, Kernel: KGemm,
+					TransA: blas.NoTrans, TransB: blas.NoTrans,
+					M: int32(rows), N: int32(cols), K: int32(inner),
+					Beta: betaSel(beta),
+					A:    aRef, B: bRef, C: cRef,
+				})
+				p.Subkernels++
+				g.lastKernel = kid
+
+				if spec.LocC == model.OnHost {
+					b.dep(kid)
+					wb := b.emit(Op{
+						Kind: OpWriteback, Slot: g.c,
+						A: argRef(2, int32(ti*T), int32(tj*T)),
+						M: int32(rows), N: int32(cols),
+					})
+					p.BytesD2H += int64(rows) * int64(cols) * dt.Size()
+					g.lastWriteback = wb
+					writebackOf[ti*nt+tj] = wb
+				}
+			}
+		}
+	}
+	p.TailH2D = append(p.TailH2D, pendingH2D...)
+	return finish(p)
+}
+
+func ceil(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,423 @@
+// Package plan defines the tile-operation IR shared by every scheduler in
+// this repository: a compact, deterministic description of one routine
+// invocation as a sequence of slot allocations, tile fetches, kernel
+// launches and write-backs with explicit dependency edges and
+// transfer-volume annotations.
+//
+// A plan is a pure function of the routine geometry, the tiling size, the
+// operand location vector and the scheduling knobs — it references operands
+// symbolically (by argument index), never by pointer, so one plan can be
+// replayed against any operand set of the same shape, on any
+// sched.Context/cudart.Runtime, and memoized across repetitions.
+//
+// Replay preserves the simulation's event total order: the executor walks
+// the op list in emission order, registers each op's dependency waits in
+// their recorded order, and enqueues exactly the stream call the imperative
+// scheduler would have issued — so the (at, seq) order of every discrete
+// event, and therefore every timing and payload result, is byte-identical
+// to direct scheduling.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cocopelia/internal/blas"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/model"
+)
+
+// Kind is the operation class of one plan op. The executing stream is
+// implied: fetches run on the h2d stream, write-backs on the d2h stream,
+// kernels on the compute stream, and allocations touch no stream.
+type Kind uint8
+
+// The op kinds.
+const (
+	OpAlloc Kind = iota
+	OpFetch
+	OpKernel
+	OpWriteback
+)
+
+// Kernel is the kernel sub-kind of an OpKernel op.
+type Kernel uint8
+
+// The kernel sub-kinds. KDispatch models a comparator runtime's
+// per-sub-kernel dispatch overhead and does not count as a sub-kernel.
+const (
+	KGemm Kernel = iota
+	KGemv
+	KAxpy
+	KDispatch
+)
+
+// Ref locates one kernel operand: either a staging slot (Slot >= 0) or a
+// window of the bound operand Arg (Slot < 0) at element coordinates
+// (Row, Col); the executor resolves the window against the operand's
+// device buffer and leading dimension at replay time, so plans stay
+// layout-agnostic. A staging-slot reference needs no coordinates, so Row
+// doubles as the slot's leading dimension (0 for vectors).
+type Ref struct {
+	Slot     int32
+	Arg      int8
+	Row, Col int32
+}
+
+// slotRef builds a staging-slot reference; Row carries the leading
+// dimension.
+func slotRef(slot, ld int32) Ref { return Ref{Slot: slot, Row: ld} }
+
+// argRef builds a bound-operand window reference.
+func argRef(arg int8, row, col int32) Ref {
+	return Ref{Slot: -1, Arg: arg, Row: row, Col: col}
+}
+
+// BetaSel selects a kernel op's beta scalar without storing a float64 per
+// op: every schedule in this repository launches kernels whose beta is 0,
+// 1 (accumulation) or the routine's own beta.
+type BetaSel uint8
+
+// The beta selectors.
+const (
+	BetaZero BetaSel = iota
+	BetaOne
+	BetaPlan
+)
+
+// Op is one plan operation. The encoding is deliberately compact — large
+// no-reuse plans run to ~10^5 ops, and both planning cost and replay cache
+// traffic scale with the op size — so kernel and transfer ops overlay the
+// same fields and per-plan constants live on the Plan, not the op:
+//
+//   - Kernels carry the launch shape (M, N, K) and operand references
+//     (A, B, C) of the matching cudart call; alpha is the plan's alpha,
+//     beta is selected by Beta, and a dispatch op's duration is the plan's
+//     DispatchS.
+//   - Transfers (OpFetch, OpWriteback) move an M x N element window of one
+//     bound operand through staging slot Slot, reusing A as the host-side
+//     window (operand index and element coordinates); N == 0 marks a 1-D
+//     vector transfer of M elements. The byte volume is derived, not
+//     stored (see Plan.opBytes).
+//
+// Dependencies reference earlier op ids and are stored in the plan's
+// shared arena.
+type Op struct {
+	Kind           Kind
+	Kernel         Kernel
+	TransA, TransB byte
+	Beta           BetaSel
+	Slot           int32
+	M, N, K        int32
+	A, B, C        Ref
+	depOff, depN   int32
+	// Ev is the op's slot in the executor's completion-event table, or -1
+	// when no later op waits on this op (most kernels and write-backs).
+	// Keeping the table dense over referenced ops only — rather than one
+	// entry per op — keeps the per-replay pointer scratch small.
+	Ev int32
+}
+
+// opBeta resolves a kernel op's beta selector against the plan scalar.
+func (p *Plan) opBeta(o *Op) float64 {
+	switch o.Beta {
+	case BetaZero:
+		return 0
+	case BetaOne:
+		return 1
+	}
+	return p.Beta
+}
+
+// betaSel encodes a planner-computed beta, which is always +0, 1 or the
+// plan's own beta, as a selector. The comparison is on bit patterns so
+// replay reproduces the planner's float exactly (e.g. a beta of -0.0
+// stays the plan scalar rather than collapsing to +0).
+func betaSel(beta float64) BetaSel {
+	switch math.Float64bits(beta) {
+	case 0:
+		return BetaZero
+	case math.Float64bits(1):
+		return BetaOne
+	}
+	return BetaPlan
+}
+
+// opBytes derives a transfer op's byte volume from its window shape and
+// the plan dtype (vector transfers are always float64 in this repository's
+// routines, which F64.Size covers).
+func (p *Plan) opBytes(o *Op) int64 {
+	if o.N == 0 {
+		return int64(o.M) * p.Dtype.Size()
+	}
+	return int64(o.M) * int64(o.N) * p.Dtype.Size()
+}
+
+// Slot describes one staging buffer the executor acquires from the
+// context's pool before the ops that reference it run.
+type Slot struct {
+	Dtype kernelmodel.Dtype
+	Elems int64
+}
+
+// Plan is one routine invocation in IR form.
+type Plan struct {
+	// Routine identifies the schedule family: "gemm", "gemm-noreuse",
+	// "gemv" or "axpy".
+	Routine        string
+	Dtype          kernelmodel.Dtype
+	TransA, TransB byte
+	M, N, K        int
+	T              int
+	Alpha, Beta    float64
+	// DispatchS is the duration of the plan's dispatch ops, when the
+	// schedule has them (comparator runtimes); zero otherwise.
+	DispatchS float64
+	// Locs is the operand location vector in argument order (gemm: A, B,
+	// C; gemv: A, x, y; axpy: x, y).
+	Locs []model.Loc
+
+	Slots []Slot
+	Ops   []Op
+	deps  []int32
+
+	// TailH2D and TailComp are op ids whose completion events the original
+	// schedule left as pending (unconsumed) stream waits at return; the
+	// executor re-registers them so the stream state after replay is
+	// identical to direct scheduling.
+	TailH2D, TailComp []int32
+
+	// Transfer-volume annotations: the totals the schedule will move and
+	// launch, computed at plan time (not accumulated during execution).
+	Subkernels         int64
+	BytesH2D, BytesD2H int64
+
+	// EvSlots is the size of the executor's completion-event table: the
+	// number of ops some later op (or tail wait) depends on.
+	EvSlots int
+}
+
+// NumArgs returns the number of operand bindings the plan expects.
+func (p *Plan) NumArgs() int { return len(p.Locs) }
+
+// Deps returns op i's dependency list: ids of earlier ops whose completion
+// events must be waited on, in registration order.
+func (p *Plan) Deps(i int) []int32 {
+	o := &p.Ops[i]
+	return p.deps[o.depOff : o.depOff+o.depN]
+}
+
+// Volumes summarizes a plan's annotated traffic.
+type Volumes struct {
+	BytesH2D, BytesD2H int64
+	Subkernels         int64
+}
+
+// Volumes returns the plan's transfer-volume annotations.
+func (p *Plan) Volumes() Volumes {
+	return Volumes{BytesH2D: p.BytesH2D, BytesD2H: p.BytesD2H, Subkernels: p.Subkernels}
+}
+
+// builder accumulates ops and dependency edges while a planner runs.
+// Dependencies for the op being built are appended to the arena before
+// emit; dep ignores absent edges (negative ids), mirroring WaitEvent's
+// no-op on pre-completed events.
+type builder struct {
+	p        *Plan
+	depStart int32
+}
+
+// dep records a dependency for the next emitted op. id < 0 (the planner's
+// encoding of an already-completed event) is skipped.
+func (b *builder) dep(id int32) {
+	if id >= 0 {
+		b.p.deps = append(b.p.deps, id)
+	}
+}
+
+// emit appends the op, binding the dependencies recorded since the last
+// emit, and returns its id.
+func (b *builder) emit(o Op) int32 {
+	o.depOff = b.depStart
+	o.depN = int32(len(b.p.deps)) - b.depStart
+	b.depStart = int32(len(b.p.deps))
+	id := int32(len(b.p.Ops))
+	b.p.Ops = append(b.p.Ops, o)
+	return id
+}
+
+// slot registers a staging buffer shape and returns its slot id.
+func (b *builder) slot(dt kernelmodel.Dtype, elems int64) int32 {
+	id := int32(len(b.p.Slots))
+	b.p.Slots = append(b.p.Slots, Slot{Dtype: dt, Elems: elems})
+	return id
+}
+
+// alloc emits the pool acquisition of a slot (allocation order is part of
+// the IR: it determines pool-eviction behaviour and the device's memory
+// peak, which replay must reproduce).
+func (b *builder) alloc(slot int32) int32 {
+	return b.emit(Op{Kind: OpAlloc, Slot: slot})
+}
+
+// finish assigns the completion-event slots: every op referenced by a
+// dependency edge or a tail wait gets a dense table index in
+// first-reference order, all others get -1. Called once by each planner
+// after emission.
+func finish(p *Plan) *Plan {
+	for i := range p.Ops {
+		p.Ops[i].Ev = -1
+	}
+	n := int32(0)
+	mark := func(id int32) {
+		if p.Ops[id].Ev < 0 {
+			p.Ops[id].Ev = n
+			n++
+		}
+	}
+	for _, d := range p.deps {
+		mark(d)
+	}
+	for _, id := range p.TailH2D {
+		mark(id)
+	}
+	for _, id := range p.TailComp {
+		mark(id)
+	}
+	p.EvSlots = int(n)
+	return p
+}
+
+// argNames returns the operand letters of a routine for dumps.
+func argNames(routine string) []string {
+	switch routine {
+	case "gemv":
+		return []string{"A", "x", "y"}
+	case "axpy":
+		return []string{"x", "y"}
+	}
+	return []string{"A", "B", "C"}
+}
+
+// locString renders a location vector as compact letters (H/D).
+func locString(locs []model.Loc) string {
+	var sb strings.Builder
+	for _, l := range locs {
+		if l == model.OnDevice {
+			sb.WriteByte('D')
+		} else {
+			sb.WriteByte('H')
+		}
+	}
+	return sb.String()
+}
+
+// transString renders a transpose pair ("nn", "nt", ...).
+func transString(ta, tb byte) string {
+	f := func(t byte) byte {
+		if t == blas.Trans {
+			return 't'
+		}
+		return 'n'
+	}
+	return string([]byte{f(ta), f(tb)})
+}
+
+// refString renders a kernel operand reference.
+func refString(r Ref, names []string) string {
+	if r.Slot >= 0 {
+		if r.Row > 0 { // a slot ref's Row carries the leading dimension
+			return fmt.Sprintf("s%d(ld=%d)", r.Slot, r.Row)
+		}
+		return fmt.Sprintf("s%d", r.Slot)
+	}
+	return fmt.Sprintf("%s[%d,%d]", names[r.Arg], r.Row, r.Col)
+}
+
+// Dump renders the plan as deterministic text: one line per slot and op,
+// with ids, kinds, shapes, dependency edges and byte volumes. The format
+// is stable — golden tests and the cocomodel -dump-plan flag both pin it.
+func (p *Plan) Dump() string {
+	var sb strings.Builder
+	names := argNames(p.Routine)
+	fmt.Fprintf(&sb, "plan %s dtype=%s trans=%s m=%d n=%d k=%d T=%d alpha=%g beta=%g locs=%s\n",
+		p.Routine, p.Dtype, transString(p.TransA, p.TransB),
+		p.M, p.N, p.K, p.T, p.Alpha, p.Beta, locString(p.Locs))
+	fmt.Fprintf(&sb, "slots %d\n", len(p.Slots))
+	for i, s := range p.Slots {
+		fmt.Fprintf(&sb, "  s%d %s elems=%d\n", i, s.Dtype, s.Elems)
+	}
+	fmt.Fprintf(&sb, "ops %d\n", len(p.Ops))
+	for i := range p.Ops {
+		fmt.Fprintf(&sb, "  o%d %s", i, opString(p, int32(i), names))
+		if deps := p.Deps(i); len(deps) > 0 {
+			sb.WriteString(" deps=[")
+			for j, d := range deps {
+				if j > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "o%d", d)
+			}
+			sb.WriteByte(']')
+		}
+		sb.WriteByte('\n')
+	}
+	if len(p.TailH2D) > 0 || len(p.TailComp) > 0 {
+		fmt.Fprintf(&sb, "tail h2d=%s comp=%s\n", idList(p.TailH2D), idList(p.TailComp))
+	}
+	fmt.Fprintf(&sb, "volumes h2d=%d d2h=%d subkernels=%d\n",
+		p.BytesH2D, p.BytesD2H, p.Subkernels)
+	return sb.String()
+}
+
+// idList renders a list of op ids.
+func idList(ids []int32) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for j, d := range ids {
+		if j > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "o%d", d)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// opString renders one op (without id or deps).
+func opString(p *Plan, i int32, names []string) string {
+	o := &p.Ops[i]
+	switch o.Kind {
+	case OpAlloc:
+		return fmt.Sprintf("alloc s%d", o.Slot)
+	case OpFetch:
+		if o.N == 0 {
+			return fmt.Sprintf("fetch %s[%d:+%d] -> s%d bytes=%d",
+				names[o.A.Arg], o.A.Row, o.M, o.Slot, p.opBytes(o))
+		}
+		return fmt.Sprintf("fetch %s[%d,%d %dx%d] -> s%d bytes=%d",
+			names[o.A.Arg], o.A.Row, o.A.Col, o.M, o.N, o.Slot, p.opBytes(o))
+	case OpWriteback:
+		if o.N == 0 {
+			return fmt.Sprintf("writeback s%d -> %s[%d:+%d] bytes=%d",
+				o.Slot, names[o.A.Arg], o.A.Row, o.M, p.opBytes(o))
+		}
+		return fmt.Sprintf("writeback s%d -> %s[%d,%d %dx%d] bytes=%d",
+			o.Slot, names[o.A.Arg], o.A.Row, o.A.Col, o.M, o.N, p.opBytes(o))
+	}
+	switch o.Kernel {
+	case KDispatch:
+		return fmt.Sprintf("dispatch dur=%gs", p.DispatchS)
+	case KGemm:
+		return fmt.Sprintf("gemm %s m=%d n=%d k=%d alpha=%g beta=%g A=%s B=%s C=%s",
+			transString(o.TransA, o.TransB), o.M, o.N, o.K, p.Alpha, p.opBeta(o),
+			refString(o.A, names), refString(o.B, names), refString(o.C, names))
+	case KGemv:
+		return fmt.Sprintf("gemv m=%d n=%d alpha=%g beta=%g A=%s x=%s y=%s",
+			o.M, o.N, p.Alpha, p.opBeta(o),
+			refString(o.A, names), refString(o.B, names), refString(o.C, names))
+	}
+	return fmt.Sprintf("axpy n=%d alpha=%g x=%s y=%s",
+		o.N, p.Alpha, refString(o.A, names), refString(o.C, names))
+}

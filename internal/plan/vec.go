@@ -1,0 +1,202 @@
+package plan
+
+import (
+	"cocopelia/internal/blas"
+	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/model"
+)
+
+// GemvSpec parameterizes the level-2 planner (y = alpha*A*x + beta*y,
+// float64, A stored MxN).
+type GemvSpec struct {
+	M, N              int
+	Alpha, Beta       float64
+	LocA, LocX, LocY  model.Loc
+	T                 int
+	BlockingWriteback bool
+}
+
+// BuildGemv emits the level-2 schedule: A tiles fetched per sub-kernel, x
+// chunks fetched once and reused down each tile column, y chunks
+// accumulating on the device and written back once per tile row.
+func BuildGemv(spec GemvSpec) *Plan {
+	T := spec.T
+	mt := ceil(spec.M, T)
+	nt := ceil(spec.N, T)
+
+	p := &Plan{
+		Routine: "gemv", Dtype: kernelmodel.F64,
+		TransA: blas.NoTrans, TransB: blas.NoTrans,
+		M: spec.M, N: spec.N, T: T,
+		Alpha: spec.Alpha, Beta: spec.Beta,
+		Locs: []model.Loc{spec.LocA, spec.LocX, spec.LocY},
+	}
+	b := &builder{p: p}
+
+	// x chunks: fetched once, reused by every tile row.
+	xChunks := make([]tileState, nt)
+	getX := func(tj, n int) *tileState {
+		ch := &xChunks[tj]
+		if ch.live {
+			return ch
+		}
+		ch.live = true
+		if spec.LocX == model.OnDevice {
+			ch.ref = argRef(1, int32(tj*T), 0)
+			ch.ready = -1
+			return ch
+		}
+		slot := b.slot(kernelmodel.F64, int64(n))
+		b.alloc(slot)
+		ch.ref = slotRef(slot, 0)
+		ch.ready = b.emit(Op{
+			Kind: OpFetch, Slot: slot,
+			A: argRef(1, int32(tj*T), 0), M: int32(n),
+		})
+		p.BytesH2D += int64(n) * 8
+		return ch
+	}
+
+	pendingWB := int32(-1)
+	lastComp := int32(-1)
+
+	for ti := 0; ti < mt; ti++ {
+		rows := min(T, spec.M-ti*T)
+		var yRef Ref
+		ySlot := int32(-1)
+		yReady := int32(-1)
+		if spec.LocY == model.OnDevice {
+			yRef = argRef(2, int32(ti*T), 0)
+		} else {
+			ySlot = b.slot(kernelmodel.F64, int64(rows))
+			b.alloc(ySlot)
+			yRef = slotRef(ySlot, 0)
+			if spec.Beta != 0 {
+				yReady = b.emit(Op{
+					Kind: OpFetch, Slot: ySlot,
+					A: argRef(2, int32(ti*T), 0), M: int32(rows),
+				})
+				p.BytesH2D += int64(rows) * 8
+			}
+		}
+
+		for tj := 0; tj < nt; tj++ {
+			cols := min(T, spec.N-tj*T)
+			xc := getX(tj, cols)
+			aRef := argRef(0, int32(ti*T), int32(tj*T))
+			aReady := int32(-1)
+			if spec.LocA == model.OnHost {
+				slot := b.slot(kernelmodel.F64, int64(rows)*int64(cols))
+				b.alloc(slot)
+				aReady = b.emit(Op{
+					Kind: OpFetch, Slot: slot,
+					A: argRef(0, int32(ti*T), int32(tj*T)),
+					M: int32(rows), N: int32(cols),
+				})
+				p.BytesH2D += int64(rows) * int64(cols) * 8
+				aRef = slotRef(slot, int32(rows))
+			}
+
+			// Compute-stream waits, in registration order: pending blocking
+			// write-back, the A fetch, the x chunk, then (first column only)
+			// the y chunk.
+			b.dep(pendingWB)
+			pendingWB = -1
+			b.dep(aReady)
+			b.dep(xc.ready)
+			beta := 1.0
+			if tj == 0 {
+				b.dep(yReady)
+				beta = spec.Beta
+				if spec.LocY == model.OnHost && spec.Beta == 0 {
+					beta = 0
+				}
+			}
+			lastComp = b.emit(Op{
+				Kind: OpKernel, Kernel: KGemv,
+				M: int32(rows), N: int32(cols),
+				Beta: betaSel(beta),
+				A:    aRef, B: xc.ref, C: yRef,
+			})
+			p.Subkernels++
+		}
+
+		if spec.LocY == model.OnHost {
+			b.dep(lastComp)
+			wb := b.emit(Op{
+				Kind: OpWriteback, Slot: ySlot,
+				A: argRef(2, int32(ti*T), 0), M: int32(rows),
+			})
+			p.BytesD2H += int64(rows) * 8
+			if spec.BlockingWriteback {
+				pendingWB = wb
+			}
+		}
+	}
+	if pendingWB >= 0 {
+		p.TailComp = append(p.TailComp, pendingWB)
+	}
+	return finish(p)
+}
+
+// AxpySpec parameterizes the level-1 planner (y += alpha*x, float64).
+type AxpySpec struct {
+	N          int
+	Alpha      float64
+	LocX, LocY model.Loc
+	T          int
+}
+
+// BuildAxpy emits the level-1 schedule: independent 1-D chunks, each with
+// its own staging slots, pipelined across the three streams.
+func BuildAxpy(spec AxpySpec) *Plan {
+	p := &Plan{
+		Routine: "axpy", Dtype: kernelmodel.F64,
+		TransA: blas.NoTrans, TransB: blas.NoTrans,
+		N: spec.N, T: spec.T,
+		Alpha: spec.Alpha,
+		Locs:  []model.Loc{spec.LocX, spec.LocY},
+	}
+	b := &builder{p: p}
+
+	chunks := ceil(spec.N, spec.T)
+	for ci := 0; ci < chunks; ci++ {
+		off := ci * spec.T
+		n := min(spec.T, spec.N-off)
+
+		chunk := func(arg int8) (Ref, int32) {
+			if p.Locs[arg] == model.OnDevice {
+				return argRef(arg, int32(off), 0), -1
+			}
+			slot := b.slot(kernelmodel.F64, int64(n))
+			b.alloc(slot)
+			ready := b.emit(Op{
+				Kind: OpFetch, Slot: slot,
+				A: argRef(arg, int32(off), 0), M: int32(n),
+			})
+			p.BytesH2D += int64(n) * 8
+			return slotRef(slot, 0), ready
+		}
+		xRef, xReady := chunk(0)
+		yRef, yReady := chunk(1)
+
+		b.dep(xReady)
+		b.dep(yReady)
+		kid := b.emit(Op{
+			Kind: OpKernel, Kernel: KAxpy,
+			N: int32(n),
+			A: xRef, C: yRef,
+		})
+		p.Subkernels++
+
+		if spec.LocY == model.OnHost {
+			b.dep(kid)
+			b.emit(Op{
+				Kind: OpWriteback, Slot: yRef.Slot,
+				A: argRef(1, int32(off), 0), M: int32(n),
+			})
+			p.BytesD2H += int64(n) * 8
+		}
+	}
+	return finish(p)
+}

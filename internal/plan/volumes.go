@@ -1,0 +1,59 @@
+package plan
+
+import "cocopelia/internal/model"
+
+// GemmVolumes returns, in closed form, the transfer-volume annotations the
+// full-reuse gemm planner (BuildGemm) emits, without building the plan:
+// each host-resident input crosses the link exactly once (tile raggedness
+// cancels — the stored tiles partition the matrix), C is fetched only when
+// beta contributes, and written back once when host-resident. Layers that
+// only need a plan's traffic summary (the hybrid split planner) use this
+// instead of materializing ops.
+func GemmVolumes(spec GemmSpec) Volumes {
+	sz := spec.Dtype.Size()
+	mt := int64(ceil(spec.M, spec.T))
+	nt := int64(ceil(spec.N, spec.T))
+	kt := int64(ceil(spec.K, spec.T))
+	v := Volumes{Subkernels: mt * nt * kt}
+	if spec.LocA == model.OnHost {
+		v.BytesH2D += int64(spec.M) * int64(spec.K) * sz
+	}
+	if spec.LocB == model.OnHost {
+		v.BytesH2D += int64(spec.K) * int64(spec.N) * sz
+	}
+	if spec.LocC == model.OnHost {
+		if spec.Beta != 0 {
+			v.BytesH2D += int64(spec.M) * int64(spec.N) * sz
+		}
+		v.BytesD2H += int64(spec.M) * int64(spec.N) * sz
+	}
+	return v
+}
+
+// GemmNoReuseVolumes returns the closed-form annotations of the
+// stateless-sub-kernel planner (BuildGemmNoReuse): every sub-kernel
+// re-fetches its host-resident tiles (A crosses once per output column
+// block, B once per output row block, C once per K step with a write-back
+// each), independent of the staging depth.
+func GemmNoReuseVolumes(spec GemmSpec) Volumes {
+	sz := spec.Dtype.Size()
+	mt := int64(ceil(spec.M, spec.T))
+	nt := int64(ceil(spec.N, spec.T))
+	kt := int64(ceil(spec.K, spec.T))
+	v := Volumes{Subkernels: mt * nt * kt}
+	if spec.LocA == model.OnHost {
+		v.BytesH2D += nt * int64(spec.M) * int64(spec.K) * sz
+	}
+	if spec.LocB == model.OnHost {
+		v.BytesH2D += mt * int64(spec.K) * int64(spec.N) * sz
+	}
+	if spec.LocC == model.OnHost {
+		fetches := kt - 1
+		if spec.Beta != 0 {
+			fetches = kt
+		}
+		v.BytesH2D += fetches * int64(spec.M) * int64(spec.N) * sz
+		v.BytesD2H += kt * int64(spec.M) * int64(spec.N) * sz
+	}
+	return v
+}

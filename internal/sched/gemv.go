@@ -4,10 +4,8 @@ import (
 	"errors"
 	"fmt"
 
-	"cocopelia/internal/blas"
-	"cocopelia/internal/cudart"
 	"cocopelia/internal/kernelmodel"
-	"cocopelia/internal/model"
+	"cocopelia/internal/plan"
 )
 
 // GemvOpts parameterizes a tiled level-2 invocation
@@ -21,177 +19,71 @@ type GemvOpts struct {
 	T int
 }
 
+// validateGemv checks the level-2 invocation.
+func (c *Context) validateGemv(opts GemvOpts) error {
+	if opts.M <= 0 || opts.N <= 0 {
+		return fmt.Errorf("sched: non-positive gemv dims %dx%d", opts.M, opts.N)
+	}
+	if opts.T <= 0 {
+		return fmt.Errorf("sched: non-positive tiling size %d", opts.T)
+	}
+	if err := opts.A.Validate("A", kernelmodel.F64, c.backed); err != nil {
+		return err
+	}
+	if err := opts.X.Validate("x", c.backed); err != nil {
+		return err
+	}
+	if err := opts.Y.Validate("y", c.backed); err != nil {
+		return err
+	}
+	if opts.A.Rows != opts.M || opts.A.Cols != opts.N || opts.X.N != opts.N || opts.Y.N != opts.M {
+		return errors.New("sched: operand shapes inconsistent with m, n")
+	}
+	return nil
+}
+
+// PlanGemv validates the invocation and builds its level-2 plan.
+func (c *Context) PlanGemv(opts GemvOpts) (*plan.Plan, error) {
+	if err := c.validateGemv(opts); err != nil {
+		return nil, err
+	}
+	return plan.BuildGemv(plan.GemvSpec{
+		M: opts.M, N: opts.N,
+		Alpha: opts.Alpha, Beta: opts.Beta,
+		LocA: opts.A.Loc, LocX: opts.X.Loc, LocY: opts.Y.Loc,
+		T:                 opts.T,
+		BlockingWriteback: c.blockingWriteback,
+	}), nil
+}
+
+// gemvArgs binds the gemv operands in plan argument order.
+func gemvArgs(opts GemvOpts) []plan.Arg {
+	return []plan.Arg{{Mat: opts.A}, {Vec: opts.X}, {Vec: opts.Y}}
+}
+
 // Gemv executes the level-2 path of the tile scheduler (Section III-C:
 // two tiled dimensions, square tiling, modest vector reuse): A is split
 // into TxT tiles each fetched once, x chunks are fetched once and reused
 // down each tile column, and y chunks accumulate on the device and are
 // written back once after their last partial product.
 func (c *Context) Gemv(opts GemvOpts) (Result, error) {
-	if opts.M <= 0 || opts.N <= 0 {
-		return Result{}, fmt.Errorf("sched: non-positive gemv dims %dx%d", opts.M, opts.N)
-	}
-	if opts.T <= 0 {
-		return Result{}, fmt.Errorf("sched: non-positive tiling size %d", opts.T)
-	}
-	if err := opts.A.Validate("A", kernelmodel.F64, c.backed); err != nil {
-		return Result{}, err
-	}
-	if err := opts.X.Validate("x", c.backed); err != nil {
-		return Result{}, err
-	}
-	if err := opts.Y.Validate("y", c.backed); err != nil {
-		return Result{}, err
-	}
-	if opts.A.Rows != opts.M || opts.A.Cols != opts.N || opts.X.N != opts.N || opts.Y.N != opts.M {
-		return Result{}, errors.New("sched: operand shapes inconsistent with m, n")
-	}
-
-	T := opts.T
-	mt := ceil(opts.M, T)
-	nt := ceil(opts.N, T)
-	res := Result{T: T}
-	start := c.rt.Now()
-	var pooled []*cudart.DevBuffer
-	fail := func(err error) (Result, error) {
-		for _, b := range pooled {
-			c.release(b)
-		}
-		return Result{}, err
-	}
-
-	// x chunks: fetched once, reused by every tile row (vector reuse). The
-	// chunk grid reuses context-owned backing; ready == nil marks an unused
-	// slot.
-	if cap(c.xChunks) < nt {
-		c.xChunks = make([]vecChunk, nt)
-	}
-	xChunks := c.xChunks[:nt]
-	for i := range xChunks {
-		xChunks[i] = vecChunk{}
-	}
-	getX := func(tj, n int) (*vecChunk, error) {
-		ch := &xChunks[tj]
-		if ch.ready != nil {
-			return ch, nil
-		}
-		if opts.X.Loc == model.OnDevice {
-			*ch = vecChunk{buf: opts.X.Dev, off: int64(tj * T), ready: cudart.DoneEvent()}
-			return ch, nil
-		}
-		buf, err := c.acquire(kernelmodel.F64, int64(n))
-		if err != nil {
-			return nil, err
-		}
-		pooled = append(pooled, buf)
-		var host []float64
-		if opts.X.HostF64 != nil {
-			host = opts.X.HostF64[tj*T:]
-		}
-		ev, err := c.h2d.MemcpyH2DAsync(buf, 0, host, nil, int64(n))
-		if err != nil {
-			return nil, err
-		}
-		res.BytesH2D += int64(n) * 8
-		*ch = vecChunk{buf: buf, off: 0, ready: ev}
-		return ch, nil
-	}
-
-	// Walk tile rows: each accumulates one y chunk across the tile
-	// columns, then writes it back.
-	for ti := 0; ti < mt; ti++ {
-		rows := min(T, opts.M-ti*T)
-		// y chunk.
-		var yBuf *cudart.DevBuffer
-		var yOff int64
-		yReady := cudart.DoneEvent()
-		if opts.Y.Loc == model.OnDevice {
-			yBuf, yOff = opts.Y.Dev, int64(ti*T)
-		} else {
-			buf, err := c.acquire(kernelmodel.F64, int64(rows))
-			if err != nil {
-				return fail(err)
-			}
-			pooled = append(pooled, buf)
-			yBuf, yOff = buf, 0
-			if opts.Beta != 0 {
-				var host []float64
-				if opts.Y.HostF64 != nil {
-					host = opts.Y.HostF64[ti*T:]
-				}
-				ev, err := c.h2d.MemcpyH2DAsync(buf, 0, host, nil, int64(rows))
-				if err != nil {
-					return fail(err)
-				}
-				res.BytesH2D += int64(rows) * 8
-				yReady = ev
-			}
-		}
-
-		for tj := 0; tj < nt; tj++ {
-			cols := min(T, opts.N-tj*T)
-			xc, err := getX(tj, cols)
-			if err != nil {
-				return fail(err)
-			}
-			// A tile: used exactly once, so fetch per sub-kernel.
-			aBuf, aOff, aLd := opts.A.Dev, int64(0), opts.A.DevLd
-			if opts.A.Loc == model.OnHost {
-				buf, err := c.acquire(kernelmodel.F64, int64(rows)*int64(cols))
-				if err != nil {
-					return fail(err)
-				}
-				pooled = append(pooled, buf)
-				h64, h32 := opts.A.HostSlices(ti*T, tj*T)
-				ev, err := c.h2d.SetMatrixAsync(rows, cols, h64, h32, opts.A.HostLd, buf, 0, rows)
-				if err != nil {
-					return fail(err)
-				}
-				res.BytesH2D += int64(rows) * int64(cols) * 8
-				c.comp.WaitEvent(ev)
-				aBuf, aOff, aLd = buf, 0, rows
-			} else {
-				aOff = int64(ti*T) + int64(tj*T)*int64(opts.A.DevLd)
-			}
-
-			c.comp.WaitEvent(xc.ready)
-			beta := 1.0
-			if tj == 0 {
-				c.comp.WaitEvent(yReady)
-				beta = opts.Beta
-				if opts.Y.Loc == model.OnHost && opts.Beta == 0 {
-					beta = 0
-				}
-			}
-			if _, err := c.comp.GemvAsync(blas.NoTrans, rows, cols, opts.Alpha,
-				aBuf, aOff, aLd, xc.buf, xc.off, beta, yBuf, yOff); err != nil {
-				return fail(err)
-			}
-			res.Subkernels++
-		}
-
-		if opts.Y.Loc == model.OnHost {
-			c.d2h.WaitEvent(c.comp.Record())
-			var host []float64
-			if opts.Y.HostF64 != nil {
-				host = opts.Y.HostF64[ti*T:]
-			}
-			if _, err := c.d2h.MemcpyD2HAsync(host, nil, yBuf, yOff, int64(rows)); err != nil {
-				return fail(err)
-			}
-			res.BytesD2H += int64(rows) * 8
-			if c.blockingWriteback {
-				c.comp.WaitEvent(c.d2h.Record())
-			}
-		}
-	}
-
-	end, err := c.rt.Sync()
-	for _, b := range pooled {
-		c.release(b)
-	}
+	p, err := c.PlanGemv(opts)
 	if err != nil {
 		return Result{}, err
 	}
-	res.Seconds = end - start
-	return res, nil
+	return c.runPlanSync(p, gemvArgs(opts))
+}
+
+// GemvWith executes a previously built gemv plan against operands of the
+// matching shape.
+func (c *Context) GemvWith(p *plan.Plan, opts GemvOpts) (Result, error) {
+	if err := c.validateGemv(opts); err != nil {
+		return Result{}, err
+	}
+	if p == nil || p.Routine != "gemv" || p.M != opts.M || p.N != opts.N || p.T != opts.T ||
+		!sameScalar(p.Alpha, opts.Alpha) || !sameScalar(p.Beta, opts.Beta) ||
+		p.Locs[0] != opts.A.Loc || p.Locs[1] != opts.X.Loc || p.Locs[2] != opts.Y.Loc {
+		return Result{}, errors.New("sched: gemv plan does not match the invocation")
+	}
+	return c.runPlanSync(p, gemvArgs(opts))
 }

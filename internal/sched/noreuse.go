@@ -5,20 +5,53 @@ import (
 	"fmt"
 
 	"cocopelia/internal/blas"
-	"cocopelia/internal/cudart"
-	"cocopelia/internal/model"
+	"cocopelia/internal/plan"
 )
 
-// maxNoReuseSlots bounds the in-flight staging depth of the no-reuse path;
-// the effective depth shrinks for very large tiles so the bounded staging
-// always fits device memory.
-const maxNoReuseSlots = 8
+// validateGemmNoReuse checks the stateless-sub-kernel invocation. The
+// comparator takes its operands stored NoTrans and ignores transpose flags.
+func (c *Context) validateGemmNoReuse(opts GemmOpts) error {
+	if opts.M <= 0 || opts.N <= 0 || opts.K <= 0 {
+		return fmt.Errorf("sched: non-positive gemm dims %dx%dx%d", opts.M, opts.N, opts.K)
+	}
+	if opts.T <= 0 {
+		return fmt.Errorf("sched: non-positive tiling size %d", opts.T)
+	}
+	dt := opts.Dtype
+	if err := opts.A.Validate("A", dt, c.backed); err != nil {
+		return err
+	}
+	if err := opts.B.Validate("B", dt, c.backed); err != nil {
+		return err
+	}
+	if err := opts.C.Validate("C", dt, c.backed); err != nil {
+		return err
+	}
+	if opts.A.Rows != opts.M || opts.A.Cols != opts.K ||
+		opts.B.Rows != opts.K || opts.B.Cols != opts.N ||
+		opts.C.Rows != opts.M || opts.C.Cols != opts.N {
+		return errors.New("sched: operand shapes inconsistent with m, n, k")
+	}
+	return nil
+}
 
-// slotGroup is one in-flight staging set of the no-reuse pipeline.
-type slotGroup struct {
-	a, b, c       *cudart.DevBuffer
-	lastKernel    *cudart.Event
-	lastWriteback *cudart.Event
+// PlanGemmNoReuse validates the invocation and builds the stateless
+// comparator's plan. The staging depth is sized to the device memory free
+// at planning time, so the plan embeds the slot-group ring it will replay
+// with.
+func (c *Context) PlanGemmNoReuse(opts GemmOpts) (*plan.Plan, error) {
+	if err := c.validateGemmNoReuse(opts); err != nil {
+		return nil, err
+	}
+	dev := c.rt.Device()
+	freeBytes := dev.Testbed().GPU.MemBytes - dev.MemUsed()
+	return plan.BuildGemmNoReuse(plan.GemmSpec{
+		Dtype: opts.Dtype, TransA: blas.NoTrans, TransB: blas.NoTrans,
+		M: opts.M, N: opts.N, K: opts.K,
+		Alpha: opts.Alpha, Beta: opts.Beta,
+		LocA: opts.A.Loc, LocB: opts.B.Loc, LocC: opts.C.Loc,
+		T: opts.T,
+	}, freeBytes), nil
 }
 
 // GemmNoReuse executes C = alpha*A*B + beta*C with stateless sub-kernels:
@@ -29,204 +62,23 @@ type slotGroup struct {
 // validating the Baseline/DataLoc/BTS models on level-3 BLAS (the paper
 // uses cuBLASXt for this role).
 func (c *Context) GemmNoReuse(opts GemmOpts) (Result, error) {
-	if opts.M <= 0 || opts.N <= 0 || opts.K <= 0 {
-		return Result{}, fmt.Errorf("sched: non-positive gemm dims %dx%dx%d", opts.M, opts.N, opts.K)
-	}
-	if opts.T <= 0 {
-		return Result{}, fmt.Errorf("sched: non-positive tiling size %d", opts.T)
-	}
-	dt := opts.Dtype
-	if err := opts.A.Validate("A", dt, c.backed); err != nil {
-		return Result{}, err
-	}
-	if err := opts.B.Validate("B", dt, c.backed); err != nil {
-		return Result{}, err
-	}
-	if err := opts.C.Validate("C", dt, c.backed); err != nil {
-		return Result{}, err
-	}
-	if opts.A.Rows != opts.M || opts.A.Cols != opts.K ||
-		opts.B.Rows != opts.K || opts.B.Cols != opts.N ||
-		opts.C.Rows != opts.M || opts.C.Cols != opts.N {
-		return Result{}, errors.New("sched: operand shapes inconsistent with m, n, k")
-	}
-
-	T := opts.T
-	mt := ceil(opts.M, T)
-	nt := ceil(opts.N, T)
-	kt := ceil(opts.K, T)
-	res := Result{T: T}
-	start := c.rt.Now()
-
-	// Bounded staging: slot groups sized for full tiles, reused with
-	// event dependencies so overwrites never race in-flight consumers.
-	var pooled []*cudart.DevBuffer
-	fail := func(err error) (Result, error) {
-		for _, buf := range pooled {
-			c.release(buf)
-		}
-		return Result{}, err
-	}
-	tileA := int64(min(T, opts.M)) * int64(min(T, opts.K))
-	tileB := int64(min(T, opts.K)) * int64(min(T, opts.N))
-	tileC := int64(min(T, opts.M)) * int64(min(T, opts.N))
-	// Size the staging depth to the memory left on the device.
-	var groupBytes int64
-	if opts.A.Loc == model.OnHost {
-		groupBytes += tileA * dt.Size()
-	}
-	if opts.B.Loc == model.OnHost {
-		groupBytes += tileB * dt.Size()
-	}
-	if opts.C.Loc == model.OnHost {
-		groupBytes += tileC * dt.Size()
-	}
-	nSlots := maxNoReuseSlots
-	if groupBytes > 0 {
-		free := c.rt.Device().Testbed().GPU.MemBytes - c.rt.Device().MemUsed()
-		if byMem := int(free / (groupBytes + groupBytes/8)); byMem < nSlots {
-			nSlots = byMem
-		}
-		if nSlots < 2 {
-			nSlots = 2
-		}
-	}
-	if cap(c.slots) < nSlots {
-		c.slots = make([]slotGroup, maxNoReuseSlots)
-	}
-	slots := c.slots[:nSlots]
-	for i := range slots {
-		g := &slots[i]
-		*g = slotGroup{lastKernel: cudart.DoneEvent(), lastWriteback: cudart.DoneEvent()}
-		var err error
-		if opts.A.Loc == model.OnHost {
-			if g.a, err = c.acquire(dt, tileA); err != nil {
-				return fail(err)
-			}
-			pooled = append(pooled, g.a)
-		}
-		if opts.B.Loc == model.OnHost {
-			if g.b, err = c.acquire(dt, tileB); err != nil {
-				return fail(err)
-			}
-			pooled = append(pooled, g.b)
-		}
-		if opts.C.Loc == model.OnHost {
-			if g.c, err = c.acquire(dt, tileC); err != nil {
-				return fail(err)
-			}
-			pooled = append(pooled, g.c)
-		}
-	}
-
-	// writebackOf tracks the last write-back event of each host C tile so
-	// its next fetch reads the updated host data; the flat grid reuses
-	// context-owned backing.
-	if cap(c.wbEvents) < mt*nt {
-		c.wbEvents = make([]*cudart.Event, mt*nt)
-	}
-	writebackOf := c.wbEvents[:mt*nt]
-	for i := range writebackOf {
-		writebackOf[i] = nil
-	}
-
-	// Sub-kernels iterate with the K dimension outermost, so consecutive
-	// sub-kernels belong to different output tiles: each C tile's
-	// write-back -> re-fetch round trip overlaps with the kernels of the
-	// other tiles instead of serializing the pipeline.
-	idx := 0
-	for tk := 0; tk < kt; tk++ {
-		inner := min(T, opts.K-tk*T)
-		for tj := 0; tj < nt; tj++ {
-			for ti := 0; ti < mt; ti++ {
-				rows := min(T, opts.M-ti*T)
-				cols := min(T, opts.N-tj*T)
-				g := &slots[idx%nSlots]
-				idx++
-				// The staging slots may still feed an in-flight kernel or
-				// write-back from their previous use.
-				c.h2d.WaitEvent(g.lastKernel)
-				c.h2d.WaitEvent(g.lastWriteback)
-
-				// A tile.
-				aBuf, aOff, aLd := opts.A.Dev, int64(ti*T)+int64(tk*T)*int64(opts.A.DevLd), opts.A.DevLd
-				if opts.A.Loc == model.OnHost {
-					h64, h32 := opts.A.HostSlices(ti*T, tk*T)
-					if _, err := c.h2d.SetMatrixAsync(rows, inner, h64, h32, opts.A.HostLd, g.a, 0, rows); err != nil {
-						return fail(err)
-					}
-					res.BytesH2D += int64(rows) * int64(inner) * dt.Size()
-					aBuf, aOff, aLd = g.a, 0, rows
-				}
-				// B tile.
-				bBuf, bOff, bLd := opts.B.Dev, int64(tk*T)+int64(tj*T)*int64(opts.B.DevLd), opts.B.DevLd
-				if opts.B.Loc == model.OnHost {
-					h64, h32 := opts.B.HostSlices(tk*T, tj*T)
-					if _, err := c.h2d.SetMatrixAsync(inner, cols, h64, h32, opts.B.HostLd, g.b, 0, inner); err != nil {
-						return fail(err)
-					}
-					res.BytesH2D += int64(inner) * int64(cols) * dt.Size()
-					bBuf, bOff, bLd = g.b, 0, inner
-				}
-				// C tile: the running partial makes a full round trip when
-				// C lives on the host.
-				beta := 1.0
-				cBuf, cOff, cLd := opts.C.Dev, int64(ti*T)+int64(tj*T)*int64(opts.C.DevLd), opts.C.DevLd
-				if opts.C.Loc == model.OnHost {
-					cBuf, cOff, cLd = g.c, 0, rows
-					fetch := tk > 0 || opts.Beta != 0
-					if fetch {
-						// The previous write-back of this C tile must land
-						// in host memory before we re-read it.
-						if wb := writebackOf[ti*nt+tj]; wb != nil {
-							c.h2d.WaitEvent(wb)
-						}
-						h64, h32 := opts.C.HostSlices(ti*T, tj*T)
-						if _, err := c.h2d.SetMatrixAsync(rows, cols, h64, h32, opts.C.HostLd, g.c, 0, rows); err != nil {
-							return fail(err)
-						}
-						res.BytesH2D += int64(rows) * int64(cols) * dt.Size()
-						if tk == 0 {
-							beta = opts.Beta
-						}
-					} else {
-						beta = 0
-					}
-				} else if tk == 0 {
-					beta = opts.Beta
-				}
-
-				c.comp.WaitEvent(c.h2d.Record())
-				if _, err := c.comp.GemmAsync(blas.NoTrans, blas.NoTrans,
-					rows, cols, inner, opts.Alpha,
-					aBuf, aOff, aLd, bBuf, bOff, bLd,
-					beta, cBuf, cOff, cLd); err != nil {
-					return fail(err)
-				}
-				res.Subkernels++
-				g.lastKernel = c.comp.Record()
-
-				if opts.C.Loc == model.OnHost {
-					c.d2h.WaitEvent(g.lastKernel)
-					h64, h32 := opts.C.HostSlices(ti*T, tj*T)
-					if _, err := c.d2h.GetMatrixAsync(rows, cols, cBuf, cOff, cLd, h64, h32, opts.C.HostLd); err != nil {
-						return fail(err)
-					}
-					res.BytesD2H += int64(rows) * int64(cols) * dt.Size()
-					g.lastWriteback = c.d2h.Record()
-					writebackOf[ti*nt+tj] = g.lastWriteback
-				}
-			}
-		}
-	}
-
-	end, err := c.rt.Sync()
-	for _, buf := range pooled {
-		c.release(buf)
-	}
+	p, err := c.PlanGemmNoReuse(opts)
 	if err != nil {
 		return Result{}, err
 	}
-	res.Seconds = end - start
-	return res, nil
+	return c.runPlanSync(p, gemmArgs(opts))
+}
+
+// GemmNoReuseWith executes a previously built no-reuse plan against
+// operands of the matching shape. The plan carries its staging depth, so
+// replay uses the slot ring sized at planning time regardless of the
+// device's current free memory.
+func (c *Context) GemmNoReuseWith(p *plan.Plan, opts GemmOpts) (Result, error) {
+	if err := c.validateGemmNoReuse(opts); err != nil {
+		return Result{}, err
+	}
+	if err := matchGemmPlan(p, opts, blas.NoTrans, blas.NoTrans, "gemm-noreuse"); err != nil {
+		return Result{}, err
+	}
+	return c.runPlanSync(p, gemmArgs(opts))
 }

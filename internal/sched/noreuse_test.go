@@ -8,6 +8,7 @@ import (
 	"cocopelia/internal/blas"
 	"cocopelia/internal/kernelmodel"
 	"cocopelia/internal/model"
+	"cocopelia/internal/plan"
 )
 
 func TestNoReuseGemmFunctionalAllCombos(t *testing.T) {
@@ -90,13 +91,14 @@ func TestNoReuseTransferVolume(t *testing.T) {
 	// 64 times in and 64 times out.
 	c := newCtx(false)
 	m, T := 512, 128
-	res, err := c.GemmNoReuse(GemmOpts{
+	opts := GemmOpts{
 		Dtype: kernelmodel.F64, M: m, N: m, K: m, Alpha: 1, Beta: 1,
 		A: &Matrix{Rows: m, Cols: m, Loc: model.OnHost, HostLd: m},
 		B: &Matrix{Rows: m, Cols: m, Loc: model.OnHost, HostLd: m},
 		C: &Matrix{Rows: m, Cols: m, Loc: model.OnHost, HostLd: m},
 		T: T,
-	})
+	}
+	res, err := c.GemmNoReuse(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,6 +111,21 @@ func TestNoReuseTransferVolume(t *testing.T) {
 	}
 	if res.Subkernels != 64 {
 		t.Errorf("subkernels = %d", res.Subkernels)
+	}
+	// The same traffic must be predicted by the plan annotations and the
+	// closed-form volumes before anything executes.
+	p, err := c.PlanGemmNoReuse(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Volumes{BytesH2D: 3 * 64 * tile, BytesD2H: 64 * tile, Subkernels: 64}
+	if v := p.Volumes(); v != want {
+		t.Errorf("plan annotations = %+v, want %+v", v, want)
+	}
+	spec := plan.GemmSpec{Dtype: kernelmodel.F64, M: m, N: m, K: m, Alpha: 1, Beta: 1,
+		LocA: model.OnHost, LocB: model.OnHost, LocC: model.OnHost, T: T}
+	if v := plan.GemmNoReuseVolumes(spec); v != want {
+		t.Errorf("closed-form volumes = %+v, want %+v", v, want)
 	}
 }
 
@@ -155,7 +172,7 @@ func TestNoReuseMemoryBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bound := int64(maxNoReuseSlots) * 3 * int64(T*T) * 8
+	bound := int64(plan.MaxNoReuseSlots) * 3 * int64(T*T) * 8
 	if peak := c.rt.Device().MemPeak(); peak > bound {
 		t.Errorf("staging peak %d exceeds bound %d", peak, bound)
 	}

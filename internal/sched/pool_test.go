@@ -25,8 +25,8 @@ func poolCount(c *Context, elems int64) int {
 func TestAcquireOOMEvictsOtherShapesLargestFirst(t *testing.T) {
 	c := newCtx(false)
 	mem := c.rt.Device().Testbed().GPU.MemBytes
-	eBig := mem / (4 * 8)   // ~mem/4 per buffer
-	eMid := mem / (8 * 8)   // ~mem/8
+	eBig := mem / (4 * 8)    // ~mem/4 per buffer
+	eMid := mem / (8 * 8)    // ~mem/8
 	eSmall := mem / (16 * 8) // ~mem/16
 
 	// Pool two buffers of each shape: ~7/8 of device memory stays
@@ -34,14 +34,14 @@ func TestAcquireOOMEvictsOtherShapesLargestFirst(t *testing.T) {
 	for _, elems := range []int64{eBig, eMid, eSmall} {
 		var bufs []*cudart.DevBuffer
 		for i := 0; i < 2; i++ {
-			b, err := c.acquire(kernelmodel.F64, elems)
+			b, err := c.Acquire(kernelmodel.F64, elems)
 			if err != nil {
 				t.Fatalf("staging acquire(%d): %v", elems, err)
 			}
 			bufs = append(bufs, b)
 		}
 		for _, b := range bufs {
-			c.release(b)
+			c.Release(b)
 		}
 	}
 	if free := mem - c.rt.Device().MemUsed(); free >= eBig*8 {
@@ -51,7 +51,7 @@ func TestAcquireOOMEvictsOtherShapesLargestFirst(t *testing.T) {
 	// A request for a shape not in the pool must evict exactly one big
 	// buffer (largest-first), leaving the smaller pools intact.
 	eNew := mem / (5 * 8) // ~mem/5: fits only after one big eviction
-	b, err := c.acquire(kernelmodel.F64, eNew)
+	b, err := c.Acquire(kernelmodel.F64, eNew)
 	if err != nil {
 		t.Fatalf("acquire under memory pressure: %v", err)
 	}
@@ -64,17 +64,17 @@ func TestAcquireOOMEvictsOtherShapesLargestFirst(t *testing.T) {
 	if got := poolCount(c, eSmall); got != 2 {
 		t.Errorf("small pool has %d buffers, want 2", got)
 	}
-	c.release(b)
+	c.Release(b)
 
 	// When nothing of another shape is left to evict, the out-of-memory
 	// error surfaces instead of the pool being purged.
 	c2 := newCtx(false)
-	inUse, err := c2.acquire(kernelmodel.F64, mem*7/(8*8))
+	inUse, err := c2.Acquire(kernelmodel.F64, mem*7/(8*8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c2.acquire(kernelmodel.F64, mem/(4*8)); !errors.Is(err, device.ErrOutOfMemory) {
+	if _, err := c2.Acquire(kernelmodel.F64, mem/(4*8)); !errors.Is(err, device.ErrOutOfMemory) {
 		t.Errorf("acquire with no evictable buffers returned %v, want ErrOutOfMemory", err)
 	}
-	c2.release(inUse)
+	c2.Release(inUse)
 }

@@ -4,22 +4,25 @@
 // tile crosses the link exactly once), location-aware transfers, and GPU
 // buffer/stream reuse across calls.
 //
-// The scheduler is generalized per BLAS level: the level-3 path (gemm)
-// walks the output tiles accumulating over the K dimension, and the level-1
-// path (axpy) pipelines 1-D chunks. Adding a routine requires only a
-// wrapper that maps its operands onto these paths, as in the paper.
+// The scheduler is split into planners and an executor: every entry point
+// validates its operands, builds a deterministic tile-operation plan
+// (internal/plan) and replays it onto the context's streams. Plans are pure
+// functions of the routine geometry, so callers that repeat an invocation
+// shape (campaign sweeps, multi-GPU panels) build the plan once and replay
+// it with Plan*/​*With; the replay is event-identical to direct scheduling.
 package sched
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"cocopelia/internal/blas"
 	"cocopelia/internal/cudart"
 	"cocopelia/internal/device"
 	"cocopelia/internal/kernelmodel"
-	"cocopelia/internal/model"
 	"cocopelia/internal/operand"
+	"cocopelia/internal/plan"
 )
 
 // Matrix, Vector and Result are the shared operand descriptors.
@@ -48,9 +51,10 @@ type poolBucket struct {
 }
 
 // Context holds the reusable state of the CoCoPeLia library on one device:
-// the three operation streams and the tile-buffer pool. Reusing a Context
-// across calls emulates the paper's iterative use-case (no per-call
-// allocation/stream-creation overhead after the first call).
+// the three operation streams, the tile-buffer pool and the plan executor's
+// replay scratch. Reusing a Context across calls emulates the paper's
+// iterative use-case (no per-call allocation/stream-creation overhead after
+// the first call).
 type Context struct {
 	rt     *cudart.Runtime
 	h2d    *cudart.Stream
@@ -59,13 +63,10 @@ type Context struct {
 	pool   []poolBucket
 	backed bool
 
-	// Reusable per-call scratch, so the tile loops of gemm/gemv/noreuse
-	// allocate nothing once the context is warm.
-	aCache, bCache, cCache tileCache
-	gemmPooled             []*cudart.DevBuffer
-	xChunks                []vecChunk
-	wbEvents               []*cudart.Event
-	slots                  []slotGroup
+	// exec replays tile plans onto the streams; it owns the per-call
+	// scratch (event table, slot bindings, acquired-buffer list), so the
+	// replay loops allocate nothing once the context is warm.
+	exec plan.Executor
 	// overheadS is an optional per-sub-kernel dispatch overhead occupying
 	// the compute pipeline; the CoCoPeLia library leaves it zero, while
 	// comparator wrappers (e.g. the BLASX-style library with its runtime
@@ -101,6 +102,11 @@ func NewContext(rt *cudart.Runtime, backed bool) *Context {
 // Runtime returns the underlying CUDA-like runtime.
 func (c *Context) Runtime() *cudart.Runtime { return c.rt }
 
+// target is the execution surface plans replay onto.
+func (c *Context) target() plan.Target {
+	return plan.Target{H2D: c.h2d, D2H: c.d2h, Comp: c.comp, Alloc: c}
+}
+
 // bucket returns the pool bucket for key, or nil.
 func (c *Context) bucket(key poolKey) *poolBucket {
 	for i := range c.pool {
@@ -111,12 +117,12 @@ func (c *Context) bucket(key poolKey) *poolBucket {
 	return nil
 }
 
-// acquire returns a device buffer of at least elems elements, reusing the
-// pool when possible. When the device is out of memory, pooled buffers of
-// OTHER shapes are evicted largest-first — one at a time, retrying the
-// allocation after each — so the current tile shape's pool survives long
-// sweeps over many tile sizes.
-func (c *Context) acquire(dt kernelmodel.Dtype, elems int64) (*cudart.DevBuffer, error) {
+// Acquire returns a device buffer of at least elems elements, reusing the
+// pool when possible; it implements plan.Allocator. When the device is out
+// of memory, pooled buffers of OTHER shapes are evicted largest-first — one
+// at a time, retrying the allocation after each — so the current tile
+// shape's pool survives long sweeps over many tile sizes.
+func (c *Context) Acquire(dt kernelmodel.Dtype, elems int64) (*cudart.DevBuffer, error) {
 	key := poolKey{dt, elems}
 	if bk := c.bucket(key); bk != nil && len(bk.bufs) > 0 {
 		n := len(bk.bufs) - 1
@@ -167,8 +173,9 @@ func (c *Context) evictLargest(keep poolKey) (bool, error) {
 	return true, nil
 }
 
-// release returns a buffer to the pool for reuse by later calls.
-func (c *Context) release(b *cudart.DevBuffer) {
+// Release returns a buffer to the pool for reuse by later calls; it
+// implements plan.Allocator.
+func (c *Context) Release(b *cudart.DevBuffer) {
 	key := poolKey{b.Dtype(), b.Elems()}
 	if bk := c.bucket(key); bk != nil {
 		bk.bufs = append(bk.bufs, b)
@@ -219,58 +226,71 @@ func normTrans(t byte) (byte, error) {
 	return 0, fmt.Errorf("sched: bad transpose flag %q", t)
 }
 
-// devTile is a device-resident tile with its layout.
-type devTile struct {
-	buf   *cudart.DevBuffer
-	off   int64
-	ld    int
-	ready *cudart.Event
-}
-
-// tileCache maps tile coordinates to device tiles over a reusable flat
-// array with per-slot generation stamps: reset bumps the generation
-// instead of clearing, so repeated calls on a warm context allocate
-// nothing and never pay a per-slot wipe.
-type tileCache struct {
-	tiles []devTile
-	gen   []uint32
-	cols  int
-	cur   uint32
-}
-
-// reset prepares the cache for a rows x cols tile grid, invalidating every
-// slot.
-func (tc *tileCache) reset(rows, cols int) {
-	n := rows * cols
-	if cap(tc.tiles) < n {
-		tc.tiles = make([]devTile, n)
-		tc.gen = make([]uint32, n)
-		tc.cur = 0
+// validateGemm checks the invocation for the full-reuse path and returns
+// the normalized transpose flags.
+func (c *Context) validateGemm(opts GemmOpts) (transA, transB byte, err error) {
+	if opts.M <= 0 || opts.N <= 0 || opts.K <= 0 {
+		return 0, 0, fmt.Errorf("sched: non-positive gemm dims %dx%dx%d", opts.M, opts.N, opts.K)
 	}
-	tc.tiles = tc.tiles[:n]
-	tc.gen = tc.gen[:n]
-	tc.cols = cols
-	tc.cur++
+	if opts.T <= 0 {
+		return 0, 0, fmt.Errorf("sched: non-positive tiling size %d", opts.T)
+	}
+	dt := opts.Dtype
+	if transA, err = normTrans(opts.TransA); err != nil {
+		return 0, 0, err
+	}
+	if transB, err = normTrans(opts.TransB); err != nil {
+		return 0, 0, err
+	}
+	if err := opts.A.Validate("A", dt, c.backed); err != nil {
+		return 0, 0, err
+	}
+	if err := opts.B.Validate("B", dt, c.backed); err != nil {
+		return 0, 0, err
+	}
+	if err := opts.C.Validate("C", dt, c.backed); err != nil {
+		return 0, 0, err
+	}
+	aRows, aCols := opts.M, opts.K
+	if transA == blas.Trans {
+		aRows, aCols = opts.K, opts.M
+	}
+	bRows, bCols := opts.K, opts.N
+	if transB == blas.Trans {
+		bRows, bCols = opts.N, opts.K
+	}
+	if opts.A.Rows != aRows || opts.A.Cols != aCols ||
+		opts.B.Rows != bRows || opts.B.Cols != bCols ||
+		opts.C.Rows != opts.M || opts.C.Cols != opts.N {
+		return 0, 0, errors.New("sched: operand shapes inconsistent with m, n, k and transposes")
+	}
+	return transA, transB, nil
 }
 
-// at returns the slot for tile (ti, tj) and whether it holds a live entry.
-// An absent slot's contents are stale; the caller fills it and calls put.
-func (tc *tileCache) at(ti, tj int) (*devTile, bool) {
-	i := ti*tc.cols + tj
-	return &tc.tiles[i], tc.gen[i] == tc.cur
+// sameScalar compares plan coefficients for identity: a replayed plan must
+// have been built with bit-identical scalars (tolerance would let a plan
+// replay against a different problem), so this is deliberately an exact
+// bit-pattern comparison, not an approximate one.
+func sameScalar(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// matchGemmPlan checks that a replayed plan was built for this invocation.
+func matchGemmPlan(p *plan.Plan, opts GemmOpts, transA, transB byte, routine string) error {
+	if p == nil {
+		return errors.New("sched: nil plan")
+	}
+	if p.Routine != routine || p.Dtype != opts.Dtype ||
+		p.M != opts.M || p.N != opts.N || p.K != opts.K || p.T != opts.T ||
+		p.TransA != transA || p.TransB != transB ||
+		!sameScalar(p.Alpha, opts.Alpha) || !sameScalar(p.Beta, opts.Beta) ||
+		p.Locs[0] != opts.A.Loc || p.Locs[1] != opts.B.Loc || p.Locs[2] != opts.C.Loc {
+		return fmt.Errorf("sched: %s plan does not match the invocation", routine)
+	}
+	return nil
 }
 
-// put marks the slot for tile (ti, tj) live.
-func (tc *tileCache) put(ti, tj int) {
-	tc.gen[ti*tc.cols+tj] = tc.cur
-}
-
-// vecChunk is a staged 1-D chunk of a host vector (the level-2 path's x
-// reuse cache). ready is nil while the slot is unused.
-type vecChunk struct {
-	buf   *cudart.DevBuffer
-	off   int64
-	ready *cudart.Event
+// gemmArgs binds the gemm operands in plan argument order.
+func gemmArgs(opts GemmOpts) []plan.Arg {
+	return []plan.Arg{{Mat: opts.A}, {Mat: opts.B}, {Mat: opts.C}}
 }
 
 // PendingGemm is an enqueued-but-not-drained tiled gemm: every transfer
@@ -278,7 +298,7 @@ type vecChunk struct {
 // It exists so cooperating schedulers (the multi-GPU layer) can enqueue
 // several schedules that then execute concurrently on a shared clock.
 // A context supports one pending gemm at a time: the pending run borrows
-// the context's reusable scratch, which the next enqueue reclaims.
+// the context's reusable replay scratch, which the next enqueue reclaims.
 type PendingGemm struct {
 	ctx    *Context
 	res    Result
@@ -291,7 +311,7 @@ type PendingGemm struct {
 // the shared engine has drained.
 func (p *PendingGemm) Finish(end float64) Result {
 	for _, b := range p.pooled {
-		p.ctx.release(b)
+		p.ctx.Release(b)
 	}
 	p.pooled = nil
 	p.res.Seconds = end - p.start
@@ -325,189 +345,95 @@ func (c *Context) Gemm(opts GemmOpts) (Result, error) {
 	return res, nil
 }
 
+// GemmWith executes a previously built full-reuse gemm plan against
+// operands of the matching shape, synchronizes and reports the run.
+func (c *Context) GemmWith(p *plan.Plan, opts GemmOpts) (Result, error) {
+	pend, err := c.GemmEnqueueWith(p, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	end, err := c.rt.Sync()
+	res := pend.Finish(end)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// PlanGemm validates the invocation and builds its full-reuse tile plan
+// without touching the streams. The plan depends only on the geometry,
+// tiling size, operand locations and the context's scheduling knobs, so it
+// can be cached and replayed via GemmEnqueueWith/GemmWith.
+func (c *Context) PlanGemm(opts GemmOpts) (*plan.Plan, error) {
+	transA, transB, err := c.validateGemm(opts)
+	if err != nil {
+		return nil, err
+	}
+	return plan.BuildGemm(plan.GemmSpec{
+		Dtype: opts.Dtype, TransA: transA, TransB: transB,
+		M: opts.M, N: opts.N, K: opts.K,
+		Alpha: opts.Alpha, Beta: opts.Beta,
+		LocA: opts.A.Loc, LocB: opts.B.Loc, LocC: opts.C.Loc,
+		T:                 opts.T,
+		DispatchOverheadS: c.overheadS,
+		BlockingWriteback: c.blockingWriteback,
+	}), nil
+}
+
 // GemmEnqueue builds the full tiled schedule on the context's streams
 // without draining the engine. See Gemm for semantics.
 func (c *Context) GemmEnqueue(opts GemmOpts) (*PendingGemm, error) {
-	if opts.M <= 0 || opts.N <= 0 || opts.K <= 0 {
-		return nil, fmt.Errorf("sched: non-positive gemm dims %dx%dx%d", opts.M, opts.N, opts.K)
-	}
-	if opts.T <= 0 {
-		return nil, fmt.Errorf("sched: non-positive tiling size %d", opts.T)
-	}
-	dt := opts.Dtype
-	transA, err := normTrans(opts.TransA)
+	p, err := c.PlanGemm(opts)
 	if err != nil {
 		return nil, err
 	}
-	transB, err := normTrans(opts.TransB)
+	return c.replayGemm(p, opts)
+}
+
+// GemmEnqueueWith replays a previously built full-reuse gemm plan on the
+// context's streams without draining the engine. The operands must match
+// the plan's geometry and location vector; replay is event-identical to
+// GemmEnqueue with the same options.
+func (c *Context) GemmEnqueueWith(p *plan.Plan, opts GemmOpts) (*PendingGemm, error) {
+	transA, transB, err := c.validateGemm(opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := opts.A.Validate("A", dt, c.backed); err != nil {
+	if err := matchGemmPlan(p, opts, transA, transB, "gemm"); err != nil {
 		return nil, err
 	}
-	if err := opts.B.Validate("B", dt, c.backed); err != nil {
-		return nil, err
-	}
-	if err := opts.C.Validate("C", dt, c.backed); err != nil {
-		return nil, err
-	}
-	aRows, aCols := opts.M, opts.K
-	if transA == blas.Trans {
-		aRows, aCols = opts.K, opts.M
-	}
-	bRows, bCols := opts.K, opts.N
-	if transB == blas.Trans {
-		bRows, bCols = opts.N, opts.K
-	}
-	if opts.A.Rows != aRows || opts.A.Cols != aCols ||
-		opts.B.Rows != bRows || opts.B.Cols != bCols ||
-		opts.C.Rows != opts.M || opts.C.Cols != opts.N {
-		return nil, errors.New("sched: operand shapes inconsistent with m, n, k and transposes")
-	}
+	return c.replayGemm(p, opts)
+}
 
-	T := opts.T
-	mt := ceil(opts.M, T)
-	nt := ceil(opts.N, T)
-	kt := ceil(opts.K, T)
-
-	res := Result{T: T}
+// replayGemm runs a validated plan and wraps the pending result.
+func (c *Context) replayGemm(p *plan.Plan, opts GemmOpts) (*PendingGemm, error) {
+	res := Result{T: p.T, Subkernels: p.Subkernels, BytesH2D: p.BytesH2D, BytesD2H: p.BytesD2H}
 	start := c.rt.Now()
-
-	// Tile caches: fetched-once device tiles per operand, keyed by STORED
-	// tile coordinates (so the grids follow the transposes). The caches and
-	// the pooled-buffer list reuse context-owned backing; a context
-	// therefore supports one pending gemm at a time (see PendingGemm).
-	aGridR, aGridC := mt, kt
-	if transA == blas.Trans {
-		aGridR, aGridC = kt, mt
-	}
-	bGridR, bGridC := kt, nt
-	if transB == blas.Trans {
-		bGridR, bGridC = nt, kt
-	}
-	c.aCache.reset(aGridR, aGridC)
-	c.bCache.reset(bGridR, bGridC)
-	c.cCache.reset(mt, nt)
-	pooled := c.gemmPooled[:0]
-
-	fail := func(err error) (*PendingGemm, error) {
-		for _, b := range pooled {
-			c.release(b)
-		}
-		c.gemmPooled = pooled[:0]
+	pooled, err := c.exec.Run(p, c.target(), gemmArgs(opts))
+	if err != nil {
 		return nil, err
 	}
-
-	// getTile returns (fetching on first use) the device tile (ti, tj) of
-	// the operand. rows/cols are the tile's actual dimensions.
-	getTile := func(m *Matrix, cache *tileCache, ti, tj, rows, cols int, fetch bool) (*devTile, error) {
-		t, ok := cache.at(ti, tj)
-		if ok {
-			return t, nil
-		}
-		if m.Loc == model.OnDevice {
-			t.buf = m.Dev
-			t.off = int64(ti*T) + int64(tj*T)*int64(m.DevLd)
-			t.ld = m.DevLd
-			t.ready = cudart.DoneEvent()
-			cache.put(ti, tj)
-			return t, nil
-		}
-		buf, err := c.acquire(dt, int64(rows)*int64(cols))
-		if err != nil {
-			return nil, err
-		}
-		pooled = append(pooled, buf)
-		t.buf, t.off, t.ld = buf, 0, rows
-		if fetch {
-			h64, h32 := m.HostSlices(ti*T, tj*T)
-			ev, err := c.h2d.SetMatrixAsync(rows, cols, h64, h32, m.HostLd, buf, 0, rows)
-			if err != nil {
-				return nil, err
-			}
-			t.ready = ev
-			res.BytesH2D += int64(rows) * int64(cols) * dt.Size()
-		} else {
-			t.ready = cudart.DoneEvent()
-		}
-		cache.put(ti, tj)
-		return t, nil
-	}
-
-	fetchC := opts.Beta != 0 // C contributes only when beta != 0
-
-	// Walk output tiles; accumulate over K on the compute stream.
-	for tj := 0; tj < nt; tj++ {
-		for ti := 0; ti < mt; ti++ {
-			rows := min(T, opts.M-ti*T)
-			cols := min(T, opts.N-tj*T)
-			cTile, err := getTile(opts.C, &c.cCache, ti, tj, rows, cols, fetchC)
-			if err != nil {
-				return fail(err)
-			}
-			for tk := 0; tk < kt; tk++ {
-				inner := min(T, opts.K-tk*T)
-				// Tiles are cached and fetched in STORED coordinates; the
-				// kernel applies the transpose.
-				ai, aj, ar, ac := ti, tk, rows, inner
-				if transA == blas.Trans {
-					ai, aj, ar, ac = tk, ti, inner, rows
-				}
-				aTile, err := getTile(opts.A, &c.aCache, ai, aj, ar, ac, true)
-				if err != nil {
-					return fail(err)
-				}
-				bi, bj, br, bc := tk, tj, inner, cols
-				if transB == blas.Trans {
-					bi, bj, br, bc = tj, tk, cols, inner
-				}
-				bTile, err := getTile(opts.B, &c.bCache, bi, bj, br, bc, true)
-				if err != nil {
-					return fail(err)
-				}
-				c.comp.WaitEvent(aTile.ready)
-				c.comp.WaitEvent(bTile.ready)
-				beta := 1.0
-				if tk == 0 {
-					c.comp.WaitEvent(cTile.ready)
-					beta = opts.Beta
-					if !fetchC {
-						beta = 0
-					}
-				}
-				if c.overheadS > 0 {
-					if _, err := c.comp.KernelAsync("dispatch", c.overheadS, nil); err != nil {
-						return fail(err)
-					}
-				}
-				if _, err := c.comp.GemmAsync(transA, transB,
-					rows, cols, inner, opts.Alpha,
-					aTile.buf, aTile.off, aTile.ld,
-					bTile.buf, bTile.off, bTile.ld,
-					beta, cTile.buf, cTile.off, cTile.ld); err != nil {
-					return fail(err)
-				}
-				res.Subkernels++
-			}
-			// Write the finished C tile back if C lives on the host.
-			if opts.C.Loc == model.OnHost {
-				c.d2h.WaitEvent(c.comp.Record())
-				h64, h32 := opts.C.HostSlices(ti*T, tj*T)
-				if _, err := c.d2h.GetMatrixAsync(rows, cols,
-					cTile.buf, cTile.off, cTile.ld, h64, h32, opts.C.HostLd); err != nil {
-					return fail(err)
-				}
-				res.BytesD2H += int64(rows) * int64(cols) * dt.Size()
-				if c.blockingWriteback {
-					c.comp.WaitEvent(c.d2h.Record())
-				}
-			}
-		}
-	}
-
-	c.gemmPooled = pooled
 	return &PendingGemm{ctx: c, res: res, pooled: pooled, start: start}, nil
+}
+
+// runPlanSync replays a plan, drains the engine and reports the run (the
+// shared tail of every run-to-completion entry point).
+func (c *Context) runPlanSync(p *plan.Plan, args []plan.Arg) (Result, error) {
+	res := Result{T: p.T, Subkernels: p.Subkernels, BytesH2D: p.BytesH2D, BytesD2H: p.BytesD2H}
+	start := c.rt.Now()
+	pooled, err := c.exec.Run(p, c.target(), args)
+	if err != nil {
+		return Result{}, err
+	}
+	end, err := c.rt.Sync()
+	for _, b := range pooled {
+		c.Release(b)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Seconds = end - start
+	return res, nil
 }
 
 // AxpyOpts parameterizes a tiled daxpy invocation.
@@ -519,119 +445,56 @@ type AxpyOpts struct {
 	T int
 }
 
-// Axpy executes y += alpha*x with 1-D tiling and 3-way overlap.
-func (c *Context) Axpy(opts AxpyOpts) (Result, error) {
+// validateAxpy checks the level-1 invocation.
+func (c *Context) validateAxpy(opts AxpyOpts) error {
 	if opts.N <= 0 {
-		return Result{}, fmt.Errorf("sched: non-positive axpy length %d", opts.N)
+		return fmt.Errorf("sched: non-positive axpy length %d", opts.N)
 	}
 	if opts.T <= 0 {
-		return Result{}, fmt.Errorf("sched: non-positive tiling size %d", opts.T)
+		return fmt.Errorf("sched: non-positive tiling size %d", opts.T)
 	}
 	if err := opts.X.Validate("x", c.backed); err != nil {
-		return Result{}, err
+		return err
 	}
 	if err := opts.Y.Validate("y", c.backed); err != nil {
-		return Result{}, err
+		return err
 	}
 	if opts.X.N != opts.N || opts.Y.N != opts.N {
-		return Result{}, errors.New("sched: vector lengths inconsistent with n")
+		return errors.New("sched: vector lengths inconsistent with n")
 	}
+	return nil
+}
 
-	res := Result{T: opts.T}
-	start := c.rt.Now()
-	var pooled []*cudart.DevBuffer
-
-	fail := func(err error) (Result, error) {
-		for _, b := range pooled {
-			c.release(b)
-		}
-		return Result{}, err
+// PlanAxpy validates the invocation and builds its 1-D chunk plan.
+func (c *Context) PlanAxpy(opts AxpyOpts) (*plan.Plan, error) {
+	if err := c.validateAxpy(opts); err != nil {
+		return nil, err
 	}
+	return plan.BuildAxpy(plan.AxpySpec{
+		N: opts.N, Alpha: opts.Alpha,
+		LocX: opts.X.Loc, LocY: opts.Y.Loc, T: opts.T,
+	}), nil
+}
 
-	chunks := ceil(opts.N, opts.T)
-	for ci := 0; ci < chunks; ci++ {
-		off := ci * opts.T
-		n := min(opts.T, opts.N-off)
-
-		// x chunk.
-		var xBuf *cudart.DevBuffer
-		var xOff int64
-		xReady := cudart.DoneEvent()
-		if opts.X.Loc == model.OnDevice {
-			xBuf, xOff = opts.X.Dev, int64(off)
-		} else {
-			b, err := c.acquire(kernelmodel.F64, int64(n))
-			if err != nil {
-				return fail(err)
-			}
-			pooled = append(pooled, b)
-			xBuf, xOff = b, 0
-			var host []float64
-			if opts.X.HostF64 != nil {
-				host = opts.X.HostF64[off:]
-			}
-			ev, err := c.h2d.MemcpyH2DAsync(b, 0, host, nil, int64(n))
-			if err != nil {
-				return fail(err)
-			}
-			xReady = ev
-			res.BytesH2D += int64(n) * 8
-		}
-
-		// y chunk.
-		var yBuf *cudart.DevBuffer
-		var yOff int64
-		yReady := cudart.DoneEvent()
-		if opts.Y.Loc == model.OnDevice {
-			yBuf, yOff = opts.Y.Dev, int64(off)
-		} else {
-			b, err := c.acquire(kernelmodel.F64, int64(n))
-			if err != nil {
-				return fail(err)
-			}
-			pooled = append(pooled, b)
-			yBuf, yOff = b, 0
-			var host []float64
-			if opts.Y.HostF64 != nil {
-				host = opts.Y.HostF64[off:]
-			}
-			ev, err := c.h2d.MemcpyH2DAsync(b, 0, host, nil, int64(n))
-			if err != nil {
-				return fail(err)
-			}
-			yReady = ev
-			res.BytesH2D += int64(n) * 8
-		}
-
-		c.comp.WaitEvent(xReady)
-		c.comp.WaitEvent(yReady)
-		if _, err := c.comp.AxpyAsync(n, opts.Alpha, xBuf, xOff, yBuf, yOff); err != nil {
-			return fail(err)
-		}
-		res.Subkernels++
-
-		if opts.Y.Loc == model.OnHost {
-			c.d2h.WaitEvent(c.comp.Record())
-			var host []float64
-			if opts.Y.HostF64 != nil {
-				host = opts.Y.HostF64[off:]
-			}
-			if _, err := c.d2h.MemcpyD2HAsync(host, nil, yBuf, yOff, int64(n)); err != nil {
-				return fail(err)
-			}
-			res.BytesD2H += int64(n) * 8
-		}
-	}
-
-	end, err := c.rt.Sync()
-	for _, b := range pooled {
-		c.release(b)
-	}
+// Axpy executes y += alpha*x with 1-D tiling and 3-way overlap.
+func (c *Context) Axpy(opts AxpyOpts) (Result, error) {
+	p, err := c.PlanAxpy(opts)
 	if err != nil {
 		return Result{}, err
 	}
-	res.Seconds = end - start
-	return res, nil
+	return c.runPlanSync(p, []plan.Arg{{Vec: opts.X}, {Vec: opts.Y}})
 }
 
-func ceil(a, b int) int { return (a + b - 1) / b }
+// AxpyWith executes a previously built axpy plan against vectors of the
+// matching shape.
+func (c *Context) AxpyWith(p *plan.Plan, opts AxpyOpts) (Result, error) {
+	if err := c.validateAxpy(opts); err != nil {
+		return Result{}, err
+	}
+	if p == nil || p.Routine != "axpy" || p.N != opts.N || p.T != opts.T ||
+		!sameScalar(p.Alpha, opts.Alpha) ||
+		p.Locs[0] != opts.X.Loc || p.Locs[1] != opts.Y.Loc {
+		return Result{}, errors.New("sched: axpy plan does not match the invocation")
+	}
+	return c.runPlanSync(p, []plan.Arg{{Vec: opts.X}, {Vec: opts.Y}})
+}

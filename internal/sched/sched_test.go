@@ -11,6 +11,7 @@ import (
 	"cocopelia/internal/kernelmodel"
 	"cocopelia/internal/machine"
 	"cocopelia/internal/model"
+	"cocopelia/internal/plan"
 	"cocopelia/internal/sim"
 )
 
@@ -194,10 +195,11 @@ func TestGemmFullReuseTransferVolume(t *testing.T) {
 	A := &Matrix{Rows: m, Cols: k, Loc: model.OnHost, HostLd: m}
 	B := &Matrix{Rows: k, Cols: n, Loc: model.OnHost, HostLd: k}
 	C := &Matrix{Rows: m, Cols: n, Loc: model.OnHost, HostLd: m}
-	res, err := c.Gemm(GemmOpts{
+	opts := GemmOpts{
 		Dtype: kernelmodel.F64, M: m, N: n, K: k, Alpha: 1, Beta: 1,
 		A: A, B: B, C: C, T: T,
-	})
+	}
+	res, err := c.Gemm(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,6 +214,22 @@ func TestGemmFullReuseTransferVolume(t *testing.T) {
 	wantK := int64(4 * 4 * 4)
 	if res.Subkernels != wantK {
 		t.Errorf("subkernels = %d, want %d", res.Subkernels, wantK)
+	}
+	// The invariant must hold at plan time too: the plan's annotations and
+	// the closed-form volumes both predict the executed traffic.
+	p, err := c.PlanGemm(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Volumes{BytesH2D: wantIn, BytesD2H: wantOut, Subkernels: wantK}
+	if v := p.Volumes(); v != want {
+		t.Errorf("plan annotations = %+v, want %+v", v, want)
+	}
+	spec := plan.GemmSpec{Dtype: kernelmodel.F64, TransA: blas.NoTrans, TransB: blas.NoTrans,
+		M: m, N: n, K: k, Alpha: 1, Beta: 1,
+		LocA: model.OnHost, LocB: model.OnHost, LocC: model.OnHost, T: T}
+	if v := plan.GemmVolumes(spec); v != want {
+		t.Errorf("closed-form volumes = %+v, want %+v", v, want)
 	}
 }
 
