@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: build test vet lint race verify bench bench-blas bench-blas-smoke \
-	bench-campaign bench-campaign-smoke plan-golden-smoke profile results
+	bench-campaign bench-campaign-check bench-campaign-smoke \
+	plan-golden-smoke profile results
 
 build:
 	$(GO) build ./...
@@ -10,8 +11,9 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's invariant analyzers (determinism, maporder,
-# outputpurity, layering, floatorder — see DESIGN.md "Enforced
-# invariants") via go run, so the check needs no installed binaries.
+# outputpurity, goroutines, layering, floatorder — see DESIGN.md
+# "Enforced invariants") via go run, so the check needs no installed
+# binaries.
 lint:
 	$(GO) run ./cmd/cocolint ./...
 
@@ -47,6 +49,15 @@ bench-blas-smoke:
 # the DES-core optimizations are judged by.
 bench-campaign:
 	$(GO) run ./cmd/cocobench -campaign -out results/bench-campaign.json
+
+# bench-campaign-check re-runs the reference campaign and fails if the
+# event/plan-cache counters drift from the committed baseline (the sweep
+# must stay byte-identical) or if throughput regresses more than 15%
+# against it. Run after any change to the DES core, scheduler, or eval
+# pipeline; refresh the baseline with bench-campaign when a slowdown is
+# intentional.
+bench-campaign-check:
+	$(GO) run ./cmd/cocobench -campaign -check results/bench-campaign.json
 
 # bench-campaign-smoke runs the campaign mode on a tiny work-list (one
 # size, one library) so verify exercises the whole DES pipeline in well

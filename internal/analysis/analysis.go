@@ -11,6 +11,9 @@
 //     without sorting;
 //   - outputpurity: stdout is reserved for the render/output layers,
 //     diagnostics go to stderr;
+//   - goroutines: goroutine creation is confined to the concurrency
+//     layer (internal/parallel); everything else fans out through a
+//     parallel.Pool;
 //   - layering: the package import DAG follows the checked-in layer spec;
 //   - floatorder: no order-sensitive float comparisons or accumulation
 //     over map iteration.
@@ -142,6 +145,7 @@ func All() []*Analyzer {
 		Determinism,
 		MapOrder,
 		OutputPurity,
+		Goroutines,
 		Layering,
 		FloatOrder,
 	}

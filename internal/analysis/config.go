@@ -30,6 +30,13 @@ type Config struct {
 		Stdout []string `json:"stdout"`
 	} `json:"outputpurity"`
 
+	Goroutines struct {
+		// Allow lists packages/files permitted to create goroutines (the
+		// concurrency layer). Everywhere else, fan-out must flow through a
+		// parallel.Pool so the campaigns stay replayable.
+		Allow []string `json:"allow"`
+	} `json:"goroutines"`
+
 	Layering struct {
 		// Layers is the ordered layer spec, lowest (most foundational)
 		// first. A package may import module-internal packages only from

@@ -99,6 +99,7 @@ func checkGolden(t *testing.T, name string) {
 func TestDeterminismGolden(t *testing.T)  { checkGolden(t, "determinism") }
 func TestMapOrderGolden(t *testing.T)     { checkGolden(t, "maporder") }
 func TestOutputPurityGolden(t *testing.T) { checkGolden(t, "outputpurity") }
+func TestGoroutinesGolden(t *testing.T)   { checkGolden(t, "goroutines") }
 func TestLayeringGolden(t *testing.T)     { checkGolden(t, "layering") }
 func TestFloatOrderGolden(t *testing.T)   { checkGolden(t, "floatorder") }
 

@@ -1,0 +1,21 @@
+// Package demo exercises the goroutines analyzer: go statements outside
+// the declared concurrency layer are findings, including inside nested
+// function literals; calling into the layer is fine.
+package demo
+
+import "sync"
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement outside the concurrency layer`
+}
+
+func nested(wg *sync.WaitGroup) {
+	f := func() {
+		go wg.Done() // want `go statement outside the concurrency layer`
+	}
+	f()
+}
+
+func fine(ch chan int) int {
+	return <-ch // channel use without a spawn is fine
+}

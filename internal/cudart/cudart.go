@@ -78,10 +78,17 @@ const (
 
 // op is one scheduled stream operation. Ops are recycled through the
 // runtime free list the moment their hardware work completes.
+//
+// The layout is tuned for the firing path, which touches hundreds of
+// thousands of scattered op objects per replay: the fields depSatisfied,
+// launch and finish read (pointers first, then the packed small scalars)
+// sit together at the front, and the functional operands of backed
+// transfers live behind the host pointer in a separate pooled hostWindow,
+// keeping the op itself in the 96-byte malloc class. Timing-only
+// transfers — the overwhelming majority in paper-scale sweeps — never
+// allocate a window, so the replay working set stays dense.
 type op struct {
 	rt       *Runtime
-	deps     int
-	kind     opKind
 	complete *Event
 
 	// depFn and hwDone are method values created once per op object; they
@@ -90,21 +97,34 @@ type op struct {
 	depFn  func()
 	hwDone func()
 
-	// kernel and callback operands.
-	name     string
-	duration float64
-	payload  func()
+	payload func()
+	buf     *DevBuffer
+	host    *hostWindow // functional transfer operands; nil when timing-only
 
-	// transfer operands.
-	dir        machine.LinkDir
-	bytes      int64
-	buf        *DevBuffer
-	hostF64    []float64
-	hostF32    []float32
+	// deps is the outstanding-dependency count (valid between enqueue and
+	// launch).
+	deps int32
+	kind opKind
+	dir  machine.LinkDir
+
+	// kernel and callback operands.
+	duration float64
+	name     string
+
+	bytes int64 // transfer volume
+}
+
+// hostWindow carries the host-side operands of a functional (backed)
+// transfer: the host slices plus the 1-D or 2-D window geometry. It exists
+// only while its op is in flight and recycles through the runtime's window
+// free list.
+type hostWindow struct {
+	f64        []float64
+	f32        []float32
 	off        int64
 	elems      int64
-	rows, cols int
-	ldh, ldd   int
+	rows, cols int32
+	ldh, ldd   int32
 }
 
 func (o *op) depSatisfied() {
@@ -136,49 +156,52 @@ func (o *op) finish() {
 }
 
 // runCopy performs the functional data movement of a transfer op on backed
-// buffers. Timing-only transfers (accounting-only buffer or no host slice)
-// return before the column loop: there is nothing to move, and paper-scale
-// sweeps issue millions of such transfers.
+// buffers. Timing-only transfers carry no host window and return
+// immediately: there is nothing to move, and paper-scale sweeps issue
+// millions of such transfers.
 func (o *op) runCopy() {
-	b := o.buf
-	if (b.f64 == nil && b.f32 == nil) || (o.hostF64 == nil && o.hostF32 == nil) {
+	w := o.host
+	if w == nil {
 		return
 	}
+	b := o.buf
 	switch o.kind {
 	case opH2D:
 		switch {
-		case b.f64 != nil && o.hostF64 != nil:
-			copy(b.f64[o.off:o.off+o.elems], o.hostF64[:o.elems])
-		case b.f32 != nil && o.hostF32 != nil:
-			copy(b.f32[o.off:o.off+o.elems], o.hostF32[:o.elems])
+		case b.f64 != nil && w.f64 != nil:
+			copy(b.f64[w.off:w.off+w.elems], w.f64[:w.elems])
+		case b.f32 != nil && w.f32 != nil:
+			copy(b.f32[w.off:w.off+w.elems], w.f32[:w.elems])
 		}
 	case opD2H:
 		switch {
-		case b.f64 != nil && o.hostF64 != nil:
-			copy(o.hostF64[:o.elems], b.f64[o.off:o.off+o.elems])
-		case b.f32 != nil && o.hostF32 != nil:
-			copy(o.hostF32[:o.elems], b.f32[o.off:o.off+o.elems])
+		case b.f64 != nil && w.f64 != nil:
+			copy(w.f64[:w.elems], b.f64[w.off:w.off+w.elems])
+		case b.f32 != nil && w.f32 != nil:
+			copy(w.f32[:w.elems], b.f32[w.off:w.off+w.elems])
 		}
 	case opSet2D:
-		for j := 0; j < o.cols; j++ {
-			d := o.off + int64(j)*int64(o.ldd)
-			h := j * o.ldh
+		rows := int(w.rows)
+		for j := 0; j < int(w.cols); j++ {
+			d := w.off + int64(j)*int64(w.ldd)
+			h := j * int(w.ldh)
 			switch {
-			case b.f64 != nil && o.hostF64 != nil:
-				copy(b.f64[d:d+int64(o.rows)], o.hostF64[h:h+o.rows])
-			case b.f32 != nil && o.hostF32 != nil:
-				copy(b.f32[d:d+int64(o.rows)], o.hostF32[h:h+o.rows])
+			case b.f64 != nil && w.f64 != nil:
+				copy(b.f64[d:d+int64(rows)], w.f64[h:h+rows])
+			case b.f32 != nil && w.f32 != nil:
+				copy(b.f32[d:d+int64(rows)], w.f32[h:h+rows])
 			}
 		}
 	case opGet2D:
-		for j := 0; j < o.cols; j++ {
-			d := o.off + int64(j)*int64(o.ldd)
-			h := j * o.ldh
+		rows := int(w.rows)
+		for j := 0; j < int(w.cols); j++ {
+			d := w.off + int64(j)*int64(w.ldd)
+			h := j * int(w.ldh)
 			switch {
-			case b.f64 != nil && o.hostF64 != nil:
-				copy(o.hostF64[h:h+o.rows], b.f64[d:d+int64(o.rows)])
-			case b.f32 != nil && o.hostF32 != nil:
-				copy(o.hostF32[h:h+o.rows], b.f32[d:d+int64(o.rows)])
+			case b.f64 != nil && w.f64 != nil:
+				copy(w.f64[h:h+rows], b.f64[d:d+int64(rows)])
+			case b.f32 != nil && w.f32 != nil:
+				copy(w.f32[h:h+rows], b.f32[d:d+int64(rows)])
 			}
 		}
 	}
@@ -194,64 +217,88 @@ type Runtime struct {
 
 	// opFree recycles op objects the moment their hardware work completes;
 	// evFree recycles completion events at Sync, with evLive tracking the
-	// events handed out since the last Sync.
-	opFree []*op
-	evFree []*Event
-	evLive []*Event
+	// events handed out since the last Sync. Fresh events are carved from
+	// evSlab blocks rather than allocated individually: a replay keeps up to
+	// ~10^5 events live at once, and contiguous slabs make the fire/wait
+	// paths' event touches neighbours instead of scattered heap objects.
+	opFree  []*op
+	evFree  []*Event
+	evLive  []*Event
+	evSlab  []Event
+	winFree []*hostWindow
 
 	// kernelTimes memoizes the pure kernel-model duration lookups: a tiled
 	// sweep launches thousands of identically-shaped kernels, and the
 	// model's exp/log/cbrt evaluation dominates an otherwise trivial path.
-	kernelTimes map[kernelTimeKey]float64
+	// Keys pack (routine, dtype, dims) into one integer — integer map
+	// hashing is markedly cheaper than hashing a four-field struct — and
+	// ktLast short-circuits the map entirely for the common case of
+	// back-to-back launches of the same shape.
+	kernelTimes map[int64]float64
+	ktLastKey   int64
+	ktLastDur   float64
 }
 
-// kernelTimeKey identifies one kernel-model evaluation. The routine is
-// encoded in which dims are used (gemm: m,n,k; gemv: m,n with k = -1;
-// axpy: n with m = k = -1), so the three routines never collide.
-type kernelTimeKey struct {
-	dt      kernelmodel.Dtype
-	m, n, k int
-}
+// Kernel-time key layout: routine tag | dtype | 20-bit dims. Dimensions at
+// or above ktDimLimit bypass the memo (the model evaluation is pure, so
+// skipping the cache never changes results).
+const (
+	ktDimLimit = 1 << 20
+	ktGemm     = int64(1) << 61
+	ktGemv     = int64(2) << 61
+	ktAxpy     = int64(3) << 61
+)
 
-// store records a freshly computed duration.
-func (rt *Runtime) storeKernelTime(key kernelTimeKey, dur float64) {
-	if rt.kernelTimes == nil {
-		rt.kernelTimes = make(map[kernelTimeKey]float64)
+// kernelTime returns the memoized duration for key, evaluating the model on
+// a miss. key must be non-zero (the routine tag guarantees this), so the
+// zero value of ktLastKey never aliases a real entry.
+func (rt *Runtime) kernelTime(key int64, eval func() float64) float64 {
+	if key == rt.ktLastKey {
+		return rt.ktLastDur
 	}
-	rt.kernelTimes[key] = dur
+	dur, ok := rt.kernelTimes[key]
+	if !ok {
+		dur = eval()
+		if rt.kernelTimes == nil {
+			rt.kernelTimes = make(map[int64]float64)
+		}
+		rt.kernelTimes[key] = dur
+	}
+	rt.ktLastKey, rt.ktLastDur = key, dur
+	return dur
 }
 
 // gemmTime returns the memoized gemm kernel duration for the shape.
 func (rt *Runtime) gemmTime(dt kernelmodel.Dtype, m, n, k int) float64 {
-	key := kernelTimeKey{dt: dt, m: m, n: n, k: k}
-	if dur, ok := rt.kernelTimes[key]; ok {
-		return dur
+	if m >= ktDimLimit || n >= ktDimLimit || k >= ktDimLimit {
+		return kernelmodel.GemmTime(&rt.dev.Testbed().GPU, dt, m, n, k)
 	}
-	dur := kernelmodel.GemmTime(&rt.dev.Testbed().GPU, dt, m, n, k)
-	rt.storeKernelTime(key, dur)
-	return dur
+	key := ktGemm | int64(dt)<<60 | int64(m)<<40 | int64(n)<<20 | int64(k)
+	return rt.kernelTime(key, func() float64 {
+		return kernelmodel.GemmTime(&rt.dev.Testbed().GPU, dt, m, n, k)
+	})
 }
 
 // gemvTime returns the memoized gemv kernel duration for the shape.
 func (rt *Runtime) gemvTime(dt kernelmodel.Dtype, m, n int) float64 {
-	key := kernelTimeKey{dt: dt, m: m, n: n, k: -1}
-	if dur, ok := rt.kernelTimes[key]; ok {
-		return dur
+	if m >= ktDimLimit || n >= ktDimLimit {
+		return kernelmodel.GemvTime(&rt.dev.Testbed().GPU, dt, m, n)
 	}
-	dur := kernelmodel.GemvTime(&rt.dev.Testbed().GPU, dt, m, n)
-	rt.storeKernelTime(key, dur)
-	return dur
+	key := ktGemv | int64(dt)<<60 | int64(m)<<40 | int64(n)<<20
+	return rt.kernelTime(key, func() float64 {
+		return kernelmodel.GemvTime(&rt.dev.Testbed().GPU, dt, m, n)
+	})
 }
 
 // axpyTime returns the memoized axpy kernel duration for the length.
 func (rt *Runtime) axpyTime(dt kernelmodel.Dtype, n int) float64 {
-	key := kernelTimeKey{dt: dt, m: -1, n: n, k: -1}
-	if dur, ok := rt.kernelTimes[key]; ok {
-		return dur
+	if n >= ktDimLimit {
+		return kernelmodel.AxpyTime(&rt.dev.Testbed().GPU, dt, n)
 	}
-	dur := kernelmodel.AxpyTime(&rt.dev.Testbed().GPU, dt, n)
-	rt.storeKernelTime(key, dur)
-	return dur
+	key := ktAxpy | int64(dt)<<60 | int64(n)<<20
+	return rt.kernelTime(key, func() float64 {
+		return kernelmodel.AxpyTime(&rt.dev.Testbed().GPU, dt, n)
+	})
 }
 
 // New creates a runtime bound to a device.
@@ -267,6 +314,7 @@ func New(dev *device.Device) *Runtime { return &Runtime{dev: dev} }
 func (rt *Runtime) Reset(dev *device.Device) {
 	if rt.dev == nil || dev == nil || rt.dev.Testbed() != dev.Testbed() {
 		rt.kernelTimes = nil
+		rt.ktLastKey, rt.ktLastDur = 0, 0
 	}
 	rt.dev = dev
 	rt.outstanding = 0
@@ -318,14 +366,38 @@ func (rt *Runtime) allocOp(kind opKind) *op {
 	return o
 }
 
-// recycleOp clears an op's references and parks it on the free list.
+// recycleOp clears an op's references and parks it on the free list,
+// returning any host window to the window pool.
 func (rt *Runtime) recycleOp(o *op) {
 	o.complete = nil
 	o.name = ""
 	o.payload = nil
 	o.buf = nil
-	o.hostF64, o.hostF32 = nil, nil
+	if w := o.host; w != nil {
+		o.host = nil
+		*w = hostWindow{}
+		rt.winFree = append(rt.winFree, w)
+	}
 	rt.opFree = append(rt.opFree, o)
+}
+
+// allocWindow returns a recycled (or fresh) zeroed host window for a
+// functional transfer.
+func (rt *Runtime) allocWindow() *hostWindow {
+	if n := len(rt.winFree); n > 0 {
+		w := rt.winFree[n-1]
+		rt.winFree[n-1] = nil
+		rt.winFree = rt.winFree[:n-1]
+		return w
+	}
+	return &hostWindow{}
+}
+
+// needsWindow reports whether a transfer between buf and the given host
+// slices can move data (backed buffer and a host side present) and so needs
+// its operands carried on the op.
+func needsWindow(buf *DevBuffer, hostF64 []float64, hostF32 []float32) bool {
+	return (buf.f64 != nil || buf.f32 != nil) && (hostF64 != nil || hostF32 != nil)
 }
 
 // allocEvent returns a recycled (or fresh) incomplete event, tracked for
@@ -338,7 +410,11 @@ func (rt *Runtime) allocEvent() *Event {
 		rt.evFree = rt.evFree[:n-1]
 		e.done = false
 	} else {
-		e = &Event{}
+		if len(rt.evSlab) == 0 {
+			rt.evSlab = make([]Event, 1024)
+		}
+		e = &rt.evSlab[0]
+		rt.evSlab = rt.evSlab[1:]
 	}
 	rt.evLive = append(rt.evLive, e)
 	return e
@@ -359,9 +435,10 @@ func (rt *Runtime) launch(o *op) {
 	}
 }
 
-// fire completes an event and releases its waiters. The waiters backing
-// array is kept for reuse: no appends can race the drain because a done
-// event never accepts new waiters.
+// fire completes an event and releases its waiters, decrementing their
+// dependency counters and launching every op that reaches zero. The waiters
+// backing array is kept for reuse: no appends can race the drain because a
+// done event never accepts new waiters.
 func fire(e *Event) {
 	if e.done {
 		return
@@ -369,8 +446,8 @@ func fire(e *Event) {
 	e.done = true
 	ws := e.waiters
 	e.waiters = e.waiters[:0]
-	for _, w := range ws {
-		w.depSatisfied()
+	for _, o := range ws {
+		o.depSatisfied()
 	}
 }
 
@@ -418,8 +495,9 @@ func (s *Stream) Record() *Event { return s.tail }
 
 // enqueue appends a filled op to the stream, wiring its dependency edges.
 func (s *Stream) enqueue(o *op) *Event {
-	s.rt.outstanding++
-	deps := 0
+	rt := s.rt
+	rt.outstanding++
+	deps := int32(0)
 	if addWaiter(s.tail, o) {
 		deps++
 	}
@@ -434,11 +512,37 @@ func (s *Stream) enqueue(o *op) *Event {
 		o.deps = 1
 		// Defer through the engine so submission order among independent
 		// ops is preserved and callers never re-enter the hardware model.
-		s.rt.Engine().After(0, o.depFn)
+		rt.Engine().After(0, o.depFn)
 	} else {
 		o.deps = deps
 	}
 	return o.complete
+}
+
+// TransferOp enqueues a pre-validated timing-only transfer: bytes move in
+// direction dir through device buffer buf with no host-side window. It
+// produces the identical op, dependency and event structure as the checked
+// Memcpy/SetMatrix/GetMatrix entry points do on unbacked buffers — the plan
+// replay tape uses it to skip per-op validation and operand resolution.
+func (s *Stream) TransferOp(dir machine.LinkDir, bytes int64, buf *DevBuffer) *Event {
+	kind := opH2D
+	if dir == machine.D2H {
+		kind = opD2H
+	}
+	o := s.rt.allocOp(kind)
+	o.dir, o.bytes = dir, bytes
+	o.buf = buf
+	return s.enqueue(o)
+}
+
+// KernelOp enqueues a payload-free kernel with a precomputed duration — the
+// tape replay analog of GemmAsync/GemvAsync/AxpyAsync on unbacked buffers,
+// whose payloads are nil and whose durations are pure functions of the
+// launch shape.
+func (s *Stream) KernelOp(name string, duration float64) *Event {
+	o := s.rt.allocOp(opKernel)
+	o.name, o.duration = name, duration
+	return s.enqueue(o)
 }
 
 // Callback enqueues a zero-duration host function that runs in stream
@@ -552,8 +656,12 @@ func (s *Stream) MemcpyH2DAsync(dst *DevBuffer, dstOff int64, hostF64 []float64,
 	}
 	o := s.rt.allocOp(opH2D)
 	o.dir, o.bytes = machine.H2D, elems*dst.dt.Size()
-	o.buf, o.off, o.elems = dst, dstOff, elems
-	o.hostF64, o.hostF32 = hostF64, hostF32
+	o.buf = dst
+	if needsWindow(dst, hostF64, hostF32) {
+		w := s.rt.allocWindow()
+		w.f64, w.f32, w.off, w.elems = hostF64, hostF32, dstOff, elems
+		o.host = w
+	}
 	return s.enqueue(o), nil
 }
 
@@ -564,8 +672,12 @@ func (s *Stream) MemcpyD2HAsync(hostF64 []float64, hostF32 []float32, src *DevBu
 	}
 	o := s.rt.allocOp(opD2H)
 	o.dir, o.bytes = machine.D2H, elems*src.dt.Size()
-	o.buf, o.off, o.elems = src, srcOff, elems
-	o.hostF64, o.hostF32 = hostF64, hostF32
+	o.buf = src
+	if needsWindow(src, hostF64, hostF32) {
+		w := s.rt.allocWindow()
+		w.f64, w.f32, w.off, w.elems = hostF64, hostF32, srcOff, elems
+		o.host = w
+	}
 	return s.enqueue(o), nil
 }
 
@@ -602,9 +714,13 @@ func (s *Stream) SetMatrixAsync(rows, cols int, hostF64 []float64, hostF32 []flo
 	}
 	o := s.rt.allocOp(opSet2D)
 	o.dir, o.bytes = machine.H2D, int64(rows)*int64(cols)*dst.dt.Size()
-	o.buf, o.off = dst, dstOff
-	o.rows, o.cols, o.ldh, o.ldd = rows, cols, ldh, ldd
-	o.hostF64, o.hostF32 = hostF64, hostF32
+	o.buf = dst
+	if needsWindow(dst, hostF64, hostF32) {
+		w := s.rt.allocWindow()
+		w.f64, w.f32, w.off = hostF64, hostF32, dstOff
+		w.rows, w.cols, w.ldh, w.ldd = int32(rows), int32(cols), int32(ldh), int32(ldd)
+		o.host = w
+	}
 	return s.enqueue(o), nil
 }
 
@@ -625,9 +741,13 @@ func (s *Stream) GetMatrixAsync(rows, cols int, src *DevBuffer, srcOff int64, ld
 	}
 	o := s.rt.allocOp(opGet2D)
 	o.dir, o.bytes = machine.D2H, int64(rows)*int64(cols)*src.dt.Size()
-	o.buf, o.off = src, srcOff
-	o.rows, o.cols, o.ldh, o.ldd = rows, cols, ldh, lds
-	o.hostF64, o.hostF32 = hostF64, hostF32
+	o.buf = src
+	if needsWindow(src, hostF64, hostF32) {
+		w := s.rt.allocWindow()
+		w.f64, w.f32, w.off = hostF64, hostF32, srcOff
+		w.rows, w.cols, w.ldh, w.ldd = int32(rows), int32(cols), int32(ldh), int32(lds)
+		o.host = w
+	}
 	return s.enqueue(o), nil
 }
 

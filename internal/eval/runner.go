@@ -2,9 +2,12 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"cocopelia/internal/blas"
 	"cocopelia/internal/cudart"
 	"cocopelia/internal/device"
 	"cocopelia/internal/kernelmodel"
@@ -59,26 +62,66 @@ type cellKey struct {
 
 // planKey identifies one memoized tile plan: the plan's routine variant
 // ("gemm" and "gemm-noreuse" separate the two gemm planners), dtype,
-// geometry, tiling size and operand location vector. The scalar
-// coefficients are fixed per routine in runOnce, so they do not
-// discriminate.
+// geometry, transpose flags, tiling size and operand location vector. The
+// scalar coefficients are fixed per routine in runOnce, so they do not
+// discriminate. The transpose flags are part of the key even though the
+// runner currently emits only NoTrans invocations: sched.GemmOpts accepts
+// transposes, and omitting them here would silently alias a future
+// transposed cell onto the NoTrans plan of the same geometry.
 type planKey struct {
-	routine string
-	dtype   kernelmodel.Dtype
-	m, n, k int
-	locs    [3]model.Loc
-	nlocs   int
-	tile    int
+	routine        string
+	dtype          kernelmodel.Dtype
+	transA, transB byte
+	m, n, k        int
+	locs           [3]model.Loc
+	nlocs          int
+	tile           int
 }
 
-// planCell builds the plan-memoization key for a measurement.
+// planCell builds the plan-memoization key for a measurement. Every
+// problem the runner measures is stored NoTrans (Problem has no transpose
+// fields); geometry normalization happens upstream, on the Problem itself
+// (see normalizeGemm), so mirror-equivalent cells arrive here already
+// folded onto their canonical orientation.
 func planCell(routine string, p Problem, T int) planKey {
 	pk := planKey{
 		routine: routine, dtype: p.Dtype,
+		transA: blas.NoTrans, transB: blas.NoTrans,
 		m: p.M, n: p.N, k: p.K, nlocs: len(p.Locs), tile: T,
 	}
 	copy(pk.locs[:], p.Locs)
 	return pk
+}
+
+// normalizeGemm folds a NoTrans gemm problem onto the canonical
+// representative of its mirror-equivalence class. The transpose identity
+// C^T = B^T·A^T makes gemm(M,N,K, A@locA, B@locB, C@locC) cost-isomorphic
+// to gemm(N,M,K, B^T@locB, A^T@locA, C^T@locC): tile counts, per-tile
+// transfer volumes and kernel shapes (the kernel-time model is symmetric
+// in M and N) all coincide, so the two orientations share one tile plan.
+// The canonical orientation is the lexicographically smaller of
+// (m, n, locA, locB) and its mirror (n, m, locB, locA); square problems
+// with symmetric locations are their own mirror and pass through
+// unchanged. The fold is applied to the Problem itself — before operand
+// materialization and plan-key construction — so every downstream layer
+// (plan cache, replay validation, result assembly) sees one orientation.
+// Seconds differ between the orientations only through the plan's op
+// order, which is exactly the modeling decision NormalizeKeys opts into;
+// the structural result fields (Subkernels, BytesH2D, BytesD2H) are
+// identical by symmetry.
+func normalizeGemm(p Problem) Problem {
+	if p.Routine != "dgemm" || len(p.Locs) != 3 {
+		return p
+	}
+	m, n := p.M, p.N
+	la, lb := p.Locs[0], p.Locs[1]
+	if m < n || (m == n && la <= lb) {
+		return p // already canonical
+	}
+	q := p
+	q.M, q.N = n, m
+	q.Locs = []model.Loc{lb, la, p.Locs[2]} // fresh slice: p.Locs is shared
+	return q
 }
 
 // planOpsBudget bounds the plan cache by total op count (an op is ~100
@@ -126,6 +169,38 @@ type Runner struct {
 	Reps int
 	// SeedBase diversifies the noise streams of independent campaigns.
 	SeedBase int64
+	// IntraCell selects the conservatively-partitioned discrete-event
+	// engine (per-device event queues with lookahead derived from the
+	// testbed's link latencies) for this runner's repetitions. The fired
+	// event sequence is bit-identical to the sequential engine — the
+	// partitioned engine's (at, seq) merge oracle guarantees it, and the
+	// campaign identity assertions in cocobench pin it — so the flag only
+	// changes how the queue is advanced, never what is measured.
+	IntraCell bool
+	// Drain, with IntraCell, fans the partitioned engine's per-partition
+	// staging jobs out through a worker pool. Staged drains are enabled
+	// only when the pool has more than one worker AND GOMAXPROCS > 1 —
+	// otherwise staging is pure overhead on the single P — which is the
+	// sequential-fallback criterion DESIGN.md §10 documents.
+	Drain *parallel.Pool
+	// NormalizeKeys folds mirror-equivalent gemm cells onto a canonical
+	// orientation before measuring (see normalizeGemm), so symmetric
+	// work-lists share tile plans. Off by default: the reference campaign
+	// is pinned byte-identical, and normalization measures the canonical
+	// representative of each mirror class instead of the literal cell.
+	NormalizeKeys bool
+	// Clock, when set, enables per-phase wall-time attribution
+	// (PhaseSeconds). It is injected rather than sampled so the eval layer
+	// stays wall-clock free under the determinism analyzer; cmd binaries
+	// pass time.Now.
+	Clock parallel.Clock
+	// PlanOpsBudget overrides the plan cache's FIFO-eviction budget
+	// (planOpsBudget when zero). Eviction outcomes depend on execution
+	// order — whether a shared key re-misses hinges on which insertions
+	// landed in between — so a campaign that pins its plan-cache counters
+	// byte-identical across worker counts must raise the budget above its
+	// work-list's total op count; cocobench does exactly that.
+	PlanOpsBudget int
 
 	shards [cacheShards]cacheShard
 
@@ -134,17 +209,23 @@ type Runner struct {
 	waits  atomic.Int64
 	events atomic.Int64
 
+	phaseNS [numPhases]atomic.Int64
+
 	// The plan cache memoizes tile plans by invocation shape: a plan is a
 	// pure function of (routine variant, geometry, T, location vector) and
 	// the context knobs — which are the defaults on every fresh eval
 	// context — so a plan built during any repetition replays on every
-	// other repetition and cell of the same shape.
-	planMu     sync.Mutex
-	plans      map[planKey]*plan.Plan
-	planQueue  []planKey
-	planOps    int
-	planHits   atomic.Int64
-	planMisses atomic.Int64
+	// other repetition and cell of the same shape. Entries are inserted at
+	// first arrival (singleflight): later requesters of a key being built
+	// count as hits and wait on the entry's done channel, which keeps the
+	// hit/miss counters independent of worker count.
+	planMu        sync.Mutex
+	plans         map[planKey]*planEntry
+	planQueue     []planQEntry
+	planOps       int
+	planHits      atomic.Int64
+	planMisses    atomic.Int64
+	planEvictions atomic.Int64
 
 	// rtPool recycles cudart runtimes across this runner's repetitions so
 	// their op/event free lists and kernel-duration memos stay warm. The
@@ -152,10 +233,28 @@ type Runner struct {
 	rtPool sync.Pool
 }
 
+// planEntry is one plan-cache slot: inserted before the build runs, so
+// concurrent requesters of the same key join the in-flight build instead
+// of duplicating it.
+type planEntry struct {
+	done chan struct{}
+	p    *plan.Plan
+	err  error
+}
+
+// planQEntry is one FIFO-eviction record. It captures the entry identity,
+// not just the key: a key evicted and later rebuilt gets a fresh entry and
+// a fresh queue position, and the stale record must not evict the rebuilt
+// plan when it reaches the queue head.
+type planQEntry struct {
+	key planKey
+	e   *planEntry
+}
+
 // NewRunner creates a runner for a testbed.
 func NewRunner(tb *machine.Testbed) *Runner {
 	r := &Runner{TB: tb, Reps: 3, SeedBase: 1}
-	r.plans = map[planKey]*plan.Plan{}
+	r.plans = map[planKey]*planEntry{}
 	for i := range r.shards {
 		r.shards[i].results = map[cellKey]operand.Result{}
 		r.shards[i].inflight = map[cellKey]*inflightCall{}
@@ -197,45 +296,116 @@ func (r *Runner) shard(ck cellKey) *cacheShard {
 
 // planFor returns the memoized plan for key, building it with build on a
 // miss. Replays only read the plan, so one canonical *plan.Plan per key is
-// safely shared across concurrent repetitions. Concurrent misses on the
-// same key may build twice; the first insert wins and the duplicate is
-// discarded (builds are pure, so both are identical).
+// safely shared across concurrent repetitions.
+//
+// The cache is singleflight: the first requester of a key inserts an
+// unfinished entry and builds; concurrent requesters of the same key count
+// as hits and wait on the entry instead of building a duplicate. This
+// keeps the hit/miss split a pure function of the work-list — identical at
+// any worker count — which the campaign identity checks rely on. Failed
+// builds are returned to every waiter but never cached.
 func (r *Runner) planFor(key planKey, build func() (*plan.Plan, error)) (*plan.Plan, error) {
 	r.planMu.Lock()
-	if p, ok := r.plans[key]; ok {
+	if e, ok := r.plans[key]; ok {
 		r.planMu.Unlock()
 		r.planHits.Add(1)
-		return p, nil
+		<-e.done
+		return e.p, e.err
 	}
+	e := &planEntry{done: make(chan struct{})}
+	r.plans[key] = e
 	r.planMu.Unlock()
-	p, err := build()
-	if err != nil {
-		return nil, err
-	}
 	r.planMisses.Add(1)
+
+	e.p, e.err = build()
+	close(e.done)
+
 	r.planMu.Lock()
 	defer r.planMu.Unlock()
-	if prev, ok := r.plans[key]; ok {
-		return prev, nil
+	if e.err != nil {
+		// Never cache failures — but only remove our own entry, in case the
+		// key was already evicted and rebuilt by someone else.
+		if cur, ok := r.plans[key]; ok && cur == e {
+			delete(r.plans, key)
+		}
+		return nil, e.err
 	}
-	r.plans[key] = p
-	r.planQueue = append(r.planQueue, key)
-	r.planOps += len(p.Ops)
-	for r.planOps > planOpsBudget && len(r.planQueue) > 1 {
+	r.planQueue = append(r.planQueue, planQEntry{key: key, e: e})
+	r.planOps += len(e.p.Ops)
+	budget := r.PlanOpsBudget
+	if budget <= 0 {
+		budget = planOpsBudget
+	}
+	for r.planOps > budget && len(r.planQueue) > 1 {
 		old := r.planQueue[0]
 		r.planQueue = r.planQueue[1:]
-		if q, ok := r.plans[old]; ok {
-			r.planOps -= len(q.Ops)
-			delete(r.plans, old)
+		if cur, ok := r.plans[old.key]; ok && cur == old.e {
+			r.planOps -= len(old.e.p.Ops)
+			delete(r.plans, old.key)
+			r.planEvictions.Add(1)
 		}
+		// A stale record (key evicted earlier, then rebuilt under a new
+		// entry) is skipped: its op count was already subtracted when the
+		// entry it names was evicted.
 	}
-	return p, nil
+	return e.p, nil
 }
 
 // PlanCacheStats reports plan-memoization activity: hits replayed an
-// already-built plan, misses built one.
-func (r *Runner) PlanCacheStats() (hits, misses int) {
-	return int(r.planHits.Load()), int(r.planMisses.Load())
+// already-built plan (or joined an in-flight build), misses built one, and
+// evictions dropped a built plan to keep the cache within its op budget.
+// Evictions explain the gap between distinct shapes and misses: an evicted
+// shape that recurs later in the work-list misses again.
+func (r *Runner) PlanCacheStats() (hits, misses, evictions int) {
+	return int(r.planHits.Load()), int(r.planMisses.Load()), int(r.planEvictions.Load())
+}
+
+// Phase indices of Runner.phaseNS: where campaign wall time goes.
+const (
+	phasePlan    = iota // plan-cache lookups and (on misses) plan builds
+	phaseEnqueue        // replaying plans onto the runtime's streams
+	phaseAdvance        // draining the event queue (runtime Sync)
+	phaseOther          // operand setup and the non-plan-replaying libraries
+	numPhases
+)
+
+// PhaseSeconds reports the accumulated per-phase wall time of this
+// runner's repetitions: plan building, plan replay (enqueue), event-queue
+// advance, and everything else (operand setup plus the comparator
+// libraries that run to completion internally). All zero unless Clock is
+// set.
+func (r *Runner) PhaseSeconds() (planBuild, enqueue, advance, other float64) {
+	const s = 1e-9
+	return float64(r.phaseNS[phasePlan].Load()) * s,
+		float64(r.phaseNS[phaseEnqueue].Load()) * s,
+		float64(r.phaseNS[phaseAdvance].Load()) * s,
+		float64(r.phaseNS[phaseOther].Load()) * s
+}
+
+// phaseLap attributes wall-time intervals to campaign phases through the
+// runner's injected clock; the zero value (no clock installed) makes every
+// lap a no-op, so default campaigns pay nothing for the instrumentation.
+type phaseLap struct {
+	r    *Runner
+	mark time.Time
+}
+
+// startLap begins interval attribution for one repetition.
+func (r *Runner) startLap() phaseLap {
+	if r.Clock == nil {
+		return phaseLap{}
+	}
+	return phaseLap{r: r, mark: r.Clock()}
+}
+
+// lap charges the time since the previous lap (or startLap) to phase ph.
+func (pc *phaseLap) lap(ph int) {
+	if pc.r == nil {
+		return
+	}
+	now := pc.r.Clock()
+	pc.r.phaseNS[ph].Add(int64(now.Sub(pc.mark)))
+	pc.mark = now
 }
 
 // key renders the legacy string cell key; it survives only as the input of
@@ -311,13 +481,84 @@ func axpyOperands(rt *cudart.Runtime, p Problem) (x, y *operand.Vector, err erro
 // repetitions schedule events with no heap growth.
 var enginePool = sync.Pool{New: func() any { return sim.New() }}
 
+// partEnginePool recycles partitioned engines for intra-cell runs. The
+// pools are separate because the partition count is fixed at construction;
+// putEngine routes each engine back by flavor.
+var partEnginePool = sync.Pool{New: func() any { return sim.NewPartitioned() }}
+
+// drainThreshold is the heap population at which an intra-cell engine
+// stages a conservative drain. Below it the staging bookkeeping outweighs
+// the batch-pop savings; the big gemm cells hold tens of thousands of
+// pending events, so they drain, while tiny cells never do (and draining
+// never changes what fires — see the merge-oracle invariant).
+const drainThreshold = 4096
+
+// engine returns a reset simulation engine of the runner's configured
+// flavor. Intra-cell engines get the lookahead vector derived from the
+// testbed's link latencies (an event in any partition schedules into a
+// link partition no earlier than one transfer latency out) and a drain
+// policy: staging fans out through Drain only when the pool and GOMAXPROCS
+// both allow real concurrency, and stays sequential otherwise — either
+// way the fired event sequence is the sequential engine's.
+func (r *Runner) engine() *sim.Engine {
+	if !r.IntraCell {
+		eng := enginePool.Get().(*sim.Engine)
+		eng.Reset()
+		return eng
+	}
+	eng := partEnginePool.Get().(*sim.Engine)
+	eng.Reset()
+	var look [sim.NumParts]sim.Time
+	look[sim.PartH2D] = r.TB.H2D.LatencyS
+	look[sim.PartD2H] = r.TB.D2H.LatencyS
+	eng.SetLookahead(look)
+	if pool := r.Drain; pool.Workers() > 1 && runtime.GOMAXPROCS(0) > 1 {
+		eng.SetDrain(drainThreshold, func(n int, f func(int)) { parallel.Fanout(pool, n, f) })
+	} else {
+		eng.SetDrain(drainThreshold, nil)
+	}
+	return eng
+}
+
+// putEngine returns an engine to the pool matching its flavor.
+func putEngine(eng *sim.Engine) {
+	if eng.Partitioned() {
+		partEnginePool.Put(eng)
+	} else {
+		enginePool.Put(eng)
+	}
+}
+
+// finishTimed drains the engine and settles an enqueued plan replay,
+// attributing the enqueue and advance intervals to their phases (the timed
+// counterpart of the sched *With tails). err is the Enqueue variant's
+// error, so call sites stay one-liners.
+func (r *Runner) finishTimed(pc *phaseLap, rt *cudart.Runtime, pend *sched.PendingGemm, err error) (operand.Result, error) {
+	if err != nil {
+		return operand.Result{}, err
+	}
+	pc.lap(phaseEnqueue)
+	end, serr := rt.Sync()
+	pc.lap(phaseAdvance)
+	res := pend.Finish(end)
+	if serr != nil {
+		return operand.Result{}, serr
+	}
+	return res, nil
+}
+
 // runOnce executes one repetition on a fresh device and returns its result.
 // The engine is pooled (reset-on-reuse is indistinguishable from fresh —
 // pinned by the sim package's reuse property test); the device, runtime and
 // scheduling context are per-repetition so no measurement state leaks.
 func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result, error) {
-	eng := enginePool.Get().(*sim.Engine)
-	eng.Reset()
+	if r.NormalizeKeys {
+		// Fold onto the mirror class's canonical orientation. The noise
+		// seed was already derived from the original cell key upstream, so
+		// mirrored cells keep distinct noise streams.
+		p = normalizeGemm(p)
+	}
+	eng := r.engine()
 	dev := device.New(eng, r.TB, seed, false)
 	var rt *cudart.Runtime
 	if v := r.rtPool.Get(); v != nil {
@@ -328,9 +569,10 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 	}
 	defer func() {
 		r.events.Add(int64(eng.Processed()))
-		enginePool.Put(eng)
+		putEngine(eng)
 		r.rtPool.Put(rt)
 	}()
+	pc := r.startLap()
 
 	if p.Routine == "daxpy" {
 		x, y, err := axpyOperands(rt, p)
@@ -341,15 +583,20 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 		case LibCoCoPeLia:
 			ctx := sched.NewContext(rt, false)
 			opts := sched.AxpyOpts{N: p.N, Alpha: 1.1, X: x, Y: y, T: T}
+			pc.lap(phaseOther)
 			pl, err := r.planFor(planCell("axpy", p, T), func() (*plan.Plan, error) {
 				return ctx.PlanAxpy(opts)
 			})
 			if err != nil {
 				return operand.Result{}, err
 			}
-			return ctx.AxpyWith(pl, opts)
+			pc.lap(phasePlan)
+			pend, err := ctx.AxpyEnqueueWith(pl, opts)
+			return r.finishTimed(&pc, rt, pend, err)
 		case LibUnified:
-			return unified.Daxpy(rt, p.N, 1.1, x, y, false)
+			res, err := unified.Daxpy(rt, p.N, 1.1, x, y, false)
+			pc.lap(phaseOther)
+			return res, err
 		default:
 			return operand.Result{}, fmt.Errorf("eval: library %s has no daxpy", lib)
 		}
@@ -388,13 +635,16 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 		}
 		ctx := sched.NewContext(rt, false)
 		opts := sched.GemvOpts{M: p.M, N: p.N, Alpha: 1, Beta: 1, A: a, X: x, Y: y, T: T}
+		pc.lap(phaseOther)
 		pl, err := r.planFor(planCell("gemv", p, T), func() (*plan.Plan, error) {
 			return ctx.PlanGemv(opts)
 		})
 		if err != nil {
 			return operand.Result{}, err
 		}
-		return ctx.GemvWith(pl, opts)
+		pc.lap(phasePlan)
+		pend, err := ctx.GemvEnqueueWith(pl, opts)
+		return r.finishTimed(&pc, rt, pend, err)
 	}
 
 	a, b, c, err := gemmOperands(rt, p)
@@ -408,19 +658,23 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
 			Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T,
 		}
+		pc.lap(phaseOther)
 		pl, err := r.planFor(planCell("gemm", p, T), func() (*plan.Plan, error) {
 			return ctx.PlanGemm(opts)
 		})
 		if err != nil {
 			return operand.Result{}, err
 		}
-		return ctx.GemmWith(pl, opts)
+		pc.lap(phasePlan)
+		pend, err := ctx.GemmEnqueueWith(pl, opts)
+		return r.finishTimed(&pc, rt, pend, err)
 	case LibNoReuse:
 		ctx := sched.NewContext(rt, false)
 		opts := sched.GemmOpts{
 			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
 			Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T,
 		}
+		pc.lap(phaseOther)
 		// The no-reuse planner's slot count depends on free device memory,
 		// which is deterministic given the location vector (the same
 		// device-resident operands are staged before planning), so the
@@ -431,19 +685,25 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 		if err != nil {
 			return operand.Result{}, err
 		}
-		return ctx.GemmNoReuseWith(pl, opts)
+		pc.lap(phasePlan)
+		pend, err := ctx.GemmNoReuseEnqueueWith(pl, opts)
+		return r.finishTimed(&pc, rt, pend, err)
 	case LibCuBLASXt:
 		h := cublasxt.New(rt, 0, false)
-		return h.Gemm(cublasxt.GemmOpts{
+		res, err := h.Gemm(cublasxt.GemmOpts{
 			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
 			Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T,
 		})
+		pc.lap(phaseOther)
+		return res, err
 	case LibBLASX:
 		l := blasx.New(rt, false)
-		return l.Gemm(blasx.GemmOpts{
+		res, err := l.Gemm(blasx.GemmOpts{
 			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
 			Alpha: 1, Beta: 1, A: a, B: b, C: c,
 		})
+		pc.lap(phaseOther)
+		return res, err
 	}
 	return operand.Result{}, fmt.Errorf("eval: unknown library %s", lib)
 }

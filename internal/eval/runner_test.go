@@ -121,7 +121,7 @@ func TestPlanMemoization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, misses := r.PlanCacheStats()
+	hits, misses, _ := r.PlanCacheStats()
 	if misses != 1 || hits != r.Reps-1 {
 		t.Errorf("plan cache after one cell: hits=%d misses=%d, want %d/1", hits, misses, r.Reps-1)
 	}
@@ -130,7 +130,7 @@ func TestPlanMemoization(t *testing.T) {
 	if _, err := r.Measure(LibNoReuse, p, 1024); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses = r.PlanCacheStats()
+	hits, misses, _ = r.PlanCacheStats()
 	if misses != 2 || hits != 2*(r.Reps-1) {
 		t.Errorf("plan cache after two libs: hits=%d misses=%d, want %d/2", hits, misses, 2*(r.Reps-1))
 	}

@@ -171,7 +171,7 @@ func (l *Link) startNext(dir machine.LinkDir) {
 	}
 	c.active = t
 	c.started = l.eng.Now()
-	l.eng.After(c.params.LatencyS, t.enterFn)
+	l.eng.AfterPart(part(dir), c.params.LatencyS, t.enterFn)
 }
 
 // enterData moves a transfer from its latency phase into the fluid data
@@ -181,6 +181,18 @@ func (l *Link) enterData(dir machine.LinkDir, t *transfer) {
 	t.dataStart = l.eng.Now()
 	t.updated = l.eng.Now()
 	l.replan()
+}
+
+// part maps a link direction onto its event-queue partition. Queue-entry
+// events land at least one link latency after the event submitting them —
+// the lookahead bound the partitioned engine's drains use — while
+// completion events may be scheduled or rescheduled arbitrarily close to
+// now; the engine's (at, seq) merge scan keeps that correct regardless.
+func part(dir machine.LinkDir) sim.Partition {
+	if dir == machine.H2D {
+		return sim.PartH2D
+	}
+	return sim.PartD2H
 }
 
 // otherDir returns the opposite direction.
@@ -194,37 +206,50 @@ func otherDir(dir machine.LinkDir) machine.LinkDir {
 // replan settles the progress of every in-flight data-phase transfer at the
 // current instant, assigns new rates based on whether the opposite
 // direction is simultaneously active, and reschedules completion events.
+// It is the hottest function in the link (every transfer boundary calls it),
+// so the two directions are unrolled rather than ranged over.
 func (l *Link) replan() {
 	now := l.eng.Now()
-	bothActive := l.inData(machine.H2D) && l.inData(machine.D2H)
-	for _, dir := range []machine.LinkDir{machine.H2D, machine.D2H} {
-		c := l.dirs[dir]
-		t := c.active
-		if t == nil || !t.inData {
-			continue
+	ch, cd := l.dirs[machine.H2D], l.dirs[machine.D2H]
+	th, td := ch.active, cd.active
+	hData := th != nil && th.inData
+	dData := td != nil && td.inData
+	bothActive := hData && dData
+	if hData {
+		l.replanOne(machine.H2D, ch, th, now, bothActive)
+	}
+	if dData {
+		l.replanOne(machine.D2H, cd, td, now, bothActive)
+	}
+}
+
+// replanOne settles one in-flight data-phase transfer at now and
+// reschedules its completion. The remaining bytes are always settled at the
+// old rate and the finish recomputed from scratch — even when the effective
+// rate is unchanged — because reusing a previously scheduled finish time
+// instead of recomputing now + remaining/rate can differ in the last ulp,
+// and event times must be bit-identical across replay paths.
+func (l *Link) replanOne(dir machine.LinkDir, c *channel, t *transfer, now sim.Time, bothActive bool) {
+	if t.rate > 0 {
+		t.remaining -= t.rate * (now - t.updated)
+		if t.remaining < 0 {
+			t.remaining = 0
 		}
-		// Settle progress at the old rate.
-		if t.rate > 0 {
-			t.remaining -= t.rate * (now - t.updated)
-			if t.remaining < 0 {
-				t.remaining = 0
-			}
-		}
-		t.updated = now
-		rate := c.params.BandwidthBps * t.bwFactor
-		if bothActive {
-			rate /= c.params.BidSlowdown
-		}
-		t.rate = rate
-		finish := now
-		if t.remaining > 0 {
-			finish = now + t.remaining/rate
-		}
-		if t.complete != nil && t.complete.Pending() {
-			l.eng.Reschedule(t.complete, finish)
-		} else {
-			t.complete = l.eng.Schedule(finish, t.finishFn)
-		}
+	}
+	t.updated = now
+	rate := c.params.BandwidthBps * t.bwFactor
+	if bothActive {
+		rate /= c.params.BidSlowdown
+	}
+	t.rate = rate
+	finish := now
+	if t.remaining > 0 {
+		finish = now + t.remaining/rate
+	}
+	if t.complete != nil && t.complete.Pending() {
+		l.eng.Reschedule(t.complete, finish)
+	} else {
+		t.complete = l.eng.SchedulePart(part(dir), finish, t.finishFn)
 	}
 }
 

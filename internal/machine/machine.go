@@ -18,8 +18,10 @@ import (
 	"os"
 )
 
-// LinkDir identifies a transfer direction across the host-device link.
-type LinkDir int
+// LinkDir identifies a transfer direction across the host-device link. It
+// is a byte so hot per-operation structs (cudart ops, plan tape entries)
+// can pack it next to their other small scalars.
+type LinkDir uint8
 
 const (
 	// H2D is a host-to-device transfer.

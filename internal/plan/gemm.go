@@ -131,11 +131,11 @@ func BuildGemm(spec GemmSpec) *Plan {
 		t.ref = slotRef(slot, int32(rows))
 		t.ready = -1
 		if fetch {
-			t.ready = b.emit(Op{
-				Kind: OpFetch, Slot: slot,
-				A: argRef(arg, int32(ti*T), int32(tj*T)),
-				M: int32(rows), N: int32(cols),
-			})
+			o, id := b.emit()
+			o.Kind, o.Slot = OpFetch, slot
+			o.A = argRef(arg, int32(ti*T), int32(tj*T))
+			o.M, o.N = int32(rows), int32(cols)
+			t.ready = id
 			p.BytesH2D += int64(rows) * int64(cols) * dt.Size()
 		}
 		return t
@@ -180,24 +180,24 @@ func BuildGemm(spec GemmSpec) *Plan {
 				if spec.DispatchOverheadS > 0 {
 					// The dispatch kernel drains the pending waits; the gemm
 					// follows it in stream order with no explicit deps.
-					b.emit(Op{Kind: OpKernel, Kernel: KDispatch})
+					d, _ := b.emit()
+					d.Kind, d.Kernel = OpKernel, KDispatch
 				}
-				lastComp = b.emit(Op{
-					Kind: OpKernel, Kernel: KGemm,
-					TransA: spec.TransA, TransB: spec.TransB,
-					M: int32(rows), N: int32(cols), K: int32(inner),
-					Beta: betaSel(beta),
-					A:    aTile.ref, B: bTile.ref, C: cTile.ref,
-				})
+				o, kid := b.emit()
+				o.Kind, o.Kernel = OpKernel, KGemm
+				o.TransA, o.TransB = spec.TransA, spec.TransB
+				o.M, o.N, o.K = int32(rows), int32(cols), int32(inner)
+				o.Beta = betaSel(beta)
+				o.A, o.B, o.C = aTile.ref, bTile.ref, cTile.ref
+				lastComp = kid
 				p.Subkernels++
 			}
 			if spec.LocC == model.OnHost {
 				b.dep(lastComp)
-				wb := b.emit(Op{
-					Kind: OpWriteback, Slot: cTile.ref.Slot,
-					A: argRef(2, int32(ti*T), int32(tj*T)),
-					M: int32(rows), N: int32(cols),
-				})
+				o, wb := b.emit()
+				o.Kind, o.Slot = OpWriteback, cTile.ref.Slot
+				o.A = argRef(2, int32(ti*T), int32(tj*T))
+				o.M, o.N = int32(rows), int32(cols)
 				p.BytesD2H += int64(rows) * int64(cols) * dt.Size()
 				if spec.BlockingWriteback {
 					pendingWB = wb
@@ -335,11 +335,10 @@ func BuildGemmNoReuse(spec GemmSpec, freeBytes int64) *Plan {
 						b.dep(d)
 					}
 					pendingH2D = pendingH2D[:0]
-					id := b.emit(Op{
-						Kind: OpFetch, Slot: int32(slot),
-						A: argRef(arg, int32(row), int32(col)),
-						M: int32(r), N: int32(cl),
-					})
+					o, id := b.emit()
+					o.Kind, o.Slot = OpFetch, int32(slot)
+					o.A = argRef(arg, int32(row), int32(col))
+					o.M, o.N = int32(r), int32(cl)
 					p.BytesH2D += int64(r) * int64(cl) * dt.Size()
 					lastH2D = id
 					return id
@@ -381,23 +380,21 @@ func BuildGemmNoReuse(spec GemmSpec, freeBytes int64) *Plan {
 				// The kernel waits on the h2d stream's tail (everything
 				// fetched so far), mirroring comp.WaitEvent(h2d.Record()).
 				b.dep(lastH2D)
-				kid := b.emit(Op{
-					Kind: OpKernel, Kernel: KGemm,
-					TransA: blas.NoTrans, TransB: blas.NoTrans,
-					M: int32(rows), N: int32(cols), K: int32(inner),
-					Beta: betaSel(beta),
-					A:    aRef, B: bRef, C: cRef,
-				})
+				o, kid := b.emit()
+				o.Kind, o.Kernel = OpKernel, KGemm
+				o.TransA, o.TransB = blas.NoTrans, blas.NoTrans
+				o.M, o.N, o.K = int32(rows), int32(cols), int32(inner)
+				o.Beta = betaSel(beta)
+				o.A, o.B, o.C = aRef, bRef, cRef
 				p.Subkernels++
 				g.lastKernel = kid
 
 				if spec.LocC == model.OnHost {
 					b.dep(kid)
-					wb := b.emit(Op{
-						Kind: OpWriteback, Slot: g.c,
-						A: argRef(2, int32(ti*T), int32(tj*T)),
-						M: int32(rows), N: int32(cols),
-					})
+					o, wb := b.emit()
+					o.Kind, o.Slot = OpWriteback, g.c
+					o.A = argRef(2, int32(ti*T), int32(tj*T))
+					o.M, o.N = int32(rows), int32(cols)
 					p.BytesD2H += int64(rows) * int64(cols) * dt.Size()
 					g.lastWriteback = wb
 					writebackOf[ti*nt+tj] = wb

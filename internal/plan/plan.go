@@ -196,6 +196,10 @@ type Plan struct {
 	// EvSlots is the size of the executor's completion-event table: the
 	// number of ops some later op (or tail wait) depends on.
 	EvSlots int
+
+	// tape caches the plan's precompiled timing-only replay tape (see
+	// tape.go). Plans with a compiled tape must not be copied by value.
+	tape tapeSlot
 }
 
 // NumArgs returns the number of operand bindings the plan expects.
@@ -236,15 +240,27 @@ func (b *builder) dep(id int32) {
 	}
 }
 
-// emit appends the op, binding the dependencies recorded since the last
-// emit, and returns its id.
-func (b *builder) emit(o Op) int32 {
+// emit appends a zero op to the arena, binding the dependencies recorded
+// since the last emit, and returns the arena slot for the caller to fill
+// in place along with its id. Op is a wide struct and planners emit
+// hundreds of thousands per campaign; filling the slot directly avoids a
+// per-op stack literal plus arena copy. Callers must only set fields —
+// never hold the pointer across another emit (the arena may grow).
+func (b *builder) emit() (*Op, int32) {
+	id := int32(len(b.p.Ops))
+	if int(id) < cap(b.p.Ops) {
+		// The arena comes zeroed from make, so extending into capacity
+		// yields a zero op without writing 96 bytes of zeros first; the
+		// caller fills only the fields it needs.
+		b.p.Ops = b.p.Ops[:id+1]
+	} else {
+		b.p.Ops = append(b.p.Ops, Op{})
+	}
+	o := &b.p.Ops[id]
 	o.depOff = b.depStart
 	o.depN = int32(len(b.p.deps)) - b.depStart
 	b.depStart = int32(len(b.p.deps))
-	id := int32(len(b.p.Ops))
-	b.p.Ops = append(b.p.Ops, o)
-	return id
+	return o, id
 }
 
 // slot registers a staging buffer shape and returns its slot id.
@@ -258,7 +274,9 @@ func (b *builder) slot(dt kernelmodel.Dtype, elems int64) int32 {
 // the IR: it determines pool-eviction behaviour and the device's memory
 // peak, which replay must reproduce).
 func (b *builder) alloc(slot int32) int32 {
-	return b.emit(Op{Kind: OpAlloc, Slot: slot})
+	o, id := b.emit()
+	o.Kind, o.Slot = OpAlloc, slot
+	return id
 }
 
 // finish assigns the completion-event slots: every op referenced by a

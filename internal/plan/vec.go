@@ -49,10 +49,10 @@ func BuildGemv(spec GemvSpec) *Plan {
 		slot := b.slot(kernelmodel.F64, int64(n))
 		b.alloc(slot)
 		ch.ref = slotRef(slot, 0)
-		ch.ready = b.emit(Op{
-			Kind: OpFetch, Slot: slot,
-			A: argRef(1, int32(tj*T), 0), M: int32(n),
-		})
+		o, id := b.emit()
+		o.Kind, o.Slot = OpFetch, slot
+		o.A, o.M = argRef(1, int32(tj*T), 0), int32(n)
+		ch.ready = id
 		p.BytesH2D += int64(n) * 8
 		return ch
 	}
@@ -72,10 +72,10 @@ func BuildGemv(spec GemvSpec) *Plan {
 			b.alloc(ySlot)
 			yRef = slotRef(ySlot, 0)
 			if spec.Beta != 0 {
-				yReady = b.emit(Op{
-					Kind: OpFetch, Slot: ySlot,
-					A: argRef(2, int32(ti*T), 0), M: int32(rows),
-				})
+				o, id := b.emit()
+				o.Kind, o.Slot = OpFetch, ySlot
+				o.A, o.M = argRef(2, int32(ti*T), 0), int32(rows)
+				yReady = id
 				p.BytesH2D += int64(rows) * 8
 			}
 		}
@@ -88,11 +88,11 @@ func BuildGemv(spec GemvSpec) *Plan {
 			if spec.LocA == model.OnHost {
 				slot := b.slot(kernelmodel.F64, int64(rows)*int64(cols))
 				b.alloc(slot)
-				aReady = b.emit(Op{
-					Kind: OpFetch, Slot: slot,
-					A: argRef(0, int32(ti*T), int32(tj*T)),
-					M: int32(rows), N: int32(cols),
-				})
+				o, id := b.emit()
+				o.Kind, o.Slot = OpFetch, slot
+				o.A = argRef(0, int32(ti*T), int32(tj*T))
+				o.M, o.N = int32(rows), int32(cols)
+				aReady = id
 				p.BytesH2D += int64(rows) * int64(cols) * 8
 				aRef = slotRef(slot, int32(rows))
 			}
@@ -112,21 +112,20 @@ func BuildGemv(spec GemvSpec) *Plan {
 					beta = 0
 				}
 			}
-			lastComp = b.emit(Op{
-				Kind: OpKernel, Kernel: KGemv,
-				M: int32(rows), N: int32(cols),
-				Beta: betaSel(beta),
-				A:    aRef, B: xc.ref, C: yRef,
-			})
+			o, kid := b.emit()
+			o.Kind, o.Kernel = OpKernel, KGemv
+			o.M, o.N = int32(rows), int32(cols)
+			o.Beta = betaSel(beta)
+			o.A, o.B, o.C = aRef, xc.ref, yRef
+			lastComp = kid
 			p.Subkernels++
 		}
 
 		if spec.LocY == model.OnHost {
 			b.dep(lastComp)
-			wb := b.emit(Op{
-				Kind: OpWriteback, Slot: ySlot,
-				A: argRef(2, int32(ti*T), 0), M: int32(rows),
-			})
+			o, wb := b.emit()
+			o.Kind, o.Slot = OpWriteback, ySlot
+			o.A, o.M = argRef(2, int32(ti*T), 0), int32(rows)
 			p.BytesD2H += int64(rows) * 8
 			if spec.BlockingWriteback {
 				pendingWB = wb
@@ -170,10 +169,9 @@ func BuildAxpy(spec AxpySpec) *Plan {
 			}
 			slot := b.slot(kernelmodel.F64, int64(n))
 			b.alloc(slot)
-			ready := b.emit(Op{
-				Kind: OpFetch, Slot: slot,
-				A: argRef(arg, int32(off), 0), M: int32(n),
-			})
+			o, ready := b.emit()
+			o.Kind, o.Slot = OpFetch, slot
+			o.A, o.M = argRef(arg, int32(off), 0), int32(n)
 			p.BytesH2D += int64(n) * 8
 			return slotRef(slot, 0), ready
 		}
@@ -182,19 +180,17 @@ func BuildAxpy(spec AxpySpec) *Plan {
 
 		b.dep(xReady)
 		b.dep(yReady)
-		kid := b.emit(Op{
-			Kind: OpKernel, Kernel: KAxpy,
-			N: int32(n),
-			A: xRef, C: yRef,
-		})
+		o, kid := b.emit()
+		o.Kind, o.Kernel = OpKernel, KAxpy
+		o.N = int32(n)
+		o.A, o.C = xRef, yRef
 		p.Subkernels++
 
 		if spec.LocY == model.OnHost {
 			b.dep(kid)
-			b.emit(Op{
-				Kind: OpWriteback, Slot: yRef.Slot,
-				A: argRef(1, int32(off), 0), M: int32(n),
-			})
+			o, _ := b.emit()
+			o.Kind, o.Slot = OpWriteback, yRef.Slot
+			o.A, o.M = argRef(1, int32(off), 0), int32(n)
 			p.BytesD2H += int64(n) * 8
 		}
 	}

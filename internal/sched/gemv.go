@@ -74,16 +74,27 @@ func (c *Context) Gemv(opts GemvOpts) (Result, error) {
 	return c.runPlanSync(p, gemvArgs(opts))
 }
 
-// GemvWith executes a previously built gemv plan against operands of the
-// matching shape.
-func (c *Context) GemvWith(p *plan.Plan, opts GemvOpts) (Result, error) {
+// GemvEnqueueWith replays a previously built gemv plan on the context's
+// streams without draining the engine, so callers can time the enqueue and
+// the event-queue advance separately (see PendingGemm).
+func (c *Context) GemvEnqueueWith(p *plan.Plan, opts GemvOpts) (*PendingGemm, error) {
 	if err := c.validateGemv(opts); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if p == nil || p.Routine != "gemv" || p.M != opts.M || p.N != opts.N || p.T != opts.T ||
 		!sameScalar(p.Alpha, opts.Alpha) || !sameScalar(p.Beta, opts.Beta) ||
 		p.Locs[0] != opts.A.Loc || p.Locs[1] != opts.X.Loc || p.Locs[2] != opts.Y.Loc {
-		return Result{}, errors.New("sched: gemv plan does not match the invocation")
+		return nil, errors.New("sched: gemv plan does not match the invocation")
 	}
-	return c.runPlanSync(p, gemvArgs(opts))
+	return c.enqueuePlan(p, gemvArgs(opts))
+}
+
+// GemvWith executes a previously built gemv plan against operands of the
+// matching shape.
+func (c *Context) GemvWith(p *plan.Plan, opts GemvOpts) (Result, error) {
+	pend, err := c.GemvEnqueueWith(p, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.finishSync(pend)
 }

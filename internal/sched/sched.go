@@ -293,8 +293,10 @@ func gemmArgs(opts GemmOpts) []plan.Arg {
 	return []plan.Arg{{Mat: opts.A}, {Mat: opts.B}, {Mat: opts.C}}
 }
 
-// PendingGemm is an enqueued-but-not-drained tiled gemm: every transfer
+// PendingGemm is an enqueued-but-not-drained tiled routine: every transfer
 // and kernel is on its streams, but the virtual clock has not been run.
+// The name is historical — the gemv/axpy/no-reuse Enqueue variants return
+// it too; the semantics are routine-agnostic.
 // It exists so cooperating schedulers (the multi-GPU layer) can enqueue
 // several schedules that then execute concurrently on a shared clock.
 // A context supports one pending gemm at a time: the pending run borrows
@@ -407,9 +409,23 @@ func (c *Context) GemmEnqueueWith(p *plan.Plan, opts GemmOpts) (*PendingGemm, er
 
 // replayGemm runs a validated plan and wraps the pending result.
 func (c *Context) replayGemm(p *plan.Plan, opts GemmOpts) (*PendingGemm, error) {
+	return c.enqueuePlan(p, gemmArgs(opts))
+}
+
+// enqueuePlan replays a validated plan on the context's streams without
+// draining the engine — through the precompiled timing-only tape on
+// unbacked contexts, through the reference executor otherwise (the two are
+// pinned event-identical by the scheduler's tape-replay tests).
+func (c *Context) enqueuePlan(p *plan.Plan, args []plan.Arg) (*PendingGemm, error) {
 	res := Result{T: p.T, Subkernels: p.Subkernels, BytesH2D: p.BytesH2D, BytesD2H: p.BytesD2H}
 	start := c.rt.Now()
-	pooled, err := c.exec.Run(p, c.target(), gemmArgs(opts))
+	var pooled []*cudart.DevBuffer
+	var err error
+	if c.backed {
+		pooled, err = c.exec.Run(p, c.target(), args)
+	} else {
+		pooled, err = c.exec.RunTape(p.TapeFor(&c.rt.Device().Testbed().GPU), c.target())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -419,20 +435,21 @@ func (c *Context) replayGemm(p *plan.Plan, opts GemmOpts) (*PendingGemm, error) 
 // runPlanSync replays a plan, drains the engine and reports the run (the
 // shared tail of every run-to-completion entry point).
 func (c *Context) runPlanSync(p *plan.Plan, args []plan.Arg) (Result, error) {
-	res := Result{T: p.T, Subkernels: p.Subkernels, BytesH2D: p.BytesH2D, BytesD2H: p.BytesD2H}
-	start := c.rt.Now()
-	pooled, err := c.exec.Run(p, c.target(), args)
+	pend, err := c.enqueuePlan(p, args)
 	if err != nil {
 		return Result{}, err
 	}
+	return c.finishSync(pend)
+}
+
+// finishSync drains the engine and settles an enqueued run (the shared
+// tail of the *With entry points, after their Enqueue variants return).
+func (c *Context) finishSync(pend *PendingGemm) (Result, error) {
 	end, err := c.rt.Sync()
-	for _, b := range pooled {
-		c.Release(b)
-	}
+	res := pend.Finish(end)
 	if err != nil {
 		return Result{}, err
 	}
-	res.Seconds = end - start
 	return res, nil
 }
 
@@ -485,16 +502,27 @@ func (c *Context) Axpy(opts AxpyOpts) (Result, error) {
 	return c.runPlanSync(p, []plan.Arg{{Vec: opts.X}, {Vec: opts.Y}})
 }
 
-// AxpyWith executes a previously built axpy plan against vectors of the
-// matching shape.
-func (c *Context) AxpyWith(p *plan.Plan, opts AxpyOpts) (Result, error) {
+// AxpyEnqueueWith replays a previously built axpy plan on the context's
+// streams without draining the engine (the enqueue-only counterpart of
+// AxpyWith, mirroring GemmEnqueueWith).
+func (c *Context) AxpyEnqueueWith(p *plan.Plan, opts AxpyOpts) (*PendingGemm, error) {
 	if err := c.validateAxpy(opts); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if p == nil || p.Routine != "axpy" || p.N != opts.N || p.T != opts.T ||
 		!sameScalar(p.Alpha, opts.Alpha) ||
 		p.Locs[0] != opts.X.Loc || p.Locs[1] != opts.Y.Loc {
-		return Result{}, errors.New("sched: axpy plan does not match the invocation")
+		return nil, errors.New("sched: axpy plan does not match the invocation")
 	}
-	return c.runPlanSync(p, []plan.Arg{{Vec: opts.X}, {Vec: opts.Y}})
+	return c.enqueuePlan(p, []plan.Arg{{Vec: opts.X}, {Vec: opts.Y}})
+}
+
+// AxpyWith executes a previously built axpy plan against vectors of the
+// matching shape.
+func (c *Context) AxpyWith(p *plan.Plan, opts AxpyOpts) (Result, error) {
+	pend, err := c.AxpyEnqueueWith(p, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.finishSync(pend)
 }

@@ -1,0 +1,123 @@
+// Conservative drain machinery for the partitioned engine.
+//
+// A drain stages upcoming events from each partition heap into that
+// partition's sorted batch, up to a per-partition safe horizon derived from
+// the other partitions' heap heads plus a lookahead vector. Staging is pure
+// queue surgery — no callbacks run — so the per-partition work is
+// independent and can fan out across worker goroutines.
+//
+// Invariants (see DESIGN.md):
+//
+//  1. Merge oracle. Correctness never rests on the horizons: Step always
+//     fires the global (at, seq) minimum over every partition's heap head
+//     AND batch head (sim.go's peekLoc), and batches are sorted subsets of
+//     the pending set, so the fired sequence equals the sequential engine's
+//     for ANY drain policy — the lookahead only bounds how much staging is
+//     useful, never what fires next.
+//  2. Lookahead derivation. An event executing in partition q at time t can
+//     schedule into partition p no earlier than t + look[p] when look[p] is
+//     a lower bound on the q→p scheduling delay. The link partitions use
+//     their configured transfer latency (every transfer enters its link
+//     queue one latency after submission); host and compute use zero, which
+//     makes their horizons trivially safe.
+//  3. Staleness. Cancel and Reschedule of a staged event mark its batch
+//     entry dead (the index/seq snapshot stops matching) in O(1); the scan
+//     skips dead entries. A new drain only runs once every batch is fully
+//     consumed, so entries never alias across drains.
+package sim
+
+import "math"
+
+// SetLookahead installs the per-partition lookahead vector: look[p] is a
+// lower bound on the delay of any cross-partition schedule into partition
+// p. Larger (but still valid) bounds let a drain stage deeper; zero is
+// always valid. Only consulted by partitioned engines.
+func (e *Engine) SetLookahead(look [NumParts]Time) { e.look = look }
+
+// SetDrain configures staged draining on a partitioned engine: once the
+// heap population reaches threshold events and no batch is outstanding,
+// Run stages upcoming events into per-partition batches. fanout, when
+// non-nil, runs the n independent per-partition staging jobs (callers pass
+// a parallel-pool adapter; sim spawns no goroutines itself); a nil fanout
+// stages sequentially. threshold <= 0 disables draining — the sequential
+// fallback the reference campaign runs bit-identically against.
+func (e *Engine) SetDrain(threshold int, fanout func(n int, f func(int))) {
+	e.drainAt = threshold
+	e.fanout = fanout
+	if fanout != nil && e.stageFn == nil {
+		// Bind once so the steady-state drain path stays allocation-free.
+		e.stageFn = e.stagePart
+	}
+}
+
+// maybeDrain triggers a drain when no staged events remain and the heap
+// population justifies one.
+func (e *Engine) maybeDrain() {
+	if e.staged != 0 {
+		return
+	}
+	n := 0
+	for p := 0; p < e.nparts; p++ {
+		n += len(e.parts[p].queue)
+	}
+	if n < e.drainAt {
+		return
+	}
+	e.drain()
+}
+
+// drain stages each partition's events below its safe horizon into the
+// partition's batch, fanning the independent per-partition staging out when
+// a fanout runner is installed.
+func (e *Engine) drain() {
+	// Horizons come from a snapshot of the heap heads: any event that fires
+	// later (it is >= some head) schedules into p at >= head + look[p], so
+	// everything strictly below safe[p] can be staged now.
+	var heads [NumParts]Time
+	for p := 0; p < e.nparts; p++ {
+		if q := e.parts[p].queue; len(q) > 0 {
+			heads[p] = q[0].at
+		} else {
+			heads[p] = math.Inf(1)
+		}
+	}
+	for p := 0; p < e.nparts; p++ {
+		m := math.Inf(1)
+		for q := 0; q < e.nparts; q++ {
+			if q == p {
+				continue
+			}
+			if h := heads[q] + e.look[p]; h < m {
+				m = h
+			}
+		}
+		e.safe[p] = m
+	}
+	if e.fanout != nil {
+		e.fanout(e.nparts, e.stageFn)
+	} else {
+		for p := 0; p < e.nparts; p++ {
+			e.stagePart(p)
+		}
+	}
+	for p := 0; p < e.nparts; p++ {
+		e.staged += len(e.parts[p].batch)
+	}
+}
+
+// stagePart pops partition p's events below its safe horizon into the
+// partition's batch. Pure queue surgery on partition-local state, so the
+// per-partition calls are safe to run concurrently.
+func (e *Engine) stagePart(p int) {
+	pq := &e.parts[p]
+	// staged == 0 here, so every leftover entry is dead: reuse the backing
+	// array from the top.
+	pq.batch = pq.batch[:0]
+	pq.head = 0
+	limit := e.safe[p]
+	for len(pq.queue) > 0 && pq.queue[0].at < limit {
+		ev := pq.popMin()
+		ev.index = inBatch
+		pq.batch = append(pq.batch, batchEntry{ev: ev, seq: ev.seq})
+	}
+}

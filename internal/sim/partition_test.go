@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cocopelia/internal/parallel"
+)
+
+// runPartWorkload drives one randomized partition-tagged workload on e and
+// returns the fired (time, id) sequence and the final clock. Callbacks
+// schedule children across partitions, cancel and reschedule pending
+// siblings — including events a drain has staged — so the partitioned
+// engine sees the full operation mix the hardware models generate.
+func runPartWorkload(e *Engine, seed int64) (fired [][2]float64, end Time) {
+	rng := rand.New(rand.NewSource(seed))
+	id := 0
+	var pending []*Event
+	var schedule func(at Time, depth int)
+	schedule = func(at Time, depth int) {
+		myID := id
+		id++
+		part := Partition(rng.Intn(NumParts))
+		ev := e.SchedulePart(part, at, func() {
+			fired = append(fired, [2]float64{e.Now(), float64(myID)})
+			switch op := rng.Intn(4); {
+			case op == 0 && depth < 3:
+				schedule(e.Now()+rng.Float64(), depth+1)
+			case op == 1 && len(pending) > 0:
+				victim := pending[rng.Intn(len(pending))]
+				if victim.Pending() {
+					e.Cancel(victim)
+				}
+			case op == 2 && len(pending) > 0:
+				victim := pending[rng.Intn(len(pending))]
+				if victim.Pending() {
+					e.Reschedule(victim, e.Now()+rng.Float64())
+				}
+			}
+		})
+		pending = append(pending, ev)
+	}
+	for i := 0; i < 60; i++ {
+		schedule(rng.Float64()*10, 0)
+	}
+	return fired, e.Run()
+}
+
+// sameRun compares two workload traces.
+func sameRun(a, b [][2]float64, aEnd, bEnd Time) bool {
+	if aEnd != bEnd || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: a partitioned engine fires the identical event sequence as the
+// sequential single-heap engine on randomized partition-tagged schedules,
+// across drain thresholds and ARBITRARY lookahead vectors — the (at, seq)
+// scan in peekLoc is the merge oracle, so even a bogus (too-large)
+// lookahead must not reorder events, it can only make staging less useful.
+func TestPartitionedMatchesSequentialProperty(t *testing.T) {
+	f := func(seed int64, lookBits uint16) bool {
+		wantFired, wantEnd := runPartWorkload(New(), seed)
+		lookRng := rand.New(rand.NewSource(int64(lookBits)))
+		for _, threshold := range []int{0, 1, 16} {
+			e := NewPartitioned()
+			var look [NumParts]Time
+			for p := range look {
+				look[p] = lookRng.Float64() * 5
+			}
+			e.SetLookahead(look)
+			e.SetDrain(threshold, nil)
+			gotFired, gotEnd := runPartWorkload(e, seed)
+			if !sameRun(gotFired, wantFired, gotEnd, wantEnd) {
+				t.Logf("threshold=%d look=%v diverged", threshold, look)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a Reset()-reused partitioned engine — dirtied with pending
+// heap events AND staged batch entries at Reset time — replays a workload
+// identically to a fresh sequential engine. This is the invariant that
+// lets the campaign engine pool partitioned engines across repetitions.
+func TestPartitionedResetReuseIdenticalToFreshSequential(t *testing.T) {
+	reused := NewPartitioned()
+	reused.SetLookahead([NumParts]Time{0, 0.5, 0.5, 0})
+	reused.SetDrain(1, nil)
+	// Dirty the engine: run a workload, then leave both queued and staged
+	// events behind so Reset has batches with live entries to clear.
+	runPartWorkload(reused, 999)
+	for i := 0; i < NumParts; i++ {
+		reused.AfterPart(Partition(i), Time(i)+1, func() {})
+		reused.AfterPart(Partition(i), Time(i)+2, func() {})
+	}
+	reused.maybeDrain()
+	if reused.staged == 0 {
+		t.Fatal("test setup: expected staged events before Reset")
+	}
+
+	f := func(seed int64) bool {
+		reused.Reset()
+		if reused.Now() != 0 || reused.Pending() != 0 || reused.Processed() != 0 {
+			t.Fatal("Reset did not clear partitioned engine state")
+		}
+		gotFired, gotEnd := runPartWorkload(reused, seed)
+		wantFired, wantEnd := runPartWorkload(New(), seed)
+		// Leave staged state behind for the next trial's Reset.
+		reused.After(1, func() {})
+		return sameRun(gotFired, wantFired, gotEnd, wantEnd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: draining through worker goroutines (the parallel fan-out the
+// campaign engine installs) is indistinguishable from sequential staging.
+func TestPartitionedParallelDrainMatchesSequential(t *testing.T) {
+	pool := parallel.NewPool(NumParts)
+	idx := []int{0, 1, 2, 3}
+	fanout := func(n int, f func(int)) {
+		_ = parallel.ForEach(pool, idx[:n], func(_ int, p int) error {
+			f(p)
+			return nil
+		})
+	}
+	f := func(seed int64) bool {
+		wantFired, wantEnd := runPartWorkload(New(), seed)
+		e := NewPartitioned()
+		e.SetLookahead([NumParts]Time{0, 1, 1, 0})
+		e.SetDrain(1, fanout)
+		gotFired, gotEnd := runPartWorkload(e, seed)
+		return sameRun(gotFired, wantFired, gotEnd, wantEnd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Staged events stay first-class: Pending reports them, Cancel kills them
+// in O(1) via entry staleness, and Reschedule migrates them back to their
+// partition heap — in both time directions across other staged entries.
+func TestStagedCancelRescheduleSemantics(t *testing.T) {
+	e := NewPartitioned()
+	e.SetDrain(1, nil)
+	var got []int
+	mk := func(p Partition, at Time, id int) *Event {
+		return e.SchedulePart(p, at, func() { got = append(got, id) })
+	}
+	a := mk(PartH2D, 1, 1)
+	b := mk(PartH2D, 2, 2)
+	c := mk(PartD2H, 3, 3)
+	d := mk(PartCompute, 4, 4)
+	e.maybeDrain()
+	if e.staged == 0 {
+		t.Fatal("expected a drain to stage events")
+	}
+	if !a.Pending() || !b.Pending() || !c.Pending() || !d.Pending() {
+		t.Fatal("staged events must still report Pending")
+	}
+	e.Cancel(b)
+	if b.Pending() {
+		t.Error("cancelled staged event still pending")
+	}
+	e.Reschedule(c, 0.5) // staged -> heap, now fires first
+	e.Reschedule(d, 10)  // staged -> heap, now fires last
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	e.Run()
+	want := []int{3, 1, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// Steady-state scheduling and stepping on a partitioned engine with
+// draining enabled allocates nothing once the free list, heaps and batch
+// backings are warm — the same zero-alloc bar the sequential engine holds.
+func TestPartitionedSteadyStateDoesNotAllocate(t *testing.T) {
+	e := NewPartitioned()
+	e.SetLookahead([NumParts]Time{0, 1, 1, 0})
+	e.SetDrain(4, nil)
+	var fn func()
+	fn = func() {}
+	for i := 0; i < 100; i++ {
+		e.AfterPart(Partition(i%NumParts), 1+Time(i%7), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		for p := 0; p < NumParts; p++ {
+			e.AfterPart(Partition(p), 1+Time(p), fn)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state partitioned schedule+run allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkPartitionedEngineThroughput(b *testing.B) {
+	e := NewPartitioned()
+	e.SetLookahead([NumParts]Time{0, 1e-5, 1e-5, 0})
+	e.SetDrain(64, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.AfterPart(Partition(i%NumParts), 1, func() {})
+		e.Step()
+	}
+}

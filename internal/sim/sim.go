@@ -3,11 +3,22 @@
 // copy engines, compute engine) are expressed as events on a single virtual
 // clock measured in seconds.
 //
-// The engine is deliberately simple: a 4-ary min-heap of timestamped
-// callbacks with a monotonically increasing sequence number as the
-// tie-breaker, so that runs are bit-for-bit reproducible. Events may be
-// cancelled and rescheduled, which the fluid-flow transfer model uses to
-// re-plan completion times whenever link contention changes.
+// The engine comes in two modes sharing one implementation:
+//
+//   - New() builds the sequential reference engine: a single 4-ary min-heap
+//     of timestamped callbacks with a monotonically increasing sequence
+//     number as the tie-breaker, so that runs are bit-for-bit reproducible.
+//   - NewPartitioned() splits the pending set into per-device event queues
+//     (host, H2D link, D2H link, compute engine) in the classic conservative
+//     parallel-DES formulation. Partitions can be drained ahead of time into
+//     sorted per-partition batches — optionally by worker goroutines — and
+//     the next event to fire is always the global (at, seq) minimum over
+//     every partition's heap head and batch head, so the merged event order
+//     is identical to the sequential engine's by construction (see
+//     partition.go for the invariants).
+//
+// Events may be cancelled and rescheduled, which the fluid-flow transfer
+// model uses to re-plan completion times whenever link contention changes.
 //
 // The heap is hand-specialized rather than container/heap: the (at, seq)
 // comparison is inlined (no interface dispatch, no `any` boxing on
@@ -22,6 +33,33 @@ import "fmt"
 // Time is a point on the virtual clock, in seconds since simulation start.
 type Time = float64
 
+// Partition identifies one of a partitioned engine's event queues. The
+// sequential reference engine ignores partitions and keeps every event on
+// one heap; the (at, seq) total order makes the two modes fire the
+// identical event sequence.
+type Partition int8
+
+// The partitions mirror the simulated testbed's independently progressing
+// hardware units: host-side launch/completion processing, one queue per
+// PCIe link direction, and the device compute engine.
+const (
+	PartHost Partition = iota
+	PartH2D
+	PartD2H
+	PartCompute
+)
+
+// NumParts is the number of event queues a partitioned engine maintains.
+const NumParts = int(PartCompute) + 1
+
+// Event.index sentinels: an event is on a partition heap (index >= 0),
+// staged in a drained batch (inBatch), or not queued at all (notQueued —
+// fired, cancelled, or recycled).
+const (
+	notQueued = -1
+	inBatch   = -3
+)
+
 // Event is a scheduled callback. The zero value is not useful; events are
 // created through Engine.Schedule or Engine.After.
 //
@@ -34,7 +72,8 @@ type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
-	index    int // position in the heap, -1 when not queued
+	index    int // heap position, or the inBatch/notQueued sentinel
+	part     int8
 	canceled bool
 }
 
@@ -42,10 +81,15 @@ type Event struct {
 func (ev *Event) At() Time { return ev.at }
 
 // Pending reports whether the event is still queued (not fired, not
-// cancelled).
-func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 && !ev.canceled }
+// cancelled). Staged events — drained into a partition batch but not yet
+// fired — are still pending: staging is a throughput detail invisible to
+// the hardware models.
+func (ev *Event) Pending() bool { return ev != nil && ev.index != notQueued && !ev.canceled }
 
-// before is the heap order: earlier time first, then issue order.
+// before is the total event order: earlier time first, then issue order.
+// Every queue — heap or batch, sequential or partitioned — agrees on it,
+// which is what makes the partitioned merge bitwise-identical to the
+// sequential engine.
 func before(a, b *Event) bool {
 	//lint:ignore floatorder exact tie-break on stored event times; both sides are loaded values, no rounding happens here
 	if a.at != b.at {
@@ -54,42 +98,108 @@ func before(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
+// batchEntry is one staged event in a partition's drained batch. The seq
+// snapshot detects stale entries: if the event was consumed and its object
+// recycled into a new event, the sequence numbers no longer match (seq is
+// never reused within a simulation) and the entry is dead.
+type batchEntry struct {
+	ev  *Event
+	seq uint64
+}
+
+// partQueue is one partition's pending set: a 4-ary min-heap plus a sorted
+// FIFO batch of events staged by a drain. The partition's earliest event is
+// the smaller of the heap head and the first live batch entry.
+type partQueue struct {
+	queue []*Event     // 4-ary min-heap ordered by before()
+	batch []batchEntry // drained events in (at, seq) order
+	head  int          // index of the first unconsumed batch entry
+}
+
 // Engine is a discrete-event simulator instance. It is not safe for
-// concurrent use; the entire simulation runs on the calling goroutine.
+// concurrent use: callbacks always execute sequentially on the goroutine
+// calling Step/Run, in the global (at, seq) order. A partitioned engine may
+// additionally stage future events through worker goroutines during a
+// drain (see SetDrain), but staging never executes callbacks.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   []*Event // 4-ary min-heap ordered by before()
 	stepped uint64
 	// free recycles fired and cancelled events so steady-state scheduling
 	// allocates no *Event per call (the per-simulation constant the
 	// campaign engine's hot path pays millions of times).
 	free []*Event
+
+	nparts int // 1 (sequential reference) or NumParts (partitioned)
+	staged int // live events currently sitting in partition batches
+	// drainAt enables staged draining once the total heap population
+	// reaches it; 0 disables draining (the sequential fallback).
+	drainAt int
+	fanout  func(n int, f func(int))
+	stageFn func(int) // e.stagePart bound once, so drains allocate nothing
+	look    [NumParts]Time
+	safe    [NumParts]Time // per-partition staging horizons of the current drain
+	parts   [NumParts]partQueue
 }
 
 // initialHeapCap pre-sizes the event heap so short simulations never grow
 // it and long ones grow it logarithmically few times.
 const initialHeapCap = 256
 
-// New returns an engine with the clock at zero and an empty event queue.
+// New returns a sequential single-queue engine with the clock at zero —
+// the bitwise reference every partitioned configuration is pinned to.
 func New() *Engine {
-	return &Engine{queue: make([]*Event, 0, initialHeapCap)}
+	e := &Engine{nparts: 1}
+	e.parts[0].queue = make([]*Event, 0, initialHeapCap)
+	return e
 }
 
-// Reset returns the engine to its initial state — clock at zero, empty
-// queue, zeroed counters — while keeping the event free list and the heap
-// backing array, so a reused engine runs its next simulation without
-// re-paying the warm-up allocations. Events still pending are cancelled
-// and recycled; as with fired events, callers must drop their references.
-func (e *Engine) Reset() {
-	for i, ev := range e.queue {
-		e.queue[i] = nil
-		ev.index = -1
-		ev.canceled = true
-		ev.fn = nil
-		e.free = append(e.free, ev)
+// NewPartitioned returns an engine with one event queue per simulated
+// hardware unit (see Partition). It fires the identical event sequence as
+// New — the partitions exist so pending events can be drained and staged
+// concurrently, not to change simulated results.
+func NewPartitioned() *Engine {
+	e := &Engine{nparts: NumParts}
+	for p := 0; p < NumParts; p++ {
+		e.parts[p].queue = make([]*Event, 0, initialHeapCap/NumParts)
 	}
-	e.queue = e.queue[:0]
+	return e
+}
+
+// Partitioned reports whether the engine maintains per-device queues.
+func (e *Engine) Partitioned() bool { return e.nparts > 1 }
+
+// Reset returns the engine to its initial state — clock at zero, empty
+// queues, zeroed counters — while keeping the event free list, the heap and
+// batch backing arrays, and the partition/lookahead/drain configuration, so
+// a reused engine runs its next simulation without re-paying the warm-up
+// allocations. Events still pending (queued or staged) are cancelled and
+// recycled; as with fired events, callers must drop their references.
+func (e *Engine) Reset() {
+	for p := 0; p < e.nparts; p++ {
+		pq := &e.parts[p]
+		for i, ev := range pq.queue {
+			pq.queue[i] = nil
+			ev.index = notQueued
+			ev.canceled = true
+			ev.fn = nil
+			e.free = append(e.free, ev)
+		}
+		pq.queue = pq.queue[:0]
+		// Entries before head are always dead; later entries are live
+		// exactly when the index/seq snapshot still matches.
+		for _, ent := range pq.batch[pq.head:] {
+			if ent.ev.index == inBatch && ent.ev.seq == ent.seq {
+				ent.ev.index = notQueued
+				ent.ev.canceled = true
+				ent.ev.fn = nil
+				e.free = append(e.free, ent.ev)
+			}
+		}
+		pq.batch = pq.batch[:0]
+		pq.head = 0
+	}
+	e.staged = 0
 	e.now, e.seq, e.stepped = 0, 0, 0
 }
 
@@ -99,10 +209,10 @@ func (e *Engine) alloc(at Time, fn func()) *Event {
 		ev := e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.fn, ev.index, ev.canceled = at, e.seq, fn, -1, false
+		ev.at, ev.seq, ev.fn, ev.index, ev.canceled = at, e.seq, fn, notQueued, false
 		return ev
 	}
-	return &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	return &Event{at: at, seq: e.seq, fn: fn, index: notQueued}
 }
 
 // recycle parks a no-longer-pending event on the free list, dropping its
@@ -113,55 +223,55 @@ func (e *Engine) recycle(ev *Event) {
 }
 
 // push appends ev to the heap and restores the heap order.
-func (e *Engine) push(ev *Event) {
-	ev.index = len(e.queue)
-	e.queue = append(e.queue, ev)
-	e.siftUp(ev.index)
+func (pq *partQueue) push(ev *Event) {
+	ev.index = len(pq.queue)
+	pq.queue = append(pq.queue, ev)
+	pq.siftUp(ev.index)
 }
 
-// popMin removes and returns the earliest event.
-func (e *Engine) popMin() *Event {
-	q := e.queue
+// popMin removes and returns the earliest heap event.
+func (pq *partQueue) popMin() *Event {
+	q := pq.queue
 	root := q[0]
-	root.index = -1
+	root.index = notQueued
 	n := len(q) - 1
 	last := q[n]
 	q[n] = nil
-	e.queue = q[:n]
+	pq.queue = q[:n]
 	if n > 0 {
 		q[0] = last
 		last.index = 0
-		e.siftDown(0)
+		pq.siftDown(0)
 	}
 	return root
 }
 
 // remove deletes the event at heap position i.
-func (e *Engine) remove(i int) {
-	q := e.queue
-	q[i].index = -1
+func (pq *partQueue) remove(i int) {
+	q := pq.queue
+	q[i].index = notQueued
 	n := len(q) - 1
 	last := q[n]
 	q[n] = nil
-	e.queue = q[:n]
+	pq.queue = q[:n]
 	if i < n {
 		q[i] = last
 		last.index = i
-		e.siftDown(i)
-		e.siftUp(q[i].index)
+		pq.siftDown(i)
+		pq.siftUp(q[i].index)
 	}
 }
 
 // fix restores the heap order after the event at position i changed time.
-func (e *Engine) fix(i int) {
-	e.siftDown(i)
-	e.siftUp(e.queue[i].index)
+func (pq *partQueue) fix(i int) {
+	pq.siftDown(i)
+	pq.siftUp(pq.queue[i].index)
 }
 
 // siftUp moves the event at position i toward the root until its parent is
 // not after it.
-func (e *Engine) siftUp(i int) {
-	q := e.queue
+func (pq *partQueue) siftUp(i int) {
+	q := pq.queue
 	ev := q[i]
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -178,8 +288,8 @@ func (e *Engine) siftUp(i int) {
 
 // siftDown moves the event at position i toward the leaves, swapping with
 // its earliest child while that child precedes it.
-func (e *Engine) siftDown(i int) {
-	q := e.queue
+func (pq *partQueue) siftDown(i int) {
+	q := pq.queue
 	n := len(q)
 	ev := q[i]
 	for {
@@ -208,6 +318,25 @@ func (e *Engine) siftDown(i int) {
 	ev.index = i
 }
 
+// liveBatchHead returns the partition's first still-live staged event, or
+// nil. Dead entries (consumed, cancelled, rescheduled, or recycled — the
+// index/seq snapshot no longer matches) are skipped permanently, and a
+// fully consumed batch resets so its backing array is reused.
+func (pq *partQueue) liveBatchHead() *Event {
+	for pq.head < len(pq.batch) {
+		ent := pq.batch[pq.head]
+		if ent.ev.index == inBatch && ent.ev.seq == ent.seq {
+			return ent.ev
+		}
+		pq.head++
+	}
+	if len(pq.batch) > 0 {
+		pq.batch = pq.batch[:0]
+		pq.head = 0
+	}
+	return nil
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
@@ -215,13 +344,26 @@ func (e *Engine) Now() Time { return e.now }
 // performance reporting).
 func (e *Engine) Processed() uint64 { return e.stepped }
 
-// Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events currently queued or staged.
+func (e *Engine) Pending() int {
+	n := e.staged
+	for p := 0; p < e.nparts; p++ {
+		n += len(e.parts[p].queue)
+	}
+	return n
+}
 
-// Schedule queues fn to run at virtual time at. Scheduling in the past
-// panics: it always indicates a model bug, and silently clamping would hide
-// causality violations.
+// Schedule queues fn to run at virtual time at, on the host partition.
+// Scheduling in the past panics: it always indicates a model bug, and
+// silently clamping would hide causality violations.
 func (e *Engine) Schedule(at Time, fn func()) *Event {
+	return e.SchedulePart(PartHost, at, fn)
+}
+
+// SchedulePart queues fn to run at virtual time at on partition p. The
+// sequential reference engine keeps one queue and ignores p; results are
+// identical either way. Scheduling in the past panics.
+func (e *Engine) SchedulePart(p Partition, at Time, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %.12g before now %.12g", at, e.now))
 	}
@@ -229,48 +371,113 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 		panic("sim: nil event callback")
 	}
 	ev := e.alloc(at, fn)
+	if e.nparts > 1 {
+		ev.part = int8(p)
+	} else {
+		ev.part = 0
+	}
 	e.seq++
-	e.push(ev)
+	e.parts[ev.part].push(ev)
 	return ev
 }
 
-// After queues fn to run d seconds from now. Negative d panics.
+// After queues fn to run d seconds from now on the host partition.
+// Negative d panics.
 func (e *Engine) After(d Time, fn func()) *Event {
-	return e.Schedule(e.now+d, fn)
+	return e.SchedulePart(PartHost, e.now+d, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling a fired or
-// already-cancelled event is a no-op.
+// AfterPart queues fn to run d seconds from now on partition p. Negative d
+// panics.
+func (e *Engine) AfterPart(p Partition, d Time, fn func()) *Event {
+	return e.SchedulePart(p, e.now+d, fn)
+}
+
+// Cancel removes a pending event — queued or staged — from the engine.
+// Cancelling a fired or already-cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 || ev.canceled {
+	if ev == nil || ev.index == notQueued || ev.canceled {
 		return
 	}
 	ev.canceled = true
-	e.remove(ev.index)
+	if ev.index == inBatch {
+		// The batch entry goes stale (its index snapshot no longer
+		// matches) and is skipped when the scan reaches it.
+		e.staged--
+		ev.index = notQueued
+		e.recycle(ev)
+		return
+	}
+	e.parts[ev.part].remove(ev.index)
 	e.recycle(ev)
 }
 
-// Reschedule moves a pending event to a new time, keeping its callback.
+// Reschedule moves a pending event to a new time, keeping its callback and
+// issue order. A staged event migrates back to its partition heap (the
+// batch entry goes stale), so moving an event in either direction is safe.
 // Rescheduling a fired or cancelled event panics, as does a time in the
 // past.
 func (e *Engine) Reschedule(ev *Event, at Time) {
-	if ev == nil || ev.index < 0 || ev.canceled {
+	if ev == nil || ev.index == notQueued || ev.canceled {
 		panic("sim: reschedule of non-pending event")
 	}
 	if at < e.now {
 		panic(fmt.Sprintf("sim: reschedule at %.12g before now %.12g", at, e.now))
 	}
 	ev.at = at
-	e.fix(ev.index)
+	if ev.index == inBatch {
+		e.staged--
+		e.parts[ev.part].push(ev)
+		return
+	}
+	e.parts[ev.part].fix(ev.index)
+}
+
+// peekLoc locates the next event to fire: the global (at, seq) minimum over
+// every partition's heap head and first live batch entry. This scan is the
+// deterministic merge point of the partitioned engine — whatever a drain
+// staged, the minimum is always taken over the complete pending set, so the
+// fired sequence equals the sequential engine's.
+func (e *Engine) peekLoc() (best *Event, bestPQ *partQueue, fromBatch bool) {
+	if e.nparts == 1 {
+		pq := &e.parts[0]
+		if len(pq.queue) == 0 {
+			return nil, nil, false
+		}
+		return pq.queue[0], pq, false
+	}
+	for p := 0; p < e.nparts; p++ {
+		pq := &e.parts[p]
+		if bev := pq.liveBatchHead(); bev != nil && (best == nil || before(bev, best)) {
+			best, bestPQ, fromBatch = bev, pq, true
+		}
+		if len(pq.queue) > 0 {
+			if hev := pq.queue[0]; best == nil || before(hev, best) {
+				best, bestPQ, fromBatch = hev, pq, false
+			}
+		}
+	}
+	return best, bestPQ, fromBatch
 }
 
 // Step fires the earliest pending event, advancing the clock to its
-// timestamp. It returns false when the queue is empty.
+// timestamp. It returns false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev, pq, fromBatch := e.peekLoc()
+	if ev == nil {
 		return false
 	}
-	ev := e.popMin()
+	if fromBatch {
+		pq.head++
+		e.staged--
+		ev.index = notQueued
+		if pq.head == len(pq.batch) {
+			pq.batch = pq.batch[:0]
+			pq.head = 0
+		}
+	} else {
+		pq.popMin()
+	}
 	e.now = ev.at
 	e.stepped++
 	ev.fn()
@@ -281,8 +488,18 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run fires events until the queue drains, returning the final clock value.
+// Run fires events until the queues drain, returning the final clock value.
+// On a partitioned engine with draining enabled it periodically stages
+// upcoming events into per-partition batches (see SetDrain).
 func (e *Engine) Run() Time {
+	if e.drainAt > 0 && e.nparts > 1 {
+		for {
+			e.maybeDrain()
+			if !e.Step() {
+				return e.now
+			}
+		}
+	}
 	for e.Step() {
 	}
 	return e.now
@@ -292,7 +509,11 @@ func (e *Engine) Run() Time {
 // at most deadline) and returns the number of events fired.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	fired := uint64(0)
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for {
+		ev, _, _ := e.peekLoc()
+		if ev == nil || ev.at > deadline {
+			break
+		}
 		e.Step()
 		fired++
 	}
