@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench bench-blas bench-blas-smoke \
-	bench-campaign bench-campaign-check bench-campaign-smoke \
-	plan-golden-smoke profile results
+.PHONY: build test vet lint lint-json race verify bench bench-blas \
+	bench-blas-smoke bench-campaign bench-campaign-check \
+	bench-campaign-smoke plan-golden-smoke profile results
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,17 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's invariant analyzers (determinism, maporder,
-# outputpurity, goroutines, layering, floatorder — see DESIGN.md
+# outputpurity, goroutines, layering, floatorder, hotpath — see DESIGN.md
 # "Enforced invariants") via go run, so the check needs no installed
 # binaries.
 lint:
 	$(GO) run ./cmd/cocolint ./...
+
+# lint-json writes the same findings machine-readably for CI artifact
+# diffing; the run summary stays on stderr so the file is pure JSON.
+lint-json:
+	@mkdir -p results
+	$(GO) run ./cmd/cocolint -json ./... > results/lint.json
 
 test:
 	$(GO) test ./...

@@ -7,19 +7,31 @@
 // simulator's reproducibility contract: no wall-clock or global-RNG use
 // outside the allowlist (determinism), no unsorted map iteration feeding
 // output (maporder), stdout reserved for render layers (outputpurity), the
-// layered import DAG (layering), and no order-sensitive float patterns
-// (floatorder). Rules are configured declaratively in cocolint.json at the
-// module root; individual findings can be suppressed with
+// layered import DAG (layering), no order-sensitive float patterns
+// (floatorder), and allocation-free hot paths (hotpath; annotate roots with
+// "//cocolint:hotpath"). Rules are configured declaratively in cocolint.json
+// at the module root; individual findings can be suppressed with
 // "//lint:ignore analyzer reason" on or directly above the offending line.
 //
 // Usage:
 //
-//	cocolint [-json] [-config FILE] [packages]
+//	cocolint [-json] [-config FILE] [-baseline FILE] [-write-baseline]
+//	         [-unused-suppressions] [packages]
 //
 // The package arguments accept ./... (the default, everything) or
 // directory paths like ./internal/sim; they filter which packages are
 // reported, while the whole module is always loaded so cross-package
 // checks see the full import graph.
+//
+// A lint-baseline.json at the module root (or the -baseline file) records
+// accepted debt: baselined findings are subtracted before reporting, matched
+// by analyzer, module-relative file and message — not line, so unrelated
+// edits never invalidate the baseline. -write-baseline snapshots the current
+// findings into the baseline file and exits. -unused-suppressions reports
+// only the stale //lint:ignore directives, for cleanup sweeps.
+//
+// The run summary always goes to stderr; stdout carries only the -json
+// findings array, so piping into tooling stays clean.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
@@ -39,8 +51,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cocolint: ")
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	configPath := flag.String("config", "", "rule configuration file (default: cocolint.json at the module root)")
+	baselinePath := flag.String("baseline", "", "accepted-findings file (default: lint-baseline.json at the module root)")
+	writeBaseline := flag.Bool("write-baseline", false, "snapshot the current findings into the baseline file and exit")
+	unusedOnly := flag.Bool("unused-suppressions", false, "report only //lint:ignore directives that suppress nothing")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -68,6 +83,33 @@ func main() {
 	}
 
 	diags := analysis.Run(mod, cfg, analysis.All())
+	if *unusedOnly {
+		diags = analysis.UnusedSuppressions(diags)
+	}
+
+	bpath := *baselinePath
+	if bpath == "" {
+		bpath = filepath.Join(mod.Dir, analysis.BaselineFileName)
+	}
+	if *writeBaseline {
+		var kept []analysis.Diagnostic
+		for _, d := range diags {
+			if keep(d.File) {
+				kept = append(kept, d)
+			}
+		}
+		if err := analysis.WriteBaseline(bpath, mod.Dir, kept); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cocolint: wrote %d finding(s) to %s\n", len(kept), relPath(cwd, bpath))
+		return
+	}
+	baseline, err := analysis.LoadBaseline(bpath)
+	if err != nil {
+		fatal(err)
+	}
+	diags = baseline.Filter(mod.Dir, diags)
+
 	n := 0
 	var shown []analysis.Diagnostic
 	for _, d := range diags {
@@ -93,9 +135,7 @@ func main() {
 		}
 	}
 	if n > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "cocolint: %d finding(s)\n", n)
-		}
+		fmt.Fprintf(os.Stderr, "cocolint: %d finding(s)\n", n)
 		os.Exit(1)
 	}
 }
@@ -152,7 +192,7 @@ func relPath(cwd, path string) string {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: cocolint [-json] [-config FILE] [packages]\n\nanalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: cocolint [-json] [-config FILE] [-baseline FILE] [-write-baseline] [-unused-suppressions] [packages]\n\nanalyzers:\n")
 	for _, a := range analysis.All() {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}

@@ -16,7 +16,9 @@
 //     parallel.Pool;
 //   - layering: the package import DAG follows the checked-in layer spec;
 //   - floatorder: no order-sensitive float comparisons or accumulation
-//     over map iteration.
+//     over map iteration;
+//   - hotpath: functions annotated //cocolint:hotpath are proven
+//     allocation-free, inter-procedurally, over the static call graph.
 //
 // The cocolint CLI (cmd/cocolint) loads the module, runs every analyzer,
 // and reports findings as "file:line: [analyzer] message". Individual
@@ -69,6 +71,16 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// reportAt records a finding at an already-resolved position — for
+// findings that point outside the Go sources (cocolint.json config rot).
+func (p *Pass) reportAt(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -148,5 +160,6 @@ func All() []*Analyzer {
 		Goroutines,
 		Layering,
 		FloatOrder,
+		Hotpath,
 	}
 }

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineFileName is the checked-in findings baseline cocolint consults
+// at the module root when no explicit -baseline path is given. CI fails
+// only on findings not in the baseline, so a legacy debt list can be
+// burned down incrementally without blocking unrelated changes. The
+// intended steady state is an empty baseline: the tree is clean and every
+// exemption is an explicit //lint:ignore or assumeFree entry with a
+// reason.
+const BaselineFileName = "lint-baseline.json"
+
+// BaselineEntry identifies one accepted finding. Positions are matched by
+// file (module-root-relative) and message, not line: baselined findings
+// should survive unrelated edits above them, and two findings with the
+// same message in the same file are interchangeable debt.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Baseline is a multiset of accepted findings.
+type Baseline struct {
+	entries map[BaselineEntry]int
+}
+
+// LoadBaseline reads a baseline file. A missing file yields an empty
+// baseline (nothing accepted) — absence of debt, not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("analysis: parsing %s: %w", filepath.Base(path), err)
+	}
+	b := &Baseline{entries: map[BaselineEntry]int{}}
+	for _, e := range entries {
+		b.entries[e]++
+	}
+	return b, nil
+}
+
+// Filter returns the findings not covered by the baseline. Matching is a
+// multiset subtraction: a baseline entry absorbs at most as many findings
+// as its count, so duplicating a baselined mistake still fails.
+func (b *Baseline) Filter(moduleDir string, diags []Diagnostic) []Diagnostic {
+	if b == nil || len(b.entries) == 0 {
+		return diags
+	}
+	remaining := make(map[BaselineEntry]int, len(b.entries))
+	for e, n := range b.entries {
+		remaining[e] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		key := baselineKey(moduleDir, d)
+		if remaining[key] > 0 {
+			remaining[key]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteBaseline writes the findings as a baseline file, sorted for stable
+// diffs.
+func WriteBaseline(path, moduleDir string, diags []Diagnostic) error {
+	entries := make([]BaselineEntry, 0, len(diags))
+	for _, d := range diags {
+		entries = append(entries, baselineKey(moduleDir, d))
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// baselineKey normalizes one finding to its baseline identity.
+func baselineKey(moduleDir string, d Diagnostic) BaselineEntry {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return BaselineEntry{Analyzer: d.Analyzer, File: file, Message: d.Message}
+}

@@ -37,6 +37,20 @@ type Config struct {
 		Allow []string `json:"allow"`
 	} `json:"goroutines"`
 
+	Hotpath struct {
+		// Roots lists functions to treat as hot roots in addition to the
+		// //cocolint:hotpath annotations, by types.Func.FullName — e.g.
+		// "(*cocopelia/internal/sim.Engine).Step" or
+		// "cocopelia/internal/parallel.Fanout".
+		Roots []string `json:"roots"`
+		// AssumeFree allowlists free-list/pool entry points the fact
+		// propagation treats as allocation-free: functions whose
+		// allocations are amortized warm-up (grow-once slices, recycled
+		// object pools) rather than steady-state cost. The reason is
+		// mandatory and should name the amortizing mechanism.
+		AssumeFree []AssumeFreeEntry `json:"assumeFree"`
+	} `json:"hotpath"`
+
 	Layering struct {
 		// Layers is the ordered layer spec, lowest (most foundational)
 		// first. A package may import module-internal packages only from
@@ -44,6 +58,13 @@ type Config struct {
 		// assigned to exactly one layer.
 		Layers []Layer `json:"layers"`
 	} `json:"layering"`
+}
+
+// AssumeFreeEntry is one hotpath allowlist entry: a function symbol (by
+// FullName) declared allocation-free, with the justification on record.
+type AssumeFreeEntry struct {
+	Func   string `json:"func"`
+	Reason string `json:"reason"`
 }
 
 // Layer is one tier of the import DAG.

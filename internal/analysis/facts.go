@@ -1,0 +1,404 @@
+// Inter-procedural allocation facts for the hotpath analyzer.
+//
+// This file is the module-wide fact layer: every function declared in the
+// module gets an intra-procedural summary (its allocating constructs and
+// its outgoing call edges, collected in hotpath.go) and a propagated
+// allocation fact — alloc-free, allocates, or unknown — computed bottom-up
+// over the static call graph. Facts cross package boundaries: the module
+// loader type-checks every package against the same object space, so a
+// call site in internal/sim resolves to the identical *types.Func object
+// as the declaration in internal/cudart, and the fact computed once for
+// the callee is visible to every caller.
+//
+// The propagation is optimistic on cycles (a back edge contributes
+// nothing: if a cycle member allocates, its own sites or forward edges
+// already say so) and records, for every non-free function, one
+// representative reason — an allocating construct or the edge to the
+// offending callee — so a hot root's finding can print the whole call
+// chain down to the allocation site.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// AllocFact classifies one function's steady-state allocation behaviour.
+type AllocFact uint8
+
+const (
+	// FactUnknown means the analysis could not prove either way: the
+	// function makes a dynamic call, calls an external function without a
+	// fact, or has no body (assembler stubs).
+	FactUnknown AllocFact = iota
+	// FactFree means the function is proven allocation-free: no
+	// allocating construct in its body and every callee is FactFree.
+	FactFree
+	// FactAllocates means the function contains, or reaches through
+	// static calls, an allocating construct.
+	FactAllocates
+)
+
+// allocSite is one intra-procedural allocating construct.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+// callEdge is one outgoing call in a function body: statically resolved
+// (callee set) or explicitly unresolvable (callee nil, desc says why).
+type callEdge struct {
+	pos    token.Pos
+	callee *types.Func
+	desc   string
+}
+
+// Propagation DFS colors.
+const (
+	factWhite uint8 = iota
+	factGrey
+	factBlack
+)
+
+// funcInfo is one module function's intra-procedural summary plus its
+// propagated fact.
+type funcInfo struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	// hot marks a function annotated //cocolint:hotpath or listed in the
+	// config's hotpath.roots. Hot functions are proof obligations: their
+	// findings are reported (and suppressed) at their own declaration, so
+	// callers treat them as alloc-free.
+	hot bool
+	// assumedFree marks a function matched by hotpath.assumeFree — a
+	// free-list or pool entry point whose allocations are declared
+	// amortized warm-up rather than steady-state cost.
+	assumedFree bool
+	// noBody marks declaration-only functions (assembler kernels).
+	noBody bool
+
+	sites []allocSite
+	calls []callEdge
+
+	color uint8
+	fact  AllocFact
+
+	// The representative reason the function is not alloc-free: either an
+	// allocating construct of its own (whySite) or the first offending
+	// call edge (whyCall, with whyNext the callee's info when the callee
+	// is a module function).
+	whySite *allocSite
+	whyCall *callEdge
+	whyNext *funcInfo
+}
+
+// hotFacts is the module-wide fact table, built once per Run and cached on
+// the Module (keyed by the config, which contributes roots and the
+// assumeFree list).
+type hotFacts struct {
+	cfg   *Config
+	funcs map[*types.Func]*funcInfo
+	// unmatched config entries (roots / assumeFree symbols naming no
+	// module function) — config rot, reported once as findings.
+	unmatchedRoots      []string
+	unmatchedAssumeFree []string
+}
+
+// moduleFacts returns the module's fact table, building it on first use.
+func moduleFacts(mod *Module, cfg *Config) *hotFacts {
+	if mod.facts != nil && mod.facts.cfg == cfg {
+		return mod.facts
+	}
+	hf := &hotFacts{cfg: cfg, funcs: map[*types.Func]*funcInfo{}}
+
+	roots := map[string]bool{}
+	for _, r := range cfg.Hotpath.Roots {
+		roots[r] = false
+	}
+	assume := map[string]bool{}
+	for _, a := range cfg.Hotpath.AssumeFree {
+		assume[a.Func] = false
+	}
+
+	// Collect every declared function's summary.
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &funcInfo{fn: fn, decl: fd, pkg: pkg}
+				name := fn.FullName()
+				if hasHotpathDirective(fd.Doc) {
+					fi.hot = true
+				}
+				if _, ok := roots[name]; ok {
+					fi.hot = true
+					roots[name] = true
+				}
+				if _, ok := assume[name]; ok {
+					fi.assumedFree = true
+					assume[name] = true
+				}
+				if fd.Body == nil {
+					fi.noBody = true
+				} else {
+					collectBody(pkg, fi)
+				}
+				hf.funcs[fn] = fi
+			}
+		}
+	}
+	for _, r := range cfg.Hotpath.Roots {
+		if !roots[r] {
+			hf.unmatchedRoots = append(hf.unmatchedRoots, r)
+		}
+	}
+	for _, a := range cfg.Hotpath.AssumeFree {
+		if !assume[a.Func] {
+			hf.unmatchedAssumeFree = append(hf.unmatchedAssumeFree, a.Func)
+		}
+	}
+
+	mod.facts = hf
+	return hf
+}
+
+// hasHotpathDirective reports whether a doc comment group carries the
+// //cocolint:hotpath annotation.
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//cocolint:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+// resolve computes (and memoizes) a function's allocation fact,
+// propagating bottom-up over its call edges.
+func (hf *hotFacts) resolve(fi *funcInfo) AllocFact {
+	switch fi.color {
+	case factBlack:
+		return fi.fact
+	case factGrey:
+		// Back edge of a recursion cycle: contributes nothing beyond what
+		// the cycle members' own sites and forward edges already say.
+		return FactFree
+	}
+	fi.color = factGrey
+
+	fact := FactFree
+	switch {
+	case fi.assumedFree:
+		// Declared pool/free-list entry point: trust the allowlist.
+	case fi.noBody:
+		fact = FactUnknown
+	case len(fi.sites) > 0:
+		fact = FactAllocates
+		fi.whySite = &fi.sites[0]
+	}
+
+	if fact != FactAllocates && !fi.assumedFree {
+		for i := range fi.calls {
+			e := &fi.calls[i]
+			cf, next := hf.edgeFact(e)
+			if cf == FactFree {
+				continue
+			}
+			if cf == FactAllocates {
+				fact = FactAllocates
+				fi.whySite, fi.whyCall, fi.whyNext = nil, e, next
+				break
+			}
+			if fact == FactFree { // first Unknown; keep scanning for Allocates
+				fact = FactUnknown
+				fi.whyCall, fi.whyNext = e, next
+			}
+		}
+	}
+
+	fi.fact = fact
+	fi.color = factBlack
+	return fact
+}
+
+// edgeFact resolves one call edge to the callee's fact, plus the callee's
+// funcInfo when it is a module function (for chain rendering).
+func (hf *hotFacts) edgeFact(e *callEdge) (AllocFact, *funcInfo) {
+	if e.callee == nil {
+		return FactUnknown, nil
+	}
+	if cfi, ok := hf.funcs[e.callee]; ok {
+		if cfi.hot {
+			// An annotated hot function is its own proof obligation: its
+			// findings are reported (or suppressed, with reasons) at its
+			// declaration, so callers may assume it free.
+			return FactFree, nil
+		}
+		return hf.resolve(cfi), cfi
+	}
+	return externFact(e.callee), nil
+}
+
+// externFreePkgs are external packages whose functions and methods are
+// known allocation-free wholesale.
+var externFreePkgs = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+// externFreeSyncTypes are the sync types whose methods are allocation-free
+// in steady state (sync.Pool is deliberately absent: Get may call New).
+var externFreeSyncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+}
+
+// externFact classifies a callee declared outside the module. Without
+// export-data escape facts this is a small curated table: the pure math
+// and atomic packages, lock/waitgroup methods, and seeded math/rand
+// generator methods are free; everything else is unknown. fmt and errors
+// calls never reach here — they are turned into allocation sites at
+// collection time, with a sharper message.
+func externFact(fn *types.Func) AllocFact {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return FactUnknown // error.Error() and friends resolve pkg-less
+	}
+	path := pkg.Path()
+	if externFreePkgs[path] {
+		return FactFree
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	recv := sig != nil && sig.Recv() != nil
+	switch path {
+	case "math/rand", "math/rand/v2":
+		// Generator methods (Float64, Int63, NormFloat64, ...) are free;
+		// the constructors allocate and stay unknown-or-worse.
+		if recv {
+			return FactFree
+		}
+	case "sync":
+		if recv && externFreeSyncTypes[recvTypeName(sig)] {
+			return FactFree
+		}
+	}
+	return FactUnknown
+}
+
+// recvTypeName returns the bare receiver type name of a method signature.
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// shortFuncName renders a function for finding messages: methods as
+// (*T).m / (T).m, package functions as pkgname.f.
+func shortFuncName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			if n, ok := p.Elem().(*types.Named); ok {
+				return "(*" + n.Obj().Name() + ")." + fn.Name()
+			}
+		}
+		if n, ok := t.(*types.Named); ok {
+			return "(" + n.Obj().Name() + ")." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// chainString renders the call chain from (but not including) a hot root
+// down to the representative allocation site or unprovable call, e.g.
+//
+//	(*Engine).recycle: append may grow its backing array at sim.go:222
+//	(*Runtime).launch → (*Device).LaunchKernel: make([]byte) allocates at device.go:190
+func (hf *hotFacts) chainString(fset *token.FileSet, start *funcInfo) string {
+	var b strings.Builder
+	fi := start
+	for hop := 0; fi != nil && hop < 12; hop++ {
+		if b.Len() > 0 {
+			b.WriteString(" → ")
+		}
+		b.WriteString(shortFuncName(fi.fn))
+		if fi.whySite != nil {
+			b.WriteString(": ")
+			b.WriteString(fi.whySite.what)
+			b.WriteString(" at ")
+			b.WriteString(shortPos(fset, fi.whySite.pos))
+			return b.String()
+		}
+		if fi.whyCall == nil {
+			// assumedFree/hot reached only as a chain start; or no reason
+			// recorded (noBody).
+			if fi.noBody {
+				b.WriteString(": no body to analyze (assembler or external linkage)")
+			}
+			return b.String()
+		}
+		if fi.whyNext == nil {
+			b.WriteString(": ")
+			b.WriteString(fi.whyCall.desc)
+			b.WriteString(" at ")
+			b.WriteString(shortPos(fset, fi.whyCall.pos))
+			return b.String()
+		}
+		fi = fi.whyNext
+	}
+	return b.String()
+}
+
+// shortPos renders a position as basename:line — stable across checkouts,
+// precise enough to jump to.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + itoa(p.Line)
+}
+
+// itoa avoids strconv just for line numbers (keeps the import set tight).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -102,6 +102,7 @@ func TestOutputPurityGolden(t *testing.T) { checkGolden(t, "outputpurity") }
 func TestGoroutinesGolden(t *testing.T)   { checkGolden(t, "goroutines") }
 func TestLayeringGolden(t *testing.T)     { checkGolden(t, "layering") }
 func TestFloatOrderGolden(t *testing.T)   { checkGolden(t, "floatorder") }
+func TestHotpathGolden(t *testing.T)      { checkGolden(t, "hotpath") }
 
 // TestSuppressDiagnostics asserts the suppression machinery's own
 // findings (asserted in code: a want-comment cannot share a directive's

@@ -1,0 +1,515 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Hotpath statically proves annotated functions allocation-free. A
+// function marked with a
+//
+//	//cocolint:hotpath
+//
+// doc-comment directive (or listed under hotpath.roots in cocolint.json by
+// its types.Func.FullName, e.g. "(*cocopelia/internal/sim.Engine).Step")
+// is a hot root: every heap-allocating construct in its body is a finding,
+// and so is every call — however many packages away — that reaches one,
+// reported at the root's call site with the offending chain in the
+// message. The runtime AllocsPerRun gates sample specific call sites; this
+// analyzer enforces the same invariant over the whole static call graph,
+// so a stray closure capture or interface boxing two frames down is caught
+// at lint time instead of in the next profile.
+//
+// Flagged constructs: make/new, escaping composite literals (&T{},
+// slice and map literals), append, closure captures, interface boxing
+// (conversions, assignments, returns, call arguments), method values,
+// string↔[]byte conversions, string concatenation, map assignment,
+// variadic calls without a spread, go statements, and any fmt or errors
+// call. Allocations inside panic arguments are ignored — a panicking hot
+// path is already dead.
+//
+// Escape hatches, narrowest first: a //lint:ignore hotpath reason on the
+// finding line (for amortized warm-up allocations inside the root), a
+// hotpath.assumeFree entry in cocolint.json naming a free-list/pool entry
+// point (reason mandatory), or annotating the callee itself — an annotated
+// callee becomes its own proof obligation and callers trust it.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "prove //cocolint:hotpath functions allocation-free across the call graph",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) {
+	hf := moduleFacts(pass.Module, pass.Config)
+
+	// Config-rot findings are module-global; report them once, from the
+	// first package's pass.
+	if len(pass.Module.Packages) > 0 && pass.Pkg == pass.Module.Packages[0] {
+		cfgPos := token.Position{Filename: pass.Module.Dir + "/" + ConfigFileName, Line: 1, Column: 1}
+		for _, r := range hf.unmatchedRoots {
+			pass.reportAt(cfgPos, "hotpath.roots entry %q names no module function", r)
+		}
+		for _, a := range hf.unmatchedAssumeFree {
+			pass.reportAt(cfgPos, "hotpath.assumeFree entry %q names no module function", a)
+		}
+	}
+
+	// Report each hot root declared in this package. Iterate files/decls
+	// (not the map) so finding order is deterministic.
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := hf.funcs[fn]
+			if fi == nil || !fi.hot {
+				continue
+			}
+			reportHotRoot(pass, hf, fi)
+		}
+	}
+}
+
+// reportHotRoot emits the findings of one annotated function: its own
+// allocating constructs at their positions, and every call edge whose
+// callee is not provably allocation-free at the call site, with the chain
+// to the representative allocation in the message.
+func reportHotRoot(pass *Pass, hf *hotFacts, fi *funcInfo) {
+	name := shortFuncName(fi.fn)
+	if fi.noBody {
+		pass.Reportf(fi.decl.Pos(), "hot path %s has no body to analyze; annotate a Go wrapper instead", name)
+		return
+	}
+	for i := range fi.sites {
+		s := &fi.sites[i]
+		pass.Reportf(s.pos, "hot path %s: %s", name, s.what)
+	}
+	for i := range fi.calls {
+		e := &fi.calls[i]
+		fact, next := hf.edgeFact(e)
+		switch fact {
+		case FactFree:
+		case FactAllocates:
+			pass.Reportf(e.pos, "hot path %s: call to %s allocates: %s", name, calleeName(e), hf.chainString(pass.Fset, next))
+		default:
+			if next != nil {
+				pass.Reportf(e.pos, "hot path %s: cannot prove %s allocation-free: %s", name, calleeName(e), hf.chainString(pass.Fset, next))
+			} else if e.callee != nil {
+				pass.Reportf(e.pos, "hot path %s: cannot prove %s allocation-free: no allocation fact for external functions (hotpath.assumeFree in cocolint.json if it is known safe)", name, calleeName(e))
+			} else {
+				pass.Reportf(e.pos, "hot path %s: %s; hot paths need static callees (or a suppression naming the invariant that makes this safe)", name, e.desc)
+			}
+		}
+	}
+}
+
+// calleeName names a call edge's target for messages.
+func calleeName(e *callEdge) string {
+	if e.callee != nil {
+		return shortFuncName(e.callee)
+	}
+	return e.desc
+}
+
+// collectBody fills fi.sites and fi.calls from the function body: the
+// intra-procedural allocation pass. It walks the body but not nested
+// function literals — a literal's body runs at another time and place; the
+// cost accounted here is the closure value itself (flagged when it
+// captures variables).
+func collectBody(pkg *Package, fi *funcInfo) {
+	c := &bodyCollector{pkg: pkg, fi: fi, callFuns: map[ast.Expr]bool{}}
+	ast.Inspect(fi.decl.Body, c.visit)
+	// Walk order is syntactic, hence deterministic, but sort defensively
+	// by position so fact chains and findings never depend on walk
+	// details.
+	sort.Slice(fi.sites, func(i, j int) bool { return fi.sites[i].pos < fi.sites[j].pos })
+	sort.Slice(fi.calls, func(i, j int) bool { return fi.calls[i].pos < fi.calls[j].pos })
+}
+
+type bodyCollector struct {
+	pkg *Package
+	fi  *funcInfo
+	// callFuns marks expressions appearing in call position, so a
+	// selector that is the Fun of a call is not misread as a method value.
+	callFuns map[ast.Expr]bool
+}
+
+func (c *bodyCollector) site(pos token.Pos, format string, args ...any) {
+	c.fi.sites = append(c.fi.sites, allocSite{pos: pos, what: fmt.Sprintf(format, args...)})
+}
+
+func (c *bodyCollector) typeOf(e ast.Expr) types.Type { return c.pkg.Info.TypeOf(e) }
+
+func (c *bodyCollector) typeString(t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(c.pkg.Types))
+}
+
+// visit is the ast.Inspect callback; returning false prunes the subtree.
+func (c *bodyCollector) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		if vars := c.capturedVars(n); len(vars) > 0 {
+			c.site(n.Pos(), "func literal captures %s; an escaping closure allocates", strings.Join(vars, ", "))
+		}
+		return false // the literal's body is a different function
+
+	case *ast.GoStmt:
+		c.site(n.Pos(), "go statement allocates a goroutine")
+		return true
+
+	case *ast.CallExpr:
+		return c.call(n)
+
+	case *ast.CompositeLit:
+		switch c.underlying(n).(type) {
+		case *types.Slice:
+			c.site(n.Pos(), "slice literal allocates its backing array")
+		case *types.Map:
+			c.site(n.Pos(), "map literal allocates")
+		}
+		return true
+
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				c.site(n.Pos(), "&composite literal escapes to the heap")
+			}
+		}
+		return true
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t := c.typeOf(n); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					if tv, ok := c.pkg.Info.Types[n]; !ok || tv.Value == nil {
+						c.site(n.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		}
+		return true
+
+	case *ast.SelectorExpr:
+		c.methodValue(n)
+		return true
+
+	case *ast.AssignStmt:
+		c.assign(n)
+		return true
+
+	case *ast.ReturnStmt:
+		c.returns(n)
+		return true
+	}
+	return true
+}
+
+// call classifies one call expression: conversion, builtin, static call,
+// or dynamic call. The return value feeds ast.Inspect (false prunes).
+func (c *bodyCollector) call(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	c.callFuns[fun] = true
+
+	// Type conversion T(x).
+	if tv, ok := c.pkg.Info.Types[fun]; ok && tv.IsType() {
+		c.conversion(call, tv.Type)
+		return true
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := c.pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "append":
+				c.site(call.Pos(), "append may grow its backing array (preallocate or pool the slice)")
+			case "make":
+				if t := c.typeOf(call); t != nil {
+					c.site(call.Pos(), "make(%s) allocates", c.typeString(t))
+				} else {
+					c.site(call.Pos(), "make allocates")
+				}
+			case "new":
+				if len(call.Args) == 1 && c.typeOf(call.Args[0]) != nil {
+					c.site(call.Pos(), "new(%s) allocates", c.typeString(c.typeOf(call.Args[0])))
+				} else {
+					c.site(call.Pos(), "new allocates")
+				}
+			case "panic":
+				// A panicking hot path is already dead; allocations that
+				// feed the panic value are not steady-state cost.
+				return false
+			case "print", "println":
+				c.site(call.Pos(), "%s boxes its operands and allocates", id.Name)
+			}
+			return true
+		}
+	}
+
+	// Statically resolved function or method call.
+	if fn := staticCallee(c.pkg, fun); fn != nil {
+		c.staticCall(call, fn)
+		return true
+	}
+
+	// Interface method call.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := c.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if types.IsInterface(s.Recv()) {
+				c.fi.calls = append(c.fi.calls, callEdge{
+					pos:  call.Pos(),
+					desc: fmt.Sprintf("cannot resolve interface method call %s.%s", exprString(sel.X), sel.Sel.Name),
+				})
+				return true
+			}
+		}
+	}
+
+	// Dynamic call through a func value.
+	if t := c.typeOf(fun); t != nil {
+		if _, ok := t.Underlying().(*types.Signature); ok {
+			c.fi.calls = append(c.fi.calls, callEdge{
+				pos:  call.Pos(),
+				desc: fmt.Sprintf("cannot resolve dynamic call through func value %s", exprString(fun)),
+			})
+		}
+	}
+	return true
+}
+
+// conversion flags allocating conversions: string↔[]byte/[]rune and
+// boxing into an interface.
+func (c *bodyCollector) conversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := c.typeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	tu, su := target.Underlying(), src.Underlying()
+	if isString(tu) && isByteOrRuneSlice(su) || isByteOrRuneSlice(tu) && isString(su) {
+		c.site(call.Pos(), "conversion %s(%s) copies and allocates", c.typeString(target), c.typeString(src))
+		return
+	}
+	if types.IsInterface(tu) && c.boxes(src) {
+		c.site(call.Pos(), "conversion boxes %s into interface %s", c.typeString(src), c.typeString(target))
+	}
+}
+
+// staticCall records a resolved call: known-free externs are dropped, fmt
+// and errors become sharp allocation sites, everything else becomes a call
+// edge for the fact propagation. It also flags interface boxing of the
+// arguments and implicit variadic slice construction.
+func (c *bodyCollector) staticCall(call *ast.CallExpr, fn *types.Func) {
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "fmt" || pkg.Path() == "errors") {
+		switch fn.Name() {
+		case "Is", "As", "Unwrap":
+			// errors.Is/As/Unwrap inspect; they do not build errors.
+			return
+		}
+		c.site(call.Pos(), "%s.%s allocates", pkg.Name(), fn.Name())
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil {
+		c.checkArgs(call, sig)
+	}
+	c.fi.calls = append(c.fi.calls, callEdge{pos: call.Pos(), callee: fn})
+}
+
+// checkArgs flags an implicit variadic argument slice and concrete values
+// boxed into interface parameters.
+func (c *bodyCollector) checkArgs(call *ast.CallExpr, sig *types.Signature) {
+	np := sig.Params().Len()
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= np {
+		c.site(call.Pos(), "variadic call builds an argument slice; pass an explicit spread slice")
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			pt = sig.Params().At(np - 1).Type()
+			if s, ok := pt.Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := c.typeOf(arg)
+		if at == nil || !c.boxes(at) {
+			continue
+		}
+		c.site(arg.Pos(), "argument boxes %s into interface %s", c.typeString(at), c.typeString(pt))
+	}
+}
+
+// methodValue flags x.M used as a value: binding the receiver allocates a
+// closure. Method expressions (T.M) and selectors in call position do not.
+func (c *bodyCollector) methodValue(sel *ast.SelectorExpr) {
+	if c.callFuns[sel] {
+		return
+	}
+	s, ok := c.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	c.site(sel.Pos(), "method value %s.%s allocates a bound closure (cache it outside the hot path)", exprString(sel.X), sel.Sel.Name)
+}
+
+// assign flags map writes and interface boxing through assignment.
+func (c *bodyCollector) assign(as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			if t := c.typeOf(ix.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					c.site(lhs.Pos(), "map assignment may grow the table")
+				}
+			}
+		}
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := c.typeOf(lhs)
+		if lt == nil || !types.IsInterface(lt.Underlying()) {
+			continue
+		}
+		rt := c.typeOf(as.Rhs[i])
+		if rt == nil || !c.boxes(rt) {
+			continue
+		}
+		c.site(as.Rhs[i].Pos(), "assignment boxes %s into interface %s", c.typeString(rt), c.typeString(lt))
+	}
+}
+
+// returns flags concrete values boxed into interface results.
+func (c *bodyCollector) returns(ret *ast.ReturnStmt) {
+	sig, ok := c.fi.fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		rt := sig.Results().At(i).Type()
+		if !types.IsInterface(rt.Underlying()) {
+			continue
+		}
+		vt := c.typeOf(res)
+		if vt == nil || !c.boxes(vt) {
+			continue
+		}
+		c.site(res.Pos(), "return boxes %s into interface %s", c.typeString(vt), c.typeString(rt))
+	}
+}
+
+// boxes reports whether storing a value of type t into an interface
+// allocates: concrete non-pointer types do (the data word cannot hold
+// them); pointers, interfaces, untyped nil and zero-size types do not.
+func (c *bodyCollector) boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Chan, *types.Map:
+		return false // single-word or already-boxed values
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+// capturedVars lists (up to three) variables a function literal captures
+// from an enclosing function: identifiers resolving to non-field variables
+// declared outside the literal but not at package level.
+func (c *bodyCollector) capturedVars(lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own params/locals
+		}
+		if v.Parent() == nil || v.Parent() == c.pkg.Types.Scope() || v.Parent().Parent() == types.Universe {
+			return true // package-level state is not a capture
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			if len(out) < 3 {
+				out = append(out, v.Name())
+			}
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// staticCallee resolves a call's Fun expression to a concrete *types.Func:
+// a package function, or a method of a concrete (non-interface) receiver.
+func staticCallee(pkg *Package, fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if s, ok := pkg.Info.Selections[fun]; ok {
+			if s.Kind() != types.MethodVal || types.IsInterface(s.Recv()) {
+				return nil
+			}
+		}
+		return fn
+	}
+	return nil
+}
+
+// isString reports whether an underlying type is string.
+func isString(u types.Type) bool {
+	b, ok := u.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteOrRuneSlice reports whether an underlying type is []byte/[]rune.
+func isByteOrRuneSlice(u types.Type) bool {
+	s, ok := u.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// underlying returns an expression type's underlying type (nil-safe).
+func (c *bodyCollector) underlying(e ast.Expr) types.Type {
+	t := c.typeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

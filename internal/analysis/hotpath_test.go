@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHotpathConfigRot asserts that hotpath.roots / hotpath.assumeFree
+// entries naming no module function are themselves findings: config rot
+// must not silently widen the unchecked surface.
+func TestHotpathConfigRot(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "hotpath"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{}
+	cfg.Hotpath.Roots = []string{"demo.NoSuchFunc"}
+	cfg.Hotpath.AssumeFree = []AssumeFreeEntry{{Func: "demo/pool.Gone", Reason: "stale"}}
+	diags := Run(mod, cfg, []*Analyzer{Hotpath})
+
+	var gotRoot, gotAssume bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, `hotpath.roots entry "demo.NoSuchFunc" names no module function`) {
+			gotRoot = true
+		}
+		if strings.Contains(d.Message, `hotpath.assumeFree entry "demo/pool.Gone" names no module function`) {
+			gotAssume = true
+		}
+	}
+	if !gotRoot || !gotAssume {
+		t.Errorf("want config-rot findings for unmatched root and assumeFree entries, got %v", diags)
+	}
+}
+
+// TestHotpathFactCache asserts the module-wide fact table is built once
+// per (module, config) pair and rebuilt when the config changes.
+func TestHotpathFactCache(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "hotpath"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{}
+	hf1 := moduleFacts(mod, cfg)
+	hf2 := moduleFacts(mod, cfg)
+	if hf1 != hf2 {
+		t.Error("fact table rebuilt for identical config")
+	}
+	hf3 := moduleFacts(mod, &Config{})
+	if hf3 == hf1 {
+		t.Error("fact table not rebuilt for a different config")
+	}
+}
+
+// TestBaselineFilter covers the multiset semantics: a baseline entry
+// absorbs at most its count of matching findings, matching by
+// module-relative file + analyzer + message, not line.
+func TestBaselineFilter(t *testing.T) {
+	dir := t.TempDir()
+	diag := func(file string, line int, msg string) Diagnostic {
+		d := Diagnostic{Analyzer: "hotpath", Message: msg}
+		d.Pos.Filename = filepath.Join(dir, file)
+		d.Pos.Line = line
+		return d
+	}
+	diags := []Diagnostic{
+		diag("a.go", 3, "make([]int) allocates"),
+		diag("a.go", 9, "make([]int) allocates"),
+		diag("b.go", 1, "append may grow"),
+	}
+
+	path := filepath.Join(dir, BaselineFileName)
+	if err := WriteBaseline(path, dir, diags[:2]); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both baselined findings absorbed (at shifted lines), the third kept.
+	shifted := []Diagnostic{
+		diag("a.go", 5, "make([]int) allocates"),
+		diag("a.go", 11, "make([]int) allocates"),
+		diag("b.go", 1, "append may grow"),
+	}
+	out := b.Filter(dir, shifted)
+	if len(out) != 1 || out[0].Message != "append may grow" {
+		t.Errorf("Filter = %v, want only the b.go finding", out)
+	}
+
+	// A third duplicate exceeds the baselined count of two and survives.
+	extra := append(shifted, diag("a.go", 20, "make([]int) allocates"))
+	if out := b.Filter(dir, extra); len(out) != 2 {
+		t.Errorf("Filter with duplicate beyond baseline count = %v, want 2 findings", out)
+	}
+}
+
+// TestBaselineMissingFile asserts a missing baseline means no accepted
+// debt, not an error.
+func TestBaselineMissingFile(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), BaselineFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagnostic{Analyzer: "hotpath", Message: "m"}
+	if out := b.Filter(".", []Diagnostic{d}); len(out) != 1 {
+		t.Errorf("empty baseline filtered findings: %v", out)
+	}
+}
+
+// TestHotpathAnnotatedCalleeTrusted asserts an annotated hot callee is
+// treated as allocation-free by its callers: its findings are proof
+// obligations at its own declaration, not re-reported up the chain.
+func TestHotpathAnnotatedCalleeTrusted(t *testing.T) {
+	dir := t.TempDir()
+	src := `package tmp
+
+var sink []int
+
+//cocolint:hotpath
+func Outer() { Inner() }
+
+//cocolint:hotpath
+func Inner() {
+	sink = append(sink, 1)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmp\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tmp.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(mod, &Config{}, []*Analyzer{Hotpath})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "hot path tmp.Inner") {
+		t.Errorf("want exactly Inner's own finding, got %v", diags)
+	}
+}

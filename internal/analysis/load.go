@@ -38,6 +38,10 @@ type Module struct {
 	// Packages are the loaded packages sorted by import path.
 	Packages []*Package
 	Fset     *token.FileSet
+
+	// facts caches the hotpath analyzer's module-wide allocation facts
+	// (built lazily by moduleFacts, keyed by the config).
+	facts *hotFacts
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing

@@ -161,6 +161,10 @@ func exprString(e ast.Expr) string {
 		return exprString(e.X) + "." + e.Sel.Name
 	case *ast.IndexExpr:
 		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprString(e.X)
 	}
 	return "expression"
 }

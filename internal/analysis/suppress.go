@@ -5,6 +5,26 @@ import (
 	"strings"
 )
 
+// Messages of the suppression machinery's own findings (analyzer "lint").
+// MsgUnusedSuppression is exported so cocolint's -unused-suppressions mode
+// can select exactly these findings.
+const (
+	msgMalformedDirective = "malformed ignore directive: want //lint:ignore analyzer reason"
+	MsgUnusedSuppression  = "ignore directive suppresses nothing (remove it or fix the analyzer name)"
+)
+
+// UnusedSuppressions filters a Run result down to the findings that report
+// //lint:ignore directives which no longer suppress anything.
+func UnusedSuppressions(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "lint" && d.Message == MsgUnusedSuppression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // ignoreDirective is one parsed "//lint:ignore analyzer[,analyzer] reason"
 // comment. A directive covers findings on its own line (end-of-line form)
 // and on the line directly below it (comment-above form).
@@ -61,7 +81,7 @@ func applySuppressions(mod *Module, diags []Diagnostic) []Diagnostic {
 			out = append(out, Diagnostic{
 				Pos:      d.pos,
 				Analyzer: "lint",
-				Message:  "malformed ignore directive: want //lint:ignore analyzer reason",
+				Message:  msgMalformedDirective,
 			})
 			continue
 		}
@@ -89,7 +109,7 @@ func applySuppressions(mod *Module, diags []Diagnostic) []Diagnostic {
 			out = append(out, Diagnostic{
 				Pos:      d.pos,
 				Analyzer: "lint",
-				Message:  "ignore directive suppresses nothing (remove it or fix the analyzer name)",
+				Message:  MsgUnusedSuppression,
 			})
 		}
 	}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSnippet writes src as the single file of a throwaway module and runs
+// every analyzer over it with an empty config. The hotpath analyzer plus a
+// //cocolint:hotpath function make a convenient, self-contained finding
+// generator for exercising the suppression machinery.
+func loadSnippet(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmp\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tmp.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatalf("loading snippet: %v", err)
+	}
+	return Run(mod, &Config{}, All())
+}
+
+const hotHeader = "package tmp\n\nvar sink []int\n\n//cocolint:hotpath\nfunc Hot() {\n"
+
+func TestSuppressSameLine(t *testing.T) {
+	diags := loadSnippet(t, hotHeader+
+		"\tsink = append(sink, 1) //lint:ignore hotpath pooled append, grows once\n}\n")
+	if len(diags) != 0 {
+		t.Errorf("same-line suppression left findings: %v", diags)
+	}
+}
+
+func TestSuppressLineAbove(t *testing.T) {
+	diags := loadSnippet(t, hotHeader+
+		"\t//lint:ignore hotpath pooled append, grows once\n"+
+		"\tsink = append(sink, 1)\n}\n")
+	if len(diags) != 0 {
+		t.Errorf("line-above suppression left findings: %v", diags)
+	}
+}
+
+func TestSuppressTwoLinesAboveDoesNotApply(t *testing.T) {
+	diags := loadSnippet(t, hotHeader+
+		"\t//lint:ignore hotpath too far away\n"+
+		"\t_ = sink\n"+
+		"\tsink = append(sink, 1)\n}\n")
+	// The append finding survives, and the directive is reported unused.
+	var gotHotpath, gotUnused bool
+	for _, d := range diags {
+		if d.Analyzer == "hotpath" && strings.Contains(d.Message, "append") {
+			gotHotpath = true
+		}
+		if d.Analyzer == "lint" && d.Message == MsgUnusedSuppression {
+			gotUnused = true
+		}
+	}
+	if !gotHotpath || !gotUnused || len(diags) != 2 {
+		t.Errorf("want surviving hotpath finding + unused directive, got %v", diags)
+	}
+}
+
+func TestSuppressMissingReason(t *testing.T) {
+	diags := loadSnippet(t, hotHeader+
+		"\tsink = append(sink, 1) //lint:ignore hotpath\n}\n")
+	// Malformed directives suppress nothing: the finding survives and the
+	// directive itself is flagged.
+	var gotMalformed, gotHotpath bool
+	for _, d := range diags {
+		if d.Analyzer == "lint" && d.Message == msgMalformedDirective {
+			gotMalformed = true
+		}
+		if d.Analyzer == "hotpath" {
+			gotHotpath = true
+		}
+	}
+	if !gotMalformed || !gotHotpath {
+		t.Errorf("want malformed-directive + surviving finding, got %v", diags)
+	}
+}
+
+func TestSuppressUnknownAnalyzer(t *testing.T) {
+	diags := loadSnippet(t, hotHeader+
+		"\tsink = append(sink, 1) //lint:ignore nosuchanalyzer misspelled name\n}\n")
+	var gotUnused, gotHotpath bool
+	for _, d := range diags {
+		if d.Analyzer == "lint" && d.Message == MsgUnusedSuppression {
+			gotUnused = true
+		}
+		if d.Analyzer == "hotpath" {
+			gotHotpath = true
+		}
+	}
+	if !gotUnused || !gotHotpath {
+		t.Errorf("want unused-directive + surviving finding, got %v", diags)
+	}
+}
+
+// TestSuppressInGoldenTestdata asserts the suppression machinery applies
+// inside golden testdata modules too: the hotpath module's HotWarm carries
+// a suppressed append that must produce neither a hotpath finding nor an
+// unused-directive finding. (checkGolden would also catch this, but the
+// golden pass conflates many behaviours; this pins the one contract.)
+func TestSuppressInGoldenTestdata(t *testing.T) {
+	_, diags := loadGolden(t, "hotpath")
+	for _, d := range diags {
+		if strings.Contains(d.Message, "HotWarm") {
+			t.Errorf("suppressed HotWarm finding leaked: %s", d)
+		}
+		if d.Analyzer == "lint" {
+			t.Errorf("directive finding inside golden module: %s", d)
+		}
+	}
+}
+
+func TestUnusedSuppressionsFilter(t *testing.T) {
+	diags := loadSnippet(t, hotHeader+
+		"\tsink = append(sink, 1) //lint:ignore nosuchanalyzer misspelled name\n}\n")
+	unused := UnusedSuppressions(diags)
+	if len(unused) != 1 || unused[0].Message != MsgUnusedSuppression {
+		t.Errorf("UnusedSuppressions = %v, want exactly the stale directive", unused)
+	}
+}

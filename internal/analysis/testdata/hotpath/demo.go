@@ -1,0 +1,94 @@
+// Package demo exercises the hotpath analyzer: every allocating construct
+// inside an annotated function, plus fact propagation through a
+// cross-package call chain (demo → dep → dep.inner) and the assumeFree
+// allowlist (demo/pool.Get).
+package demo
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"demo/dep"
+	"demo/pool"
+)
+
+type point struct{ x, y int }
+
+func (p point) Norm() int { return p.x + p.y }
+
+// Op is an interface whose dynamic calls the analyzer cannot see through.
+type Op interface{ Apply() int }
+
+func vsum(xs ...int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func noop() {}
+
+func sink(v interface{}) { _ = v }
+
+//cocolint:hotpath
+func Hot(xs []int, m map[string]int, s string) int {
+	buf := make([]int, 4)             // want `hot path demo.Hot: make\(\[\]int\) allocates`
+	xs = append(xs, 1)                // want `append may grow its backing array`
+	ys := []int{1, 2}                 // want `slice literal allocates its backing array`
+	p := &point{x: 1}                 // want `&composite literal escapes to the heap`
+	q := new(point)                   // want `new\(point\) allocates`
+	f := func() int { return buf[0] } // want `func literal captures buf`
+	b := []byte(s)                    // want `conversion \[\]byte\(string\) copies and allocates`
+	s2 := s + "!"                     // want `string concatenation allocates`
+	m["k"] = 1                        // want `map assignment may grow the table`
+	var i interface{}
+	i = point{x: 2}  // want `assignment boxes point into interface`
+	sink(p.x)        // want `argument boxes int into interface`
+	_ = vsum(1, 2)   // want `variadic call builds an argument slice`
+	_ = fmt.Sprint(i) // want `fmt.Sprint allocates`
+	go noop()        // want `go statement allocates a goroutine`
+	nrm := p.Norm    // want `method value p.Norm allocates a bound closure`
+	_ = nrm
+	_ = f()          // want `cannot resolve dynamic call through func value f`
+	_ = dep.Helper() // want `call to dep.Helper allocates: dep.Helper → dep.inner: make\(\[\]byte\) allocates at dep.go:\d+`
+	n := strconv.Itoa(3) // want `cannot prove strconv.Itoa allocation-free`
+	_ = math.Sqrt(float64(len(n)))
+	_ = pool.Get()
+	return len(xs) + len(ys) + q.x + len(b) + len(s2)
+}
+
+//cocolint:hotpath
+func HotIface(o Op) int {
+	return o.Apply() // want `cannot resolve interface method call o.Apply`
+}
+
+//cocolint:hotpath
+func HotRet(x int) interface{} {
+	return x // want `return boxes int into interface`
+}
+
+// Root2 is hot via cocolint.json hotpath.roots, not an annotation.
+func Root2() []int {
+	return make([]int, 8) // want `hot path demo.Root2: make\(\[\]int\) allocates`
+}
+
+var warm []int
+
+// HotWarm proves //lint:ignore works inside golden testdata modules: the
+// append below produces no finding, so no want comment accompanies it.
+//
+//cocolint:hotpath
+func HotWarm() {
+	//lint:ignore hotpath amortized grow-once warm-up; steady state appends into capacity
+	warm = append(warm, 0)
+}
+
+// Cold calls everything without annotations: no findings outside hot
+// roots.
+func Cold() int {
+	c := make([]int, 1)
+	c = append(c, dep.Helper())
+	return len(c)
+}

@@ -1,0 +1,14 @@
+// Package dep seeds an allocating callee two hops from the hot root: the
+// analyzer must flag demo.Hot's call to Helper with the chain down to
+// inner's make.
+package dep
+
+// Helper is allocation-free itself; the debt is one call deeper.
+func Helper() int {
+	return inner()
+}
+
+func inner() int {
+	buf := make([]byte, 8)
+	return len(buf)
+}

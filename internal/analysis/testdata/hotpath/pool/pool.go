@@ -1,0 +1,16 @@
+// Package pool is a free-list entry point allowlisted via
+// hotpath.assumeFree: Get appends during warm-up, but the config declares
+// that amortized, so hot callers see it as allocation-free.
+package pool
+
+var free []int
+
+// Get pops from the free list, growing it only when empty.
+func Get() int {
+	if len(free) == 0 {
+		free = append(free, 0)
+	}
+	x := free[len(free)-1]
+	free = free[:len(free)-1]
+	return x
+}

@@ -127,6 +127,7 @@ type hostWindow struct {
 	ldh, ldd   int32
 }
 
+//cocolint:hotpath
 func (o *op) depSatisfied() {
 	o.deps--
 	if o.deps == 0 {
@@ -137,6 +138,8 @@ func (o *op) depSatisfied() {
 // hwComplete is the hardware-completion callback: it performs the data
 // movement of transfer ops (kernel payloads run inside the device model)
 // and then finishes the op.
+//
+//cocolint:hotpath
 func (o *op) hwComplete() {
 	switch o.kind {
 	case opH2D, opD2H, opSet2D, opGet2D:
@@ -147,6 +150,8 @@ func (o *op) hwComplete() {
 
 // finish retires a completed op: it is recycled before its completion event
 // fires, so waiters launched by the event can reuse the object immediately.
+//
+//cocolint:hotpath
 func (o *op) finish() {
 	rt := o.rt
 	rt.outstanding--
@@ -421,10 +426,13 @@ func (rt *Runtime) allocEvent() *Event {
 }
 
 // launch hands a ready op to the hardware.
+//
+//cocolint:hotpath
 func (rt *Runtime) launch(o *op) {
 	switch o.kind {
 	case opCallback:
 		if o.payload != nil {
+			//lint:ignore hotpath callback payloads are caller-provided host functions; schedulers keep them off the steady-state replay path
 			o.payload()
 		}
 		o.finish()
@@ -439,6 +447,8 @@ func (rt *Runtime) launch(o *op) {
 // dependency counters and launching every op that reaches zero. The waiters
 // backing array is kept for reuse: no appends can race the drain because a
 // done event never accepts new waiters.
+//
+//cocolint:hotpath
 func fire(e *Event) {
 	if e.done {
 		return
@@ -482,10 +492,13 @@ func (rt *Runtime) NewStream() *Stream {
 func (s *Stream) ID() int { return s.id }
 
 // WaitEvent orders all work submitted to s after this call behind ev.
+//
+//cocolint:hotpath
 func (s *Stream) WaitEvent(ev *Event) {
 	if ev == nil || ev.done {
 		return
 	}
+	//lint:ignore hotpath waits drains back to length zero at every enqueue; the backing array grows only to the widest wait fan-in
 	s.waits = append(s.waits, ev)
 }
 
@@ -494,6 +507,8 @@ func (s *Stream) WaitEvent(ev *Event) {
 func (s *Stream) Record() *Event { return s.tail }
 
 // enqueue appends a filled op to the stream, wiring its dependency edges.
+//
+//cocolint:hotpath
 func (s *Stream) enqueue(o *op) *Event {
 	rt := s.rt
 	rt.outstanding++
@@ -524,6 +539,8 @@ func (s *Stream) enqueue(o *op) *Event {
 // produces the identical op, dependency and event structure as the checked
 // Memcpy/SetMatrix/GetMatrix entry points do on unbacked buffers — the plan
 // replay tape uses it to skip per-op validation and operand resolution.
+//
+//cocolint:hotpath
 func (s *Stream) TransferOp(dir machine.LinkDir, bytes int64, buf *DevBuffer) *Event {
 	kind := opH2D
 	if dir == machine.D2H {
@@ -539,6 +556,8 @@ func (s *Stream) TransferOp(dir machine.LinkDir, bytes int64, buf *DevBuffer) *E
 // tape replay analog of GemmAsync/GemvAsync/AxpyAsync on unbacked buffers,
 // whose payloads are nil and whose durations are pure functions of the
 // launch shape.
+//
+//cocolint:hotpath
 func (s *Stream) KernelOp(name string, duration float64) *Event {
 	o := s.rt.allocOp(opKernel)
 	o.name, o.duration = name, duration
@@ -561,14 +580,18 @@ func (s *Stream) Callback(fn func()) *Event {
 // On success the completed batch's events are recycled and every stream's
 // tail resets to the pre-completed event, so event handles returned before
 // this call must not be used afterwards.
+//
+//cocolint:hotpath
 func (rt *Runtime) Sync() (sim.Time, error) {
 	end := rt.Engine().Run()
 	if rt.outstanding != 0 {
+		//lint:ignore hotpath deadlock is a scheduling bug; this error path runs at most once per failed batch
 		return end, fmt.Errorf("cudart: deadlock: %d operations still blocked after drain", rt.outstanding)
 	}
 	for i, e := range rt.evLive {
 		rt.evLive[i] = nil
 		e.waiters = e.waiters[:0]
+		//lint:ignore hotpath evFree reuses its backing array; it grows only until the deepest batch of the run
 		rt.evFree = append(rt.evFree, e)
 	}
 	rt.evLive = rt.evLive[:0]

@@ -272,25 +272,28 @@ func cell(lib Lib, p Problem, T int) cellKey {
 	return ck
 }
 
+// fnvMix folds one value into a running FNV-1a hash.
+func fnvMix(h, v uint32) uint32 {
+	h ^= v
+	h *= 16777619
+	return h
+}
+
 // shard maps a cell key to its cache partition. Sharding only spreads lock
 // contention, so the hash needs no stability guarantee — an inline FNV-1a
 // over the discriminating fields avoids allocating a hasher per lookup.
 func (r *Runner) shard(ck cellKey) *cacheShard {
 	h := uint32(2166136261)
-	mix := func(v uint32) {
-		h ^= v
-		h *= 16777619
-	}
 	for i := 0; i < len(ck.lib); i++ {
-		mix(uint32(ck.lib[i]))
+		h = fnvMix(h, uint32(ck.lib[i]))
 	}
 	for i := 0; i < len(ck.routine); i++ {
-		mix(uint32(ck.routine[i]))
+		h = fnvMix(h, uint32(ck.routine[i]))
 	}
-	mix(uint32(ck.m))
-	mix(uint32(ck.n))
-	mix(uint32(ck.k))
-	mix(uint32(ck.tile))
+	h = fnvMix(h, uint32(ck.m))
+	h = fnvMix(h, uint32(ck.n))
+	h = fnvMix(h, uint32(ck.k))
+	h = fnvMix(h, uint32(ck.tile))
 	return &r.shards[h%cacheShards]
 }
 
@@ -304,6 +307,7 @@ func (r *Runner) shard(ck cellKey) *cacheShard {
 // keeps the hit/miss split a pure function of the work-list — identical at
 // any worker count — which the campaign identity checks rely on. Failed
 // builds are returned to every waiter but never cached.
+//cocolint:hotpath
 func (r *Runner) planFor(key planKey, build func() (*plan.Plan, error)) (*plan.Plan, error) {
 	r.planMu.Lock()
 	if e, ok := r.plans[key]; ok {
@@ -312,6 +316,14 @@ func (r *Runner) planFor(key planKey, build func() (*plan.Plan, error)) (*plan.P
 		<-e.done
 		return e.p, e.err
 	}
+	//lint:ignore hotpath plan-cache miss builds and caches the plan (entered with planMu held); each shape pays it once per eviction window
+	return r.planForMiss(key, build)
+}
+
+// planForMiss is planFor's uncached path, entered with planMu held: it
+// registers the in-flight entry, builds the plan, publishes it and evicts
+// FIFO past the op budget.
+func (r *Runner) planForMiss(key planKey, build func() (*plan.Plan, error)) (*plan.Plan, error) {
 	e := &planEntry{done: make(chan struct{})}
 	r.plans[key] = e
 	r.planMu.Unlock()
@@ -720,6 +732,7 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 // Results are cached by (testbed, lib, problem, T). Measure is safe for
 // concurrent use, and concurrent calls for the same cell simulate it
 // exactly once; errors are returned to every waiter but never cached.
+//cocolint:hotpath
 func (r *Runner) Measure(lib Lib, p Problem, T int) (operand.Result, error) {
 	ck := cell(lib, p, T)
 	s := r.shard(ck)
@@ -735,6 +748,14 @@ func (r *Runner) Measure(lib Lib, p Problem, T int) (operand.Result, error) {
 		<-c.done
 		return c.res, c.err
 	}
+	//lint:ignore hotpath cache miss simulates the cell (entered with s.mu held); each distinct cell pays it once per campaign
+	return r.measureMiss(ck, s, lib, p, T)
+}
+
+// measureMiss is Measure's uncached path, entered with s.mu held: it
+// registers the in-flight call, simulates the cell and publishes the
+// result to the shard.
+func (r *Runner) measureMiss(ck cellKey, s *cacheShard, lib Lib, p Problem, T int) (operand.Result, error) {
 	c := &inflightCall{done: make(chan struct{})}
 	s.inflight[ck] = c
 	s.mu.Unlock()

@@ -184,16 +184,20 @@ func evSlotsOf(p *Plan, ids []int32) []int32 {
 //
 // Like Run it returns the acquired staging buffers for the caller to
 // release after the engine drains, releasing them itself on error.
+//
+//cocolint:hotpath
 func (e *Executor) RunTape(t *Tape, tgt Target) ([]*cudart.DevBuffer, error) {
 	// Event slots need no clearing between replays: a dependency edge always
 	// references an op emitted earlier in the tape, so every slot is written
 	// before it is read (stale pointers from a previous replay are never
 	// observed). The replay property tests pin this.
 	if cap(e.events) < t.evSlots {
+		//lint:ignore hotpath grow-once scratch: reallocated only when a replay needs more event slots than any before it
 		e.events = make([]*cudart.Event, t.evSlots)
 	}
 	e.events = e.events[:t.evSlots]
 	if cap(e.slots) < len(t.slots) {
+		//lint:ignore hotpath grow-once scratch: reallocated only when a replay needs more staging slots than any before it
 		e.slots = make([]*cudart.DevBuffer, len(t.slots))
 	}
 	e.slots = e.slots[:len(t.slots)]
@@ -208,15 +212,18 @@ func (e *Executor) RunTape(t *Tape, tgt Target) ([]*cudart.DevBuffer, error) {
 		switch o.code {
 		case tAlloc:
 			s := t.slots[o.slot]
+			//lint:ignore hotpath Alloc is an interface by design; the sched.Pool implementation's Acquire is proved free at its own hot root
 			buf, err := tgt.Alloc.Acquire(s.Dtype, s.Elems)
 			if err != nil {
 				for _, b := range e.pooled {
+					//lint:ignore hotpath acquire-failure unwind runs at most once per failed replay
 					tgt.Alloc.Release(b)
 				}
 				e.pooled = e.pooled[:0]
 				return nil, err
 			}
 			e.slots[o.slot] = buf
+			//lint:ignore hotpath pooled reuses its backing array across replays; it grows only to the widest plan's slot count
 			e.pooled = append(e.pooled, buf)
 		case tFetch:
 			for _, d := range deps[o.depOff : o.depOff+o.depN] {

@@ -122,6 +122,8 @@ func (c *Context) bucket(key poolKey) *poolBucket {
 // of memory, pooled buffers of OTHER shapes are evicted largest-first — one
 // at a time, retrying the allocation after each — so the current tile
 // shape's pool survives long sweeps over many tile sizes.
+//
+//cocolint:hotpath
 func (c *Context) Acquire(dt kernelmodel.Dtype, elems int64) (*cudart.DevBuffer, error) {
 	key := poolKey{dt, elems}
 	if bk := c.bucket(key); bk != nil && len(bk.bufs) > 0 {
@@ -131,7 +133,15 @@ func (c *Context) Acquire(dt kernelmodel.Dtype, elems int64) (*cudart.DevBuffer,
 		bk.bufs = bk.bufs[:n]
 		return b, nil
 	}
-	b, err := c.rt.Malloc(dt, elems, c.backed)
+	//lint:ignore hotpath pool miss allocates the buffer it will pool; steady-state replays of a warmed context hit the bucket above
+	return c.acquireSlow(key)
+}
+
+// acquireSlow is Acquire's pool-miss path: allocate the shape's first
+// buffer, evicting pooled buffers of other shapes largest-first while the
+// device is out of memory.
+func (c *Context) acquireSlow(key poolKey) (*cudart.DevBuffer, error) {
+	b, err := c.rt.Malloc(key.dt, key.elems, c.backed)
 	for errors.Is(err, device.ErrOutOfMemory) {
 		evicted, ferr := c.evictLargest(key)
 		if ferr != nil {
@@ -140,7 +150,7 @@ func (c *Context) Acquire(dt kernelmodel.Dtype, elems int64) (*cudart.DevBuffer,
 		if !evicted {
 			break
 		}
-		b, err = c.rt.Malloc(dt, elems, c.backed)
+		b, err = c.rt.Malloc(key.dt, key.elems, c.backed)
 	}
 	return b, err
 }
@@ -175,12 +185,21 @@ func (c *Context) evictLargest(keep poolKey) (bool, error) {
 
 // Release returns a buffer to the pool for reuse by later calls; it
 // implements plan.Allocator.
+//
+//cocolint:hotpath
 func (c *Context) Release(b *cudart.DevBuffer) {
 	key := poolKey{b.Dtype(), b.Elems()}
 	if bk := c.bucket(key); bk != nil {
+		//lint:ignore hotpath bucket free list reuses its backing array; it grows only to the shape's peak pooled count
 		bk.bufs = append(bk.bufs, b)
 		return
 	}
+	//lint:ignore hotpath a newly seen shape creates its bucket once; every later release of the shape takes the append above
+	c.addBucket(key, b)
+}
+
+// addBucket creates the pool bucket of a newly seen buffer shape.
+func (c *Context) addBucket(key poolKey, b *cudart.DevBuffer) {
 	c.pool = append(c.pool, poolBucket{key: key, bufs: []*cudart.DevBuffer{b}})
 }
 

@@ -69,6 +69,8 @@ func (e *Engine) maybeDrain() {
 // drain stages each partition's events below its safe horizon into the
 // partition's batch, fanning the independent per-partition staging out when
 // a fanout runner is installed.
+//
+//cocolint:hotpath
 func (e *Engine) drain() {
 	// Horizons come from a snapshot of the heap heads: any event that fires
 	// later (it is >= some head) schedules into p at >= head + look[p], so
@@ -94,6 +96,7 @@ func (e *Engine) drain() {
 		e.safe[p] = m
 	}
 	if e.fanout != nil {
+		//lint:ignore hotpath fanout is a caller-installed pool adapter (parallel.Fanout); its workers are persistent and its closure is bound once in SetDrain
 		e.fanout(e.nparts, e.stageFn)
 	} else {
 		for p := 0; p < e.nparts; p++ {
@@ -108,6 +111,8 @@ func (e *Engine) drain() {
 // stagePart pops partition p's events below its safe horizon into the
 // partition's batch. Pure queue surgery on partition-local state, so the
 // per-partition calls are safe to run concurrently.
+//
+//cocolint:hotpath
 func (e *Engine) stagePart(p int) {
 	pq := &e.parts[p]
 	// staged == 0 here, so every leftover entry is dead: reuse the backing
@@ -118,6 +123,7 @@ func (e *Engine) stagePart(p int) {
 	for len(pq.queue) > 0 && pq.queue[0].at < limit {
 		ev := pq.popMin()
 		ev.index = inBatch
+		//lint:ignore hotpath batch backing array is reused across drains; it grows only until the deepest drain of the run
 		pq.batch = append(pq.batch, batchEntry{ev: ev, seq: ev.seq})
 	}
 }

@@ -363,6 +363,8 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 // SchedulePart queues fn to run at virtual time at on partition p. The
 // sequential reference engine keeps one queue and ignores p; results are
 // identical either way. Scheduling in the past panics.
+//
+//cocolint:hotpath
 func (e *Engine) SchedulePart(p Partition, at Time, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %.12g before now %.12g", at, e.now))
@@ -462,6 +464,8 @@ func (e *Engine) peekLoc() (best *Event, bestPQ *partQueue, fromBatch bool) {
 
 // Step fires the earliest pending event, advancing the clock to its
 // timestamp. It returns false when no events remain.
+//
+//cocolint:hotpath
 func (e *Engine) Step() bool {
 	ev, pq, fromBatch := e.peekLoc()
 	if ev == nil {
@@ -480,6 +484,7 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.at
 	e.stepped++
+	//lint:ignore hotpath the event callback IS the simulation; each model's callback is proved free at its own hot root
 	ev.fn()
 	// Recycle only after the callback returns: the callback may consult
 	// the firing event (it is no longer pending), and recycling earlier
@@ -491,6 +496,8 @@ func (e *Engine) Step() bool {
 // Run fires events until the queues drain, returning the final clock value.
 // On a partitioned engine with draining enabled it periodically stages
 // upcoming events into per-partition batches (see SetDrain).
+//
+//cocolint:hotpath
 func (e *Engine) Run() Time {
 	if e.drainAt > 0 && e.nparts > 1 {
 		for {
