@@ -281,7 +281,9 @@ func campaignCells(smoke bool) []eval.MeasureCell {
 // GOGC=100 re-marks many times per second on a single P; pinning a high
 // target makes the measurement reflect simulation throughput rather than
 // ambient GC policy, keeps runs comparable across environments, and bounds
-// the peak heap at a few hundred MB (the whole campaign allocates ~130MB).
+// the peak heap at a few hundred MB. This is the BETWEEN-rows policy;
+// inside a timed row collection is disabled outright and deferred to the
+// row boundary (see runRow).
 const campaignGOGC = 800
 
 // campaignPlanBudget sizes each campaign runner's plan cache to hold the
@@ -368,12 +370,23 @@ func runRow(tb *machine.Testbed, cells []eval.MeasureCell, cfg rowConfig) (campa
 		if cfg.workers > 1 {
 			pool = parallel.NewPool(cfg.workers)
 		}
+		// Collections happen between rows, never inside the timed region: the
+		// pre-row GC shrinks the live set to a few MB, which would otherwise
+		// reset the pacer goal low enough to guarantee one collection ~30MB
+		// into the row. The second GC finishes the first one's concurrent
+		// sweep so no lazy span sweeping lands in the measurement either. A
+		// row-pass allocates a few hundred MB at most, so running it
+		// collection-free is cheap insurance, not a memory risk.
 		runtime.GC()
+		runtime.GC()
+		gcOff := debug.SetGCPercent(-1)
 		start := time.Now()
-		if err := r.MeasureBatch(pool, cells); err != nil {
+		err := r.MeasureBatch(pool, cells)
+		wall := time.Since(start).Seconds()
+		debug.SetGCPercent(gcOff)
+		if err != nil {
 			return campaignRow{}, err
 		}
-		wall := time.Since(start).Seconds()
 
 		hits, misses, evictions := r.PlanCacheStats()
 		row := campaignRow{
@@ -447,7 +460,15 @@ func runCampaign(out string, smoke bool, passes int, checkPath string) error {
 		{workers: 2}, {workers: 2, intra: true},
 		{workers: 8}, {workers: 8, intra: true},
 	} {
-		cfg.passes = 1
+		// Sweep rows get the same best-of-passes treatment as the reference:
+		// multi-worker rows on a contended host swing far more than the
+		// phase gate's 20% bound, and a single pass would trip -check on
+		// scheduler noise rather than regressions.
+		cfg.passes = passes
+		// Every sweep row carries its own phase split, so regressions that
+		// only show up under a particular worker or drain configuration are
+		// attributable (and gated by -check) without a bisection run.
+		cfg.phases = true
 		row, err := runRow(tb, cells, cfg)
 		if err != nil {
 			return err
@@ -462,7 +483,7 @@ func runCampaign(out string, smoke bool, passes int, checkPath string) error {
 		rep.Sweep = append(rep.Sweep, row)
 	}
 
-	norm, err := runRow(tb, normalizedCells(smoke), rowConfig{workers: 1, passes: 1, normalize: true})
+	norm, err := runRow(tb, normalizedCells(smoke), rowConfig{workers: 1, passes: 1, normalize: true, phases: true})
 	if err != nil {
 		return err
 	}
@@ -475,7 +496,7 @@ func runCampaign(out string, smoke bool, passes int, checkPath string) error {
 	rep.Normalized = &norm
 
 	if checkPath != "" {
-		return checkCampaign(checkPath, ref)
+		return checkCampaign(checkPath, &rep)
 	}
 	if err := writeJSON(out, &rep); err != nil {
 		return err
@@ -484,11 +505,12 @@ func runCampaign(out string, smoke bool, passes int, checkPath string) error {
 	return nil
 }
 
-// checkCampaign compares a freshly measured reference row against the
-// committed baseline: the simulated counters must match exactly (any drift
-// means the simulation changed, which a perf PR must not do) and
-// throughput may regress at most 15%.
-func checkCampaign(path string, ref campaignRow) error {
+// checkCampaign compares a freshly measured campaign against the committed
+// baseline: the reference row's simulated counters must match exactly (any
+// drift means the simulation changed, which a perf PR must not do),
+// throughput may regress at most 15%, and no phase of any row may run more
+// than 20% slower than its baseline phase.
+func checkCampaign(path string, rep *campaignReport) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -497,6 +519,7 @@ func checkCampaign(path string, ref campaignRow) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
+	ref := rep.Reference
 	b := base.Reference
 	if !sameOutcome(ref, b) {
 		return fmt.Errorf(
@@ -508,7 +531,63 @@ func checkCampaign(path string, ref campaignRow) error {
 		return fmt.Errorf("campaign throughput regressed: %.1f cells/s < %.1f (85%% of baseline %.1f)",
 			ref.CellsPerSec, floor, b.CellsPerSec)
 	}
-	log.Printf("campaign check OK: %.1f cells/s vs baseline %.1f, counters identical", ref.CellsPerSec, b.CellsPerSec)
+	if err := phaseGate("reference", ref.Phases, b.Phases); err != nil {
+		return err
+	}
+	for _, row := range rep.Sweep {
+		// Only single-worker rows are gated: with one worker a phase's
+		// seconds are exact goroutine-local wall time, while multi-worker
+		// rows on a contended host attribute descheduled time to whatever
+		// phase was running, swinging far past any useful bound. The
+		// multi-worker splits stay in the JSON for attribution.
+		if row.Workers != 1 {
+			continue
+		}
+		if bl := findSweepRow(base.Sweep, row.Workers, row.IntraCell); bl != nil {
+			tag := fmt.Sprintf("sweep workers=%d intra=%v", row.Workers, row.IntraCell)
+			if err := phaseGate(tag, row.Phases, bl.Phases); err != nil {
+				return err
+			}
+		}
+	}
+	log.Printf("campaign check OK: %.1f cells/s vs baseline %.1f, counters identical, phases within bounds",
+		ref.CellsPerSec, b.CellsPerSec)
+	return nil
+}
+
+// findSweepRow locates the baseline sweep row with the same configuration.
+func findSweepRow(rows []campaignRow, workers int, intra bool) *campaignRow {
+	for i := range rows {
+		if rows[i].Workers == workers && rows[i].IntraCell == intra {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+// phaseGate fails when any phase of got runs more than 20% slower than the
+// matching baseline phase. A 20ms absolute slack absorbs timer jitter on
+// phases too small for a ratio to mean anything. Baselines written before
+// per-row phase attribution carry no phase split; those rows pass vacuously.
+func phaseGate(tag string, got, base *campaignPhases) error {
+	if got == nil || base == nil {
+		return nil
+	}
+	checks := []struct {
+		name      string
+		got, base float64
+	}{
+		{"plan_build", got.PlanBuild, base.PlanBuild},
+		{"enqueue", got.Enqueue, base.Enqueue},
+		{"advance", got.Advance, base.Advance},
+		{"other", got.Other, base.Other},
+	}
+	for _, c := range checks {
+		if limit := 1.20*c.base + 0.02; c.got > limit {
+			return fmt.Errorf("campaign %s phase %s regressed: %.3fs > limit %.3fs (120%% of baseline %.3fs + 20ms slack)",
+				tag, c.name, c.got, limit, c.base)
+		}
+	}
 	return nil
 }
 

@@ -47,9 +47,14 @@ import (
 // runtime recycles the object for later launches and holders must drop
 // their references (every scheduler in this repository consumes its events
 // within one enqueue+Sync cycle).
+// Nearly every event has exactly one waiter — the next op chained on a
+// stream tail — so the first waiter lives in an inline slot and only
+// fan-outs of two or more touch the overflow slice. Steady-state replays
+// therefore allocate no waiter arrays at all.
 type Event struct {
 	done    bool
-	waiters []*op
+	w0      *op   // first registered waiter (fires before the overflow)
+	waiters []*op // second and later waiters, in registration order
 }
 
 // doneEvent is the shared pre-completed event. It is immutable in effect:
@@ -226,7 +231,12 @@ type Runtime struct {
 	// evSlab blocks rather than allocated individually: a replay keeps up to
 	// ~10^5 events live at once, and contiguous slabs make the fire/wait
 	// paths' event touches neighbours instead of scattered heap objects.
+	// Fresh ops are carved from contiguous opSlab blocks, like events: the
+	// dependency-firing path chases op pointers hundreds of thousands of
+	// times per replay, and slab-packed neighbours keep it in cache where
+	// individually allocated ops scatter across the heap.
 	opFree  []*op
+	opSlab  []op
 	evFree  []*Event
 	evLive  []*Event
 	evSlab  []Event
@@ -332,6 +342,7 @@ func (rt *Runtime) Reset(dev *device.Device) {
 	for i, e := range rt.evLive {
 		rt.evLive[i] = nil
 		e.done = false
+		e.w0 = nil
 		e.waiters = e.waiters[:0]
 		rt.evFree = append(rt.evFree, e)
 	}
@@ -362,7 +373,12 @@ func (rt *Runtime) allocOp(kind opKind) *op {
 		rt.opFree[n-1] = nil
 		rt.opFree = rt.opFree[:n-1]
 	} else {
-		o = &op{rt: rt}
+		if len(rt.opSlab) == 0 {
+			rt.opSlab = make([]op, 512)
+		}
+		o = &rt.opSlab[0]
+		rt.opSlab = rt.opSlab[1:]
+		o.rt = rt
 		o.depFn = o.depSatisfied
 		o.hwDone = o.hwComplete
 	}
@@ -454,18 +470,30 @@ func fire(e *Event) {
 		return
 	}
 	e.done = true
-	ws := e.waiters
-	e.waiters = e.waiters[:0]
-	for _, o := range ws {
-		o.depSatisfied()
+	if w := e.w0; w != nil {
+		e.w0 = nil
+		w.depSatisfied()
+	}
+	if len(e.waiters) > 0 {
+		ws := e.waiters
+		e.waiters = e.waiters[:0]
+		for _, o := range ws {
+			o.depSatisfied()
+		}
 	}
 }
 
 // addWaiter registers o to run after e (no-op when e already completed;
-// the caller must have counted the dependency before calling).
+// the caller must have counted the dependency before calling). The first
+// waiter takes the inline slot; registration order is preserved because
+// fire drains the slot before the overflow slice.
 func addWaiter(e *Event, o *op) bool {
 	if e == nil || e.done {
 		return false
+	}
+	if e.w0 == nil && len(e.waiters) == 0 {
+		e.w0 = o
+		return true
 	}
 	e.waiters = append(e.waiters, o)
 	return true
@@ -490,6 +518,24 @@ func (rt *Runtime) NewStream() *Stream {
 
 // ID returns a small integer identifying the stream (useful in traces).
 func (s *Stream) ID() int { return s.id }
+
+// TruncateStreams drops every stream created after the first n and rewinds
+// the stream-id counter, so the next NewStream call hands out the same id a
+// fresh runtime's n+1-th stream would get. Callers that pool a runtime
+// together with a context holding n long-lived streams use it to shed the
+// per-call streams comparator libraries create, keeping both the Sync
+// tail-reset loop and the id sequence identical across pooled repetitions.
+// It must only be called between batches (no operations outstanding).
+func (rt *Runtime) TruncateStreams(n int) {
+	if n > len(rt.streamList) {
+		n = len(rt.streamList)
+	}
+	for i := n; i < len(rt.streamList); i++ {
+		rt.streamList[i] = nil
+	}
+	rt.streamList = rt.streamList[:n]
+	rt.streams = n
+}
 
 // WaitEvent orders all work submitted to s after this call behind ev.
 //
@@ -590,6 +636,7 @@ func (rt *Runtime) Sync() (sim.Time, error) {
 	}
 	for i, e := range rt.evLive {
 		rt.evLive[i] = nil
+		e.w0 = nil
 		e.waiters = e.waiters[:0]
 		//lint:ignore hotpath evFree reuses its backing array; it grows only until the deepest batch of the run
 		rt.evFree = append(rt.evFree, e)

@@ -108,6 +108,33 @@ func New(eng *sim.Engine, tb *machine.Testbed, seed int64, noiseless bool) *Devi
 	return d
 }
 
+// Reset returns the device to its just-created state — empty compute
+// queue, zeroed accounting, no observer — while keeping the kernel-task
+// free list, and reseeds the noise streams (kernel and link) so the next
+// run draws the exact sequences a freshly constructed device with that
+// seed would. The engine is shared state and is NOT reset here; callers
+// reusing a device across measurements reset the engine alongside it.
+// Buffers allocated before the Reset are forgotten wholesale (the memory
+// accounting restarts from zero), so holders must drop them. A noiseless
+// device stays noiseless.
+func (d *Device) Reset(seed int64) {
+	if d.rng != nil {
+		d.rng.Seed(seed)
+	}
+	for i := range d.queue {
+		d.queue[i] = nil
+	}
+	d.queue = d.queue[:0]
+	d.qHead = 0
+	d.computing = false
+	d.busy = 0
+	d.kernels = 0
+	d.memUsed, d.memPeak = 0, 0
+	d.kernelObs = nil
+	// The link's stream derives from the same seed exactly as in New.
+	d.link.Reset(seed ^ 0x5deece66d)
+}
+
 // Engine returns the simulation engine driving this device.
 func (d *Device) Engine() *sim.Engine { return d.eng }
 

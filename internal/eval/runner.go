@@ -227,10 +227,20 @@ type Runner struct {
 	planMisses    atomic.Int64
 	planEvictions atomic.Int64
 
-	// rtPool recycles cudart runtimes across this runner's repetitions so
-	// their op/event free lists and kernel-duration memos stay warm. The
-	// pool is per-runner because the duration memo is testbed-specific.
-	rtPool sync.Pool
+	// bundleFree recycles wired simulation stacks (engine + device +
+	// runtime + scheduler context) across this runner's repetitions, so a
+	// cached-plan repetition re-derives nothing: no lookahead/drain
+	// configuration, no stream creation, no map growth — only a reseed and
+	// counter reset (see simBundle). It is a mutex-guarded free list
+	// rather than a sync.Pool deliberately: plan building allocates enough
+	// to trigger GC cycles mid-campaign, and sync.Pool drops its contents
+	// at every GC — losing the op/event slabs, free lists and
+	// kernel-duration memos whose warmth is the entire point of pooling.
+	// The list is per-runner because the duration memo is testbed-specific
+	// and the engine flavor is fixed by the runner's configuration; it
+	// grows to at most the number of concurrent Measure calls.
+	bundleMu   sync.Mutex
+	bundleFree []*simBundle
 }
 
 // planEntry is one plan-cache slot: inserted before the build runs, so
@@ -487,17 +497,6 @@ func axpyOperands(rt *cudart.Runtime, p Problem) (x, y *operand.Vector, err erro
 	return x, y, nil
 }
 
-// enginePool recycles simulation engines across repetitions: Engine.Reset
-// restores a drained (or failed) engine to the exact state of sim.New while
-// keeping its heap backing and event free list, so steady-state campaign
-// repetitions schedule events with no heap growth.
-var enginePool = sync.Pool{New: func() any { return sim.New() }}
-
-// partEnginePool recycles partitioned engines for intra-cell runs. The
-// pools are separate because the partition count is fixed at construction;
-// putEngine routes each engine back by flavor.
-var partEnginePool = sync.Pool{New: func() any { return sim.NewPartitioned() }}
-
 // drainThreshold is the heap population at which an intra-cell engine
 // stages a conservative drain. Below it the staging bookkeeping outweighs
 // the batch-pop savings; the big gemm cells hold tens of thousands of
@@ -505,40 +504,78 @@ var partEnginePool = sync.Pool{New: func() any { return sim.NewPartitioned() }}
 // never changes what fires — see the merge-oracle invariant).
 const drainThreshold = 4096
 
-// engine returns a reset simulation engine of the runner's configured
-// flavor. Intra-cell engines get the lookahead vector derived from the
-// testbed's link latencies (an event in any partition schedules into a
-// link partition no earlier than one transfer latency out) and a drain
-// policy: staging fans out through Drain only when the pool and GOMAXPROCS
-// both allow real concurrency, and stays sequential otherwise — either
-// way the fired event sequence is the sequential engine's.
-func (r *Runner) engine() *sim.Engine {
-	if !r.IntraCell {
-		eng := enginePool.Get().(*sim.Engine)
-		eng.Reset()
-		return eng
+// ctxStreams is the number of long-lived streams a bundle's scheduler
+// context owns (h2d, d2h, compute); TruncateStreams rewinds a reused
+// bundle's runtime to exactly these.
+const ctxStreams = 3
+
+// simBundle is one fully wired simulation stack — engine, device, runtime
+// and scheduler context — recycled across a runner's repetitions. Pooling
+// the stack as a unit is what makes a cached-plan repetition allocation-
+// free outside the simulation itself: the engine keeps its heap backing
+// and event free list, the runtime its op/event slabs and kernel-duration
+// memo, the context its streams, bucket slice and replay scratch, and the
+// device its task free list. Per repetition only the noise streams are
+// reseeded and the accounting counters zeroed; the lookahead and drain
+// configuration are derived once, at bundle construction, never per rep.
+type simBundle struct {
+	eng *sim.Engine
+	dev *device.Device
+	rt  *cudart.Runtime
+	ctx *sched.Context
+}
+
+// newEngine builds a simulation engine of the runner's configured flavor.
+// The partitioned engine is selected only when its drains can actually fan
+// out — a worker pool with real concurrency AND more than one P. A
+// single-core intra-cell runner gets the flat sequential queue outright:
+// the fired event sequence is identical either way (the partitioned
+// engine's merge oracle pins it), so partitioning without parallel staging
+// would be pure bookkeeping overhead. The partitioned engine's lookahead
+// vector is installed by device.New from the testbed's link latencies.
+func (r *Runner) newEngine() *sim.Engine {
+	if !r.IntraCell || r.Drain.Workers() <= 1 || runtime.GOMAXPROCS(0) <= 1 {
+		return sim.New()
 	}
-	eng := partEnginePool.Get().(*sim.Engine)
-	eng.Reset()
-	var look [sim.NumParts]sim.Time
-	look[sim.PartH2D] = r.TB.H2D.LatencyS
-	look[sim.PartD2H] = r.TB.D2H.LatencyS
-	eng.SetLookahead(look)
-	if pool := r.Drain; pool.Workers() > 1 && runtime.GOMAXPROCS(0) > 1 {
-		eng.SetDrain(drainThreshold, func(n int, f func(int)) { parallel.Fanout(pool, n, f) })
-	} else {
-		eng.SetDrain(drainThreshold, nil)
-	}
+	eng := sim.NewPartitioned()
+	pool := r.Drain
+	eng.SetDrain(drainThreshold, func(n int, f func(int)) { parallel.Fanout(pool, n, f) })
 	return eng
 }
 
-// putEngine returns an engine to the pool matching its flavor.
-func putEngine(eng *sim.Engine) {
-	if eng.Partitioned() {
-		partEnginePool.Put(eng)
-	} else {
-		enginePool.Put(eng)
+// bundle returns a simulation stack ready for one repetition with the
+// given noise seed: a pooled stack is reset in place (engine cleared,
+// device and link reseeded, comparator-created streams shed, tile pool
+// emptied), a fresh one is wired from scratch. Either way the stack is
+// indistinguishable from a freshly constructed one — the reuse property
+// tests in sim, and the campaign identity checks in cocobench, pin it.
+func (r *Runner) bundle(seed int64) *simBundle {
+	r.bundleMu.Lock()
+	var b *simBundle
+	if n := len(r.bundleFree); n > 0 {
+		b = r.bundleFree[n-1]
+		r.bundleFree[n-1] = nil
+		r.bundleFree = r.bundleFree[:n-1]
 	}
+	r.bundleMu.Unlock()
+	if b != nil {
+		b.eng.Reset()
+		b.dev.Reset(seed)
+		b.rt.TruncateStreams(ctxStreams)
+		b.ctx.Reset()
+		return b
+	}
+	eng := r.newEngine()
+	dev := device.New(eng, r.TB, seed, false)
+	rt := cudart.New(dev)
+	return &simBundle{eng: eng, dev: dev, rt: rt, ctx: sched.NewContext(rt, false)}
+}
+
+// putBundle parks a cleanly drained bundle for reuse.
+func (r *Runner) putBundle(b *simBundle) {
+	r.bundleMu.Lock()
+	r.bundleFree = append(r.bundleFree, b)
+	r.bundleMu.Unlock()
 }
 
 // finishTimed drains the engine and settles an enqueued plan replay,
@@ -559,30 +596,28 @@ func (r *Runner) finishTimed(pc *phaseLap, rt *cudart.Runtime, pend *sched.Pendi
 	return res, nil
 }
 
-// runOnce executes one repetition on a fresh device and returns its result.
-// The engine is pooled (reset-on-reuse is indistinguishable from fresh —
-// pinned by the sim package's reuse property test); the device, runtime and
-// scheduling context are per-repetition so no measurement state leaks.
-func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result, error) {
+// runOnce executes one repetition and returns its result. The whole
+// simulation stack is pooled as a unit (reset-on-reuse is
+// indistinguishable from fresh — pinned by the sim package's reuse
+// property test and the campaign identity checks); no measurement state
+// leaks because every reset reseeds the noise streams and zeroes the
+// accounting. A failed repetition abandons its bundle rather than pooling
+// it: the engine, runtime or context may hold half-enqueued state whose
+// cleanup is not worth proving correct on an error path.
+func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (res operand.Result, err error) {
 	if r.NormalizeKeys {
 		// Fold onto the mirror class's canonical orientation. The noise
 		// seed was already derived from the original cell key upstream, so
 		// mirrored cells keep distinct noise streams.
 		p = normalizeGemm(p)
 	}
-	eng := r.engine()
-	dev := device.New(eng, r.TB, seed, false)
-	var rt *cudart.Runtime
-	if v := r.rtPool.Get(); v != nil {
-		rt = v.(*cudart.Runtime)
-		rt.Reset(dev)
-	} else {
-		rt = cudart.New(dev)
-	}
+	bd := r.bundle(seed)
+	rt := bd.rt
 	defer func() {
-		r.events.Add(int64(eng.Processed()))
-		putEngine(eng)
-		r.rtPool.Put(rt)
+		r.events.Add(int64(bd.eng.Processed()))
+		if err == nil {
+			r.putBundle(bd)
+		}
 	}()
 	pc := r.startLap()
 
@@ -593,7 +628,7 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 		}
 		switch lib {
 		case LibCoCoPeLia:
-			ctx := sched.NewContext(rt, false)
+			ctx := bd.ctx
 			opts := sched.AxpyOpts{N: p.N, Alpha: 1.1, X: x, Y: y, T: T}
 			pc.lap(phaseOther)
 			pl, err := r.planFor(planCell("axpy", p, T), func() (*plan.Plan, error) {
@@ -645,7 +680,7 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 		if err != nil {
 			return operand.Result{}, err
 		}
-		ctx := sched.NewContext(rt, false)
+		ctx := bd.ctx
 		opts := sched.GemvOpts{M: p.M, N: p.N, Alpha: 1, Beta: 1, A: a, X: x, Y: y, T: T}
 		pc.lap(phaseOther)
 		pl, err := r.planFor(planCell("gemv", p, T), func() (*plan.Plan, error) {
@@ -665,7 +700,7 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 	}
 	switch lib {
 	case LibCoCoPeLia:
-		ctx := sched.NewContext(rt, false)
+		ctx := bd.ctx
 		opts := sched.GemmOpts{
 			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
 			Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T,
@@ -681,7 +716,7 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (operand.Result,
 		pend, err := ctx.GemmEnqueueWith(pl, opts)
 		return r.finishTimed(&pc, rt, pend, err)
 	case LibNoReuse:
-		ctx := sched.NewContext(rt, false)
+		ctx := bd.ctx
 		opts := sched.GemmOpts{
 			Dtype: p.Dtype, M: p.M, N: p.N, K: p.K,
 			Alpha: 1, Beta: 1, A: a, B: b, C: c, T: T,

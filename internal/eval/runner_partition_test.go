@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"runtime"
 	"testing"
 
 	"cocopelia/internal/kernelmodel"
@@ -165,5 +166,65 @@ func TestNormalizeKeysFoldsMirrors(t *testing.T) {
 	}
 	if _, misses, _ := plain.PlanCacheStats(); misses != 2 {
 		t.Errorf("default runner folded mirrors: misses=%d, want 2", misses)
+	}
+}
+
+// TestSingleCoreEngineSelection pins the engine-selection rule: intra-cell
+// mode only builds a partitioned engine when a multi-worker drain pool AND
+// more than one core are actually available. With one staging worker, or on
+// a single-core host, the conservative partitioning is pure bookkeeping
+// overhead — the runner must fall back to the flat sequential engine
+// outright (the fired sequence is identical either way; only the queue
+// machinery differs).
+func TestSingleCoreEngineSelection(t *testing.T) {
+	r := NewRunner(machine.TestbedI())
+	if r.newEngine().Partitioned() {
+		t.Error("sequential runner built a partitioned engine")
+	}
+	r.IntraCell = true
+	if r.newEngine().Partitioned() {
+		t.Error("IntraCell runner without a drain pool built a partitioned engine")
+	}
+	r.Drain = parallel.NewPool(4)
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	if r.newEngine().Partitioned() {
+		t.Error("IntraCell runner on a single-core host built a partitioned engine")
+	}
+	if runtime.GOMAXPROCS(old); old > 1 {
+		if !r.newEngine().Partitioned() {
+			t.Error("IntraCell runner with a drain pool on a multi-core host built a flat engine")
+		}
+		runtime.GOMAXPROCS(1)
+	}
+}
+
+// BenchmarkMeasureSingleCoreIntraCell is the satellite regression benchmark
+// for the single-core fallback: with GOMAXPROCS=1 the intra-cell
+// configuration must match the flat configuration's cost (both select the
+// sequential engine), instead of paying partitioned staging for a
+// parallelism the host cannot deliver. Compare the two sub-benchmarks:
+//
+//	go test -bench MeasureSingleCore -benchtime 3x ./internal/eval/
+func BenchmarkMeasureSingleCoreIntraCell(b *testing.B) {
+	p := Problem{Routine: "dgemm", Dtype: kernelmodel.F64, M: 4096, N: 4096, K: 4096,
+		Locs: []model.Loc{model.OnHost, model.OnDevice, model.OnHost}, Tag: "square"}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	for _, cfg := range []struct {
+		name  string
+		intra bool
+	}{{"flat", false}, {"intraCell", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := NewRunner(machine.TestbedI())
+				r.IntraCell = cfg.intra
+				r.Drain = parallel.NewPool(4)
+				if _, err := r.Measure(LibCoCoPeLia, p, 1024); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -89,6 +89,30 @@ func New(eng *sim.Engine, tb *machine.Testbed, noiseSigma float64, rng *rand.Ran
 // SetObserver installs a trace observer (may be nil to remove).
 func (l *Link) SetObserver(obs Observer) { l.observer = obs }
 
+// Reset returns the link to its just-created state — empty channels, zeroed
+// counters, no observer — while keeping the transfer free list, and reseeds
+// the noise stream so the next run draws the exact sequence a freshly
+// constructed link with that seed would. Transfers still queued or in
+// flight are abandoned (their completion events belong to an engine the
+// caller is resetting in the same breath). A noiseless link stays
+// noiseless.
+func (l *Link) Reset(seed int64) {
+	if l.rng != nil {
+		l.rng.Seed(seed)
+	}
+	for _, c := range l.dirs {
+		for i := range c.queue {
+			c.queue[i] = nil
+		}
+		c.queue = c.queue[:0]
+		c.qHead = 0
+		c.active = nil
+		c.busy, c.started = 0, 0
+		c.bytes, c.count = 0, 0
+	}
+	l.observer = nil
+}
+
 // Stats describes one direction's accumulated activity.
 type Stats struct {
 	BusySeconds float64

@@ -102,6 +102,25 @@ func NewContext(rt *cudart.Runtime, backed bool) *Context {
 // Runtime returns the underlying CUDA-like runtime.
 func (c *Context) Runtime() *cudart.Runtime { return c.rt }
 
+// Reset returns the context to its just-created state while keeping its
+// three streams and the executor's replay scratch. The tile pool is
+// emptied — the pooled buffers are dropped, not freed, because callers
+// reset the device's memory accounting wholesale in the same breath — so
+// the next call's Acquire sequence hits the allocator exactly as a fresh
+// context's would. The bucket slice and each bucket's backing array are
+// kept, so steady-state reuse allocates nothing.
+func (c *Context) Reset() {
+	for i := range c.pool {
+		bk := &c.pool[i]
+		for j := range bk.bufs {
+			bk.bufs[j] = nil
+		}
+		bk.bufs = bk.bufs[:0]
+	}
+	c.overheadS = 0
+	c.blockingWriteback = false
+}
+
 // target is the execution surface plans replay onto.
 func (c *Context) target() plan.Target {
 	return plan.Target{H2D: c.h2d, D2H: c.d2h, Comp: c.comp, Alloc: c}

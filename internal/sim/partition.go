@@ -2,28 +2,30 @@
 //
 // A drain stages upcoming events from each partition heap into that
 // partition's sorted batch, up to a per-partition safe horizon derived from
-// the other partitions' heap heads plus a lookahead vector. Staging is pure
-// queue surgery — no callbacks run — so the per-partition work is
-// independent and can fan out across worker goroutines.
+// the other partitions' earliest pending events plus a lookahead vector.
+// Staging is pure queue surgery — no callbacks run — so the per-partition
+// work is independent and can fan out across worker goroutines.
 //
 // Invariants (see DESIGN.md):
 //
 //  1. Merge oracle. Correctness never rests on the horizons: Step always
-//     fires the global (at, seq) minimum over every partition's heap head
-//     AND batch head (sim.go's peekLoc), and batches are sorted subsets of
-//     the pending set, so the fired sequence equals the sequential engine's
-//     for ANY drain policy — the lookahead only bounds how much staging is
-//     useful, never what fires next.
+//     fires the global (at, seq) minimum over every partition's heap head,
+//     batch head AND next-event slot (sim.go's peekLoc), and batches are
+//     sorted subsets of the pending set, so the fired sequence equals the
+//     sequential engine's for ANY drain policy — the lookahead only bounds
+//     how much staging is useful, never what fires next.
 //  2. Lookahead derivation. An event executing in partition q at time t can
 //     schedule into partition p no earlier than t + look[p] when look[p] is
 //     a lower bound on the q→p scheduling delay. The link partitions use
 //     their configured transfer latency (every transfer enters its link
 //     queue one latency after submission); host and compute use zero, which
-//     makes their horizons trivially safe.
+//     makes their horizons trivially safe. The head snapshot includes each
+//     partition's slot — a slot-parked event may precede the heap head.
 //  3. Staleness. Cancel and Reschedule of a staged event mark its batch
-//     entry dead (the index/seq snapshot stops matching) in O(1); the scan
+//     entry dead (the stamp snapshot stops matching) in O(1); the scan
 //     skips dead entries. A new drain only runs once every batch is fully
-//     consumed, so entries never alias across drains.
+//     consumed, so entries never alias across drains. Stale heap entries
+//     below the horizon are dropped during staging, never staged.
 package sim
 
 import "math"
@@ -35,12 +37,12 @@ import "math"
 func (e *Engine) SetLookahead(look [NumParts]Time) { e.look = look }
 
 // SetDrain configures staged draining on a partitioned engine: once the
-// heap population reaches threshold events and no batch is outstanding,
-// Run stages upcoming events into per-partition batches. fanout, when
-// non-nil, runs the n independent per-partition staging jobs (callers pass
-// a parallel-pool adapter; sim spawns no goroutines itself); a nil fanout
-// stages sequentially. threshold <= 0 disables draining — the sequential
-// fallback the reference campaign runs bit-identically against.
+// live heap population reaches threshold events and no batch is
+// outstanding, Run stages upcoming events into per-partition batches.
+// fanout, when non-nil, runs the n independent per-partition staging jobs
+// (callers pass a parallel-pool adapter; sim spawns no goroutines itself);
+// a nil fanout stages sequentially. threshold <= 0 disables draining — the
+// sequential fallback the reference campaign runs bit-identically against.
 func (e *Engine) SetDrain(threshold int, fanout func(n int, f func(int))) {
 	e.drainAt = threshold
 	e.fanout = fanout
@@ -50,15 +52,15 @@ func (e *Engine) SetDrain(threshold int, fanout func(n int, f func(int))) {
 	}
 }
 
-// maybeDrain triggers a drain when no staged events remain and the heap
-// population justifies one.
+// maybeDrain triggers a drain when no staged events remain and the live
+// heap population justifies one.
 func (e *Engine) maybeDrain() {
 	if e.staged != 0 {
 		return
 	}
 	n := 0
 	for p := 0; p < e.nparts; p++ {
-		n += len(e.parts[p].queue)
+		n += e.parts[p].live
 	}
 	if n < e.drainAt {
 		return
@@ -72,16 +74,22 @@ func (e *Engine) maybeDrain() {
 //
 //cocolint:hotpath
 func (e *Engine) drain() {
-	// Horizons come from a snapshot of the heap heads: any event that fires
-	// later (it is >= some head) schedules into p at >= head + look[p], so
-	// everything strictly below safe[p] can be staged now.
+	// Horizons come from a snapshot of each partition's earliest pending
+	// event (pruned heap head or slot): any event that fires later (it is
+	// >= some head) schedules into p at >= head + look[p], so everything
+	// strictly below safe[p] can be staged now.
 	var heads [NumParts]Time
 	for p := 0; p < e.nparts; p++ {
-		if q := e.parts[p].queue; len(q) > 0 {
-			heads[p] = q[0].at
-		} else {
-			heads[p] = math.Inf(1)
+		pq := &e.parts[p]
+		pq.pruneHead()
+		h := math.Inf(1)
+		if len(pq.queue) > 0 {
+			h = pq.queue[0].at
 		}
+		if sl := pq.next; sl != nil && sl.at < h {
+			h = sl.at
+		}
+		heads[p] = h
 	}
 	for p := 0; p < e.nparts; p++ {
 		m := math.Inf(1)
@@ -109,8 +117,9 @@ func (e *Engine) drain() {
 }
 
 // stagePart pops partition p's events below its safe horizon into the
-// partition's batch. Pure queue surgery on partition-local state, so the
-// per-partition calls are safe to run concurrently.
+// partition's batch, dropping stale entries on the way. Pure queue surgery
+// on partition-local state, so the per-partition calls are safe to run
+// concurrently. The slot is left alone: it is already O(1) to consume.
 //
 //cocolint:hotpath
 func (e *Engine) stagePart(p int) {
@@ -120,10 +129,20 @@ func (e *Engine) stagePart(p int) {
 	pq.batch = pq.batch[:0]
 	pq.head = 0
 	limit := e.safe[p]
-	for len(pq.queue) > 0 && pq.queue[0].at < limit {
-		ev := pq.popMin()
-		ev.index = inBatch
+	for len(pq.queue) > 0 {
+		h := &pq.queue[0]
+		if pq.dead > 0 && !h.live() {
+			pq.popMin()
+			pq.dead--
+			continue
+		}
+		if h.at >= limit {
+			break
+		}
+		ent := pq.popMin()
+		pq.live--
+		ent.ev.where = inBatch
 		//lint:ignore hotpath batch backing array is reused across drains; it grows only until the deepest drain of the run
-		pq.batch = append(pq.batch, batchEntry{ev: ev, seq: ev.seq})
+		pq.batch = append(pq.batch, batchEntry{ev: ent.ev, stamp: ent.stamp})
 	}
 }

@@ -98,10 +98,13 @@ func TestPartitionedResetReuseIdenticalToFreshSequential(t *testing.T) {
 	reused := NewPartitioned()
 	reused.SetLookahead([NumParts]Time{0, 0.5, 0.5, 0})
 	reused.SetDrain(1, nil)
-	// Dirty the engine: run a workload, then leave both queued and staged
-	// events behind so Reset has batches with live entries to clear.
+	// Dirty the engine: run a workload, then leave slot-parked, queued and
+	// staged events behind so Reset has all three containers to clear. The
+	// late first event per partition fills the next-event slot, so the two
+	// earlier ones land on the heap where a drain can stage them.
 	runPartWorkload(reused, 999)
 	for i := 0; i < NumParts; i++ {
+		reused.AfterPart(Partition(i), 100, func() {})
 		reused.AfterPart(Partition(i), Time(i)+1, func() {})
 		reused.AfterPart(Partition(i), Time(i)+2, func() {})
 	}
@@ -224,5 +227,125 @@ func BenchmarkPartitionedEngineThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.AfterPart(Partition(i%NumParts), 1, func() {})
 		e.Step()
+	}
+}
+
+// runTieWorkload drives a workload whose timestamps are quantized to a
+// coarse grid, so same-timestamp runs — the batch-firing fast path — are
+// the common case rather than a measure-zero accident. Callbacks schedule
+// children at the CURRENT timestamp (joining the in-flight batch), cancel
+// pending siblings mid-batch, and reschedule siblings onto the current
+// timestamp from other partitions — every operation that could tempt the
+// batch-firing loop into skipping its merge obligations.
+func runTieWorkload(e *Engine, seed int64) (fired [][2]float64, end Time) {
+	rng := rand.New(rand.NewSource(seed))
+	const tick = 0.25
+	quant := func(x float64) Time { return Time(int(x/tick)) * tick }
+	id := 0
+	var pending []*Event
+	var schedule func(at Time, depth int)
+	schedule = func(at Time, depth int) {
+		myID := id
+		id++
+		part := Partition(rng.Intn(NumParts))
+		ev := e.SchedulePart(part, at, func() {
+			fired = append(fired, [2]float64{e.Now(), float64(myID)})
+			switch op := rng.Intn(6); {
+			case op == 0 && depth < 4:
+				// Half of these children land exactly on e.Now(): issued
+				// mid-batch with seq past the firing snapshot, they must
+				// still fire in (at, seq) order.
+				schedule(e.Now()+quant(rng.Float64()*0.5), depth+1)
+			case op == 1 && len(pending) > 0:
+				victim := pending[rng.Intn(len(pending))]
+				if victim.Pending() {
+					e.Cancel(victim)
+				}
+			case op == 2 && len(pending) > 0:
+				victim := pending[rng.Intn(len(pending))]
+				if victim.Pending() {
+					// Quantized retime, possibly onto the current batch's
+					// own timestamp.
+					e.Reschedule(victim, e.Now()+quant(rng.Float64()*2))
+				}
+			}
+		})
+		pending = append(pending, ev)
+	}
+	for i := 0; i < 80; i++ {
+		schedule(quant(rng.Float64()*8), 0)
+	}
+	return fired, e.Run()
+}
+
+// Property: with tie-heavy quantized timestamps spanning partition
+// boundaries, the sequential engine, the undrained partitioned engine and
+// drain-staged partitioned engines all fire the identical sequence. This
+// pins the batch-firing loop's correctness obligations: the seq-snapshot
+// cut-off, the lazy cross-partition minimum, and the e.moved fallback on
+// Cancel/Reschedule inside a batch.
+func TestTieBatchCancelRescheduleProperty(t *testing.T) {
+	f := func(seed int64, lookBits uint16) bool {
+		wantFired, wantEnd := runTieWorkload(New(), seed)
+		lookRng := rand.New(rand.NewSource(int64(lookBits)))
+		for _, threshold := range []int{0, 1, 4, 64} {
+			e := NewPartitioned()
+			var look [NumParts]Time
+			for p := range look {
+				look[p] = lookRng.Float64() * 2
+			}
+			e.SetLookahead(look)
+			e.SetDrain(threshold, nil)
+			gotFired, gotEnd := runTieWorkload(e, seed)
+			if !sameRun(gotFired, wantFired, gotEnd, wantEnd) {
+				t.Logf("threshold=%d look=%v diverged: got %d fired, want %d",
+					threshold, look, len(gotFired), len(wantFired))
+				return false
+			}
+			for p := 0; p < e.nparts; p++ {
+				pq := &e.parts[p]
+				if pq.live+pq.dead != len(pq.queue) {
+					t.Fatalf("partition %d counter invariant broken: live=%d dead=%d len=%d",
+						p, pq.live, pq.dead, len(pq.queue))
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A same-timestamp batch spanning a partition boundary, mutated while it
+// fires: the first event cancels a later same-timestamp event on its own
+// partition (forcing the batch loop's full-rescan fallback) and reschedules
+// an event from another partition onto the batch's timestamp (it must fire
+// within the batch, in fresh-seq order). The fired order is pinned exactly.
+func TestBatchBoundaryCancelReschedule(t *testing.T) {
+	e := NewPartitioned()
+	var got []int
+	var evB, evE *Event
+	e.SchedulePart(PartH2D, 1, func() {
+		got = append(got, 1)
+		e.Cancel(evB)          // same partition, same timestamp, still queued
+		e.Reschedule(evE, 1)   // other partition, late time -> batch timestamp
+	})
+	evB = e.SchedulePart(PartH2D, 1, func() { got = append(got, 2) })
+	e.SchedulePart(PartD2H, 1, func() { got = append(got, 3) })
+	e.SchedulePart(PartH2D, 1, func() { got = append(got, 4) })
+	evE = e.SchedulePart(PartCompute, 5, func() { got = append(got, 5) })
+	e.SchedulePart(PartCompute, 2, func() { got = append(got, 6) })
+	e.Run()
+	// Order: 1 fires, kills 2, retimes 5 to t=1 (fresh seq, after 3 and 4);
+	// then 3, 4 by issue order, then 5, then 6 at t=2.
+	want := []int{1, 3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
 	}
 }

@@ -13,22 +13,36 @@
 //     parallel-DES formulation. Partitions can be drained ahead of time into
 //     sorted per-partition batches — optionally by worker goroutines — and
 //     the next event to fire is always the global (at, seq) minimum over
-//     every partition's heap head and batch head, so the merged event order
-//     is identical to the sequential engine's by construction (see
-//     partition.go for the invariants).
+//     every partition's heap head, batch head and next-event slot, so the
+//     merged event order is identical to the sequential engine's by
+//     construction (see partition.go for the invariants).
 //
 // Events may be cancelled and rescheduled, which the fluid-flow transfer
 // model uses to re-plan completion times whenever link contention changes.
 //
-// The heap is hand-specialized rather than container/heap: the (at, seq)
-// comparison is inlined (no interface dispatch, no `any` boxing on
-// push/pop), and the 4-ary layout roughly halves the sift-down depth for
-// the queue sizes the campaign engine sustains. Since (at, seq) is a total
-// order, any correct heap pops the identical event sequence — the
-// specialization changes throughput only, never simulated results.
+// Three structural choices keep the per-event cost down, none of which can
+// change simulated results because (at, seq) is a total order:
+//
+//   - The heap is hand-specialized rather than container/heap, stores
+//     (at, seq, stamp, ev) entries by value — every sift comparison reads
+//     the entry, never chases the *Event — and is 4-ary, roughly halving
+//     the sift-down depth for the queue sizes the campaign sustains.
+//   - Each partition keeps a one-slot "next event" buffer: a schedule that
+//     finds the slot empty parks there without touching the heap at all.
+//     The dominant fire-then-schedule-successor pattern (cudart ops that
+//     complete and immediately schedule the next op) cycles through the
+//     slot, so steady-state chains pay no sift in either direction.
+//   - Cancel and Reschedule never perform heap surgery. Every heap and
+//     batch entry carries a stamp (a per-engine push counter) snapshotted
+//     from the event at insertion; cancelling or rescheduling an event
+//     invalidates the stamp in O(1), and stale entries are skipped when a
+//     pop or peek reaches them.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Time is a point on the virtual clock, in seconds since simulation start.
 type Time = float64
@@ -52,12 +66,22 @@ const (
 // NumParts is the number of event queues a partitioned engine maintains.
 const NumParts = int(PartCompute) + 1
 
-// Event.index sentinels: an event is on a partition heap (index >= 0),
-// staged in a drained batch (inBatch), or not queued at all (notQueued —
-// fired, cancelled, or recycled).
+// Event.where states: an event is on a partition heap (inHeap), staged in a
+// drained batch (inBatch), parked in its partition's next-event slot
+// (inSlot), or not queued at all (notQueued — fired, cancelled, or
+// recycled).
 const (
-	notQueued = -1
-	inBatch   = -3
+	notQueued int8 = iota
+	inHeap
+	inBatch
+	inSlot
+)
+
+// Where an event fires from, for the take/peek plumbing.
+const (
+	srcHeap int8 = iota
+	srcBatch
+	srcSlot
 )
 
 // Event is a scheduled callback. The zero value is not useful; events are
@@ -69,10 +93,17 @@ const (
 // must drop their references at that point (the link model clears its
 // completion-event pointer when a transfer finishes).
 type Event struct {
-	at       Time
-	seq      uint64
+	at  Time
+	seq uint64
+	// stamp identifies the event's live container entry: heap and batch
+	// entries snapshot it at insertion, and any entry whose snapshot no
+	// longer matches is stale (the event fired from elsewhere, was
+	// cancelled, was rescheduled, or the object was recycled). Stamps come
+	// from a per-engine monotonic push counter and are never reused, so a
+	// match is exact.
+	stamp    uint64
 	fn       func()
-	index    int // heap position, or the inBatch/notQueued sentinel
+	where    int8
 	part     int8
 	canceled bool
 }
@@ -82,38 +113,62 @@ func (ev *Event) At() Time { return ev.at }
 
 // Pending reports whether the event is still queued (not fired, not
 // cancelled). Staged events — drained into a partition batch but not yet
-// fired — are still pending: staging is a throughput detail invisible to
-// the hardware models.
-func (ev *Event) Pending() bool { return ev != nil && ev.index != notQueued && !ev.canceled }
+// fired — and slot-parked events are still pending: where an event waits is
+// a throughput detail invisible to the hardware models.
+func (ev *Event) Pending() bool { return ev != nil && ev.where != notQueued && !ev.canceled }
 
-// before is the total event order: earlier time first, then issue order.
-// Every queue — heap or batch, sequential or partitioned — agrees on it,
-// which is what makes the partitioned merge bitwise-identical to the
-// sequential engine.
-func before(a, b *Event) bool {
+// entBefore is the total event order on (at, seq) pairs: earlier time
+// first, then issue order. Every queue — heap, batch or slot, sequential or
+// partitioned — agrees on it, which is what makes the partitioned merge
+// bitwise-identical to the sequential engine.
+func entBefore(aAt Time, aSeq uint64, bAt Time, bSeq uint64) bool {
 	//lint:ignore floatorder exact tie-break on stored event times; both sides are loaded values, no rounding happens here
-	if a.at != b.at {
-		return a.at < b.at
+	if aAt != bAt {
+		return aAt < bAt
 	}
-	return a.seq < b.seq
+	return aSeq < bSeq
 }
 
-// batchEntry is one staged event in a partition's drained batch. The seq
-// snapshot detects stale entries: if the event was consumed and its object
-// recycled into a new event, the sequence numbers no longer match (seq is
-// never reused within a simulation) and the entry is dead.
+// before applies the total event order to two live events.
+func before(a, b *Event) bool { return entBefore(a.at, a.seq, b.at, b.seq) }
+
+// heapEnt is one heap element. Entries are values — at and seq are copied
+// from the event at push time — so sift comparisons never dereference the
+// event, and lazy deletion (see Event.stamp) leaves stale entries behind
+// instead of restructuring the heap.
+type heapEnt struct {
+	at    Time
+	seq   uint64
+	stamp uint64
+	ev    *Event
+}
+
+// live reports whether the entry is still the event's current residence.
+func (ent *heapEnt) live() bool { return ent.stamp == ent.ev.stamp }
+
+// batchEntry is one staged event in a partition's drained batch, with the
+// same stamp-snapshot staleness rule as heap entries.
 type batchEntry struct {
-	ev  *Event
-	seq uint64
+	ev    *Event
+	stamp uint64
 }
 
-// partQueue is one partition's pending set: a 4-ary min-heap plus a sorted
-// FIFO batch of events staged by a drain. The partition's earliest event is
-// the smaller of the heap head and the first live batch entry.
+// partQueue is one partition's pending set: a 4-ary min-heap, a sorted FIFO
+// batch of events staged by a drain, and a one-slot next-event buffer. The
+// partition's earliest event is the (at, seq) minimum of the pruned heap
+// head, the first live batch entry, and the slot.
 type partQueue struct {
-	queue []*Event     // 4-ary min-heap ordered by before()
+	queue []heapEnt    // 4-ary min-heap ordered by (at, seq); may hold stale entries
 	batch []batchEntry // drained events in (at, seq) order
 	head  int          // index of the first unconsumed batch entry
+	next  *Event       // next-event slot: filled by Schedule when empty
+	live  int          // live (non-stale) heap entries
+	// dead counts stale heap entries (live + dead == len(queue)). It lets
+	// the pop path skip the per-entry staleness dereference entirely
+	// between invalidations: most campaign windows cancel nothing, and
+	// loading ent.ev.stamp for every pop would be the one cache miss the
+	// value-typed heap was built to avoid.
+	dead int
 }
 
 // Engine is a discrete-event simulator instance. It is not safe for
@@ -125,6 +180,14 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	stepped uint64
+	// stamps is the container push counter behind Event.stamp. It survives
+	// Reset — stamps must never repeat while any stale entry could still
+	// reference an event object, and monotonicity is the cheapest proof.
+	stamps uint64
+	// moved is set by Reschedule so Run's same-timestamp batch loop falls
+	// back to a full peek: a reschedule can move an already-issued event
+	// below the loop's cross-partition snapshot.
+	moved bool
 	// free recycles fired and cancelled events so steady-state scheduling
 	// allocates no *Event per call (the per-simulation constant the
 	// campaign engine's hot path pays millions of times).
@@ -150,7 +213,7 @@ const initialHeapCap = 256
 // the bitwise reference every partitioned configuration is pinned to.
 func New() *Engine {
 	e := &Engine{nparts: 1}
-	e.parts[0].queue = make([]*Event, 0, initialHeapCap)
+	e.parts[0].queue = make([]heapEnt, 0, initialHeapCap)
 	return e
 }
 
@@ -161,7 +224,7 @@ func New() *Engine {
 func NewPartitioned() *Engine {
 	e := &Engine{nparts: NumParts}
 	for p := 0; p < NumParts; p++ {
-		e.parts[p].queue = make([]*Event, 0, initialHeapCap/NumParts)
+		e.parts[p].queue = make([]heapEnt, 0, initialHeapCap/NumParts)
 	}
 	return e
 }
@@ -173,34 +236,48 @@ func (e *Engine) Partitioned() bool { return e.nparts > 1 }
 // queues, zeroed counters — while keeping the event free list, the heap and
 // batch backing arrays, and the partition/lookahead/drain configuration, so
 // a reused engine runs its next simulation without re-paying the warm-up
-// allocations. Events still pending (queued or staged) are cancelled and
-// recycled; as with fired events, callers must drop their references.
+// allocations. Events still pending (queued, staged or slot-parked) are
+// cancelled and recycled; as with fired events, callers must drop their
+// references. Stale heap and batch entries are dropped without touching
+// their (already recycled) events.
 func (e *Engine) Reset() {
 	for p := 0; p < e.nparts; p++ {
 		pq := &e.parts[p]
-		for i, ev := range pq.queue {
-			pq.queue[i] = nil
-			ev.index = notQueued
-			ev.canceled = true
-			ev.fn = nil
-			e.free = append(e.free, ev)
+		for i := range pq.queue {
+			if ent := &pq.queue[i]; ent.live() {
+				e.retire(ent.ev)
+			}
 		}
+		clear(pq.queue)
 		pq.queue = pq.queue[:0]
+		pq.live = 0
+		pq.dead = 0
 		// Entries before head are always dead; later entries are live
-		// exactly when the index/seq snapshot still matches.
+		// exactly when the stamp snapshot still matches.
 		for _, ent := range pq.batch[pq.head:] {
-			if ent.ev.index == inBatch && ent.ev.seq == ent.seq {
-				ent.ev.index = notQueued
-				ent.ev.canceled = true
-				ent.ev.fn = nil
-				e.free = append(e.free, ent.ev)
+			if ent.ev.stamp == ent.stamp {
+				e.retire(ent.ev)
 			}
 		}
 		pq.batch = pq.batch[:0]
 		pq.head = 0
+		if sl := pq.next; sl != nil {
+			pq.next = nil
+			e.retire(sl)
+		}
 	}
 	e.staged = 0
 	e.now, e.seq, e.stepped = 0, 0, 0
+}
+
+// retire cancels a still-pending event during Reset and parks it on the
+// free list.
+func (e *Engine) retire(ev *Event) {
+	ev.where = notQueued
+	ev.canceled = true
+	ev.stamp = 0
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // alloc returns a reset Event from the free list, or a fresh one.
@@ -209,10 +286,10 @@ func (e *Engine) alloc(at Time, fn func()) *Event {
 		ev := e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.fn, ev.index, ev.canceled = at, e.seq, fn, notQueued, false
+		ev.at, ev.seq, ev.stamp, ev.fn, ev.where, ev.canceled = at, e.seq, 0, fn, notQueued, false
 		return ev
 	}
-	return &Event{at: at, seq: e.seq, fn: fn, index: notQueued}
+	return &Event{at: at, seq: e.seq, fn: fn, where: notQueued}
 }
 
 // recycle parks a no-longer-pending event on the free list, dropping its
@@ -222,76 +299,76 @@ func (e *Engine) recycle(ev *Event) {
 	e.free = append(e.free, ev)
 }
 
-// push appends ev to the heap and restores the heap order.
-func (pq *partQueue) push(ev *Event) {
-	ev.index = len(pq.queue)
-	pq.queue = append(pq.queue, ev)
-	pq.siftUp(ev.index)
+// enqueue stamps ev and pushes it onto pq's heap. The fresh stamp makes any
+// previous heap or batch entry for ev stale.
+func (e *Engine) enqueue(pq *partQueue, ev *Event) {
+	e.stamps++
+	ev.stamp = e.stamps
+	ev.where = inHeap
+	pq.push(ev)
 }
 
-// popMin removes and returns the earliest heap event.
-func (pq *partQueue) popMin() *Event {
+// push appends a heap entry for ev (already stamped) and restores the heap
+// order.
+func (pq *partQueue) push(ev *Event) {
+	pq.queue = append(pq.queue, heapEnt{at: ev.at, seq: ev.seq, stamp: ev.stamp, ev: ev})
+	pq.siftUp(len(pq.queue) - 1)
+	pq.live++
+}
+
+// popMin removes and returns the heap's root entry. Callers prune stale
+// roots first when they need a live event.
+func (pq *partQueue) popMin() heapEnt {
 	q := pq.queue
 	root := q[0]
-	root.index = notQueued
 	n := len(q) - 1
 	last := q[n]
-	q[n] = nil
+	q[n] = heapEnt{}
 	pq.queue = q[:n]
 	if n > 0 {
 		q[0] = last
-		last.index = 0
 		pq.siftDown(0)
 	}
 	return root
 }
 
-// remove deletes the event at heap position i.
-func (pq *partQueue) remove(i int) {
-	q := pq.queue
-	q[i].index = notQueued
-	n := len(q) - 1
-	last := q[n]
-	q[n] = nil
-	pq.queue = q[:n]
-	if i < n {
-		q[i] = last
-		last.index = i
-		pq.siftDown(i)
-		pq.siftUp(q[i].index)
+// pruneHead pops stale entries off the heap root so the head, if any, is
+// live. This is the "staleness check at pop": lazy deletion settles its
+// debt here, one sift-down per stale entry, instead of O(log n) surgery at
+// every Cancel/Reschedule. With no stale entries outstanding (dead == 0)
+// it returns without touching any event.
+func (pq *partQueue) pruneHead() {
+	if pq.dead == 0 {
+		return
+	}
+	for len(pq.queue) > 0 && !pq.queue[0].live() {
+		pq.popMin()
+		pq.dead--
 	}
 }
 
-// fix restores the heap order after the event at position i changed time.
-func (pq *partQueue) fix(i int) {
-	pq.siftDown(i)
-	pq.siftUp(pq.queue[i].index)
-}
-
-// siftUp moves the event at position i toward the root until its parent is
+// siftUp moves the entry at position i toward the root until its parent is
 // not after it.
 func (pq *partQueue) siftUp(i int) {
 	q := pq.queue
-	ev := q[i]
+	ent := q[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !before(ev, q[p]) {
+		if !entBefore(ent.at, ent.seq, q[p].at, q[p].seq) {
 			break
 		}
 		q[i] = q[p]
-		q[i].index = i
 		i = p
 	}
-	q[i] = ev
-	ev.index = i
+	q[i] = ent
 }
 
-// siftDown moves the event at position i toward the leaves, swapping with
+// siftDown moves the entry at position i toward the leaves, swapping with
 // its earliest child while that child precedes it.
 func (pq *partQueue) siftDown(i int) {
 	q := pq.queue
 	n := len(q)
-	ev := q[i]
+	ent := q[i]
 	for {
 		c := i<<2 + 1
 		if c >= n {
@@ -303,29 +380,27 @@ func (pq *partQueue) siftDown(i int) {
 		}
 		m := c
 		for j := c + 1; j < end; j++ {
-			if before(q[j], q[m]) {
+			if entBefore(q[j].at, q[j].seq, q[m].at, q[m].seq) {
 				m = j
 			}
 		}
-		if !before(q[m], ev) {
+		if !entBefore(q[m].at, q[m].seq, ent.at, ent.seq) {
 			break
 		}
 		q[i] = q[m]
-		q[i].index = i
 		i = m
 	}
-	q[i] = ev
-	ev.index = i
+	q[i] = ent
 }
 
 // liveBatchHead returns the partition's first still-live staged event, or
 // nil. Dead entries (consumed, cancelled, rescheduled, or recycled — the
-// index/seq snapshot no longer matches) are skipped permanently, and a
-// fully consumed batch resets so its backing array is reused.
+// stamp snapshot no longer matches) are skipped permanently, and a fully
+// consumed batch resets so its backing array is reused.
 func (pq *partQueue) liveBatchHead() *Event {
 	for pq.head < len(pq.batch) {
 		ent := pq.batch[pq.head]
-		if ent.ev.index == inBatch && ent.ev.seq == ent.seq {
+		if ent.ev.stamp == ent.stamp {
 			return ent.ev
 		}
 		pq.head++
@@ -337,6 +412,25 @@ func (pq *partQueue) liveBatchHead() *Event {
 	return nil
 }
 
+// peekLocal returns the partition's earliest pending event and which
+// container holds it: the (at, seq) minimum of the pruned heap head, the
+// first live batch entry, and the next-event slot.
+func (pq *partQueue) peekLocal() (*Event, int8) {
+	pq.pruneHead()
+	var best *Event
+	src := srcHeap
+	if len(pq.queue) > 0 {
+		best = pq.queue[0].ev
+	}
+	if bev := pq.liveBatchHead(); bev != nil && (best == nil || before(bev, best)) {
+		best, src = bev, srcBatch
+	}
+	if sl := pq.next; sl != nil && (best == nil || before(sl, best)) {
+		best, src = sl, srcSlot
+	}
+	return best, src
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
@@ -344,11 +438,16 @@ func (e *Engine) Now() Time { return e.now }
 // performance reporting).
 func (e *Engine) Processed() uint64 { return e.stepped }
 
-// Pending returns the number of events currently queued or staged.
+// Pending returns the number of events currently queued, staged or
+// slot-parked.
 func (e *Engine) Pending() int {
 	n := e.staged
 	for p := 0; p < e.nparts; p++ {
-		n += len(e.parts[p].queue)
+		pq := &e.parts[p]
+		n += pq.live
+		if pq.next != nil {
+			n++
+		}
 	}
 	return n
 }
@@ -363,6 +462,10 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 // SchedulePart queues fn to run at virtual time at on partition p. The
 // sequential reference engine keeps one queue and ignores p; results are
 // identical either way. Scheduling in the past panics.
+//
+// The monotonic fast path lives here: when the partition's next-event slot
+// is empty the event parks there in O(1), so the dominant
+// fire-then-schedule-successor chains never touch the heap.
 //
 //cocolint:hotpath
 func (e *Engine) SchedulePart(p Partition, at Time, fn func()) *Event {
@@ -379,7 +482,13 @@ func (e *Engine) SchedulePart(p Partition, at Time, fn func()) *Event {
 		ev.part = 0
 	}
 	e.seq++
-	e.parts[ev.part].push(ev)
+	pq := &e.parts[ev.part]
+	if pq.next == nil {
+		pq.next = ev
+		ev.where = inSlot
+		return ev
+	}
+	e.enqueue(pq, ev)
 	return ev
 }
 
@@ -395,93 +504,122 @@ func (e *Engine) AfterPart(p Partition, d Time, fn func()) *Event {
 	return e.SchedulePart(p, e.now+d, fn)
 }
 
-// Cancel removes a pending event — queued or staged — from the engine.
-// Cancelling a fired or already-cancelled event is a no-op.
+// Cancel removes a pending event — queued, staged or slot-parked — from the
+// engine in O(1). A heap or batch resident just has its entry invalidated
+// (the stamp stops matching); the entry itself is dropped when a pop or
+// peek reaches it. Cancelling a fired or already-cancelled event is a
+// no-op.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index == notQueued || ev.canceled {
+	if ev == nil || ev.where == notQueued || ev.canceled {
 		return
 	}
 	ev.canceled = true
-	if ev.index == inBatch {
-		// The batch entry goes stale (its index snapshot no longer
-		// matches) and is skipped when the scan reaches it.
+	e.moved = true
+	switch ev.where {
+	case inSlot:
+		e.parts[ev.part].next = nil
+	case inBatch:
 		e.staged--
-		ev.index = notQueued
-		e.recycle(ev)
-		return
+	default: // inHeap
+		e.parts[ev.part].live--
+		e.parts[ev.part].dead++
 	}
-	e.parts[ev.part].remove(ev.index)
+	ev.where = notQueued
+	ev.stamp = 0
 	e.recycle(ev)
 }
 
 // Reschedule moves a pending event to a new time, keeping its callback and
-// issue order. A staged event migrates back to its partition heap (the
-// batch entry goes stale), so moving an event in either direction is safe.
-// Rescheduling a fired or cancelled event panics, as does a time in the
-// past.
+// issue order. A slot-parked event is retimed in place; a heap or batch
+// resident is re-pushed under a fresh stamp, leaving its old entry stale —
+// no heap surgery in either direction. Rescheduling a fired or cancelled
+// event panics, as does a time in the past.
 func (e *Engine) Reschedule(ev *Event, at Time) {
-	if ev == nil || ev.index == notQueued || ev.canceled {
+	if ev == nil || ev.where == notQueued || ev.canceled {
 		panic("sim: reschedule of non-pending event")
 	}
 	if at < e.now {
 		panic(fmt.Sprintf("sim: reschedule at %.12g before now %.12g", at, e.now))
 	}
 	ev.at = at
-	if ev.index == inBatch {
-		e.staged--
-		e.parts[ev.part].push(ev)
+	e.moved = true
+	switch ev.where {
+	case inSlot:
 		return
+	case inBatch:
+		e.staged--
+	default: // inHeap
+		e.parts[ev.part].live--
+		e.parts[ev.part].dead++
 	}
-	e.parts[ev.part].fix(ev.index)
+	e.enqueue(&e.parts[ev.part], ev)
 }
 
 // peekLoc locates the next event to fire: the global (at, seq) minimum over
-// every partition's heap head and first live batch entry. This scan is the
+// every partition's heap head, batch head and slot. This scan is the
 // deterministic merge point of the partitioned engine — whatever a drain
-// staged, the minimum is always taken over the complete pending set, so the
-// fired sequence equals the sequential engine's.
-func (e *Engine) peekLoc() (best *Event, bestPQ *partQueue, fromBatch bool) {
+// staged or a schedule slot-parked, the minimum is always taken over the
+// complete pending set, so the fired sequence equals the sequential
+// engine's.
+func (e *Engine) peekLoc() (best *Event, bestPQ *partQueue, bestSrc int8) {
 	if e.nparts == 1 {
 		pq := &e.parts[0]
-		if len(pq.queue) == 0 {
-			return nil, nil, false
+		ev, src := pq.peekLocal()
+		if ev == nil {
+			return nil, nil, srcHeap
 		}
-		return pq.queue[0], pq, false
+		return ev, pq, src
 	}
 	for p := 0; p < e.nparts; p++ {
 		pq := &e.parts[p]
-		if bev := pq.liveBatchHead(); bev != nil && (best == nil || before(bev, best)) {
-			best, bestPQ, fromBatch = bev, pq, true
-		}
-		if len(pq.queue) > 0 {
-			if hev := pq.queue[0]; best == nil || before(hev, best) {
-				best, bestPQ, fromBatch = hev, pq, false
-			}
+		if ev, src := pq.peekLocal(); ev != nil && (best == nil || before(ev, best)) {
+			best, bestPQ, bestSrc = ev, pq, src
 		}
 	}
-	return best, bestPQ, fromBatch
+	return best, bestPQ, bestSrc
 }
 
-// Step fires the earliest pending event, advancing the clock to its
-// timestamp. It returns false when no events remain.
-//
-//cocolint:hotpath
-func (e *Engine) Step() bool {
-	ev, pq, fromBatch := e.peekLoc()
-	if ev == nil {
-		return false
+// minOther returns the (at, seq) minimum over every partition except skip,
+// or (+Inf, 0) when the rest of the engine is empty.
+func (e *Engine) minOther(skip *partQueue) (Time, uint64) {
+	at := math.Inf(1)
+	seq := uint64(0)
+	for p := 0; p < e.nparts; p++ {
+		pq := &e.parts[p]
+		if pq == skip {
+			continue
+		}
+		if ev, _ := pq.peekLocal(); ev != nil && entBefore(ev.at, ev.seq, at, seq) {
+			at, seq = ev.at, ev.seq
+		}
 	}
-	if fromBatch {
+	return at, seq
+}
+
+// take removes ev — located by a peek — from its container and marks it no
+// longer pending.
+func (e *Engine) take(pq *partQueue, ev *Event, src int8) {
+	switch src {
+	case srcSlot:
+		pq.next = nil
+	case srcBatch:
 		pq.head++
 		e.staged--
-		ev.index = notQueued
 		if pq.head == len(pq.batch) {
 			pq.batch = pq.batch[:0]
 			pq.head = 0
 		}
-	} else {
+	default: // srcHeap: ev is the pruned heap root
 		pq.popMin()
+		pq.live--
 	}
+	ev.where = notQueued
+}
+
+// fire advances the clock to ev, runs its callback, and recycles it.
+//
+//cocolint:hotpath
+func (e *Engine) fire(ev *Event) {
 	e.now = ev.at
 	e.stepped++
 	//lint:ignore hotpath the event callback IS the simulation; each model's callback is proved free at its own hot root
@@ -490,6 +628,19 @@ func (e *Engine) Step() bool {
 	// the firing event (it is no longer pending), and recycling earlier
 	// would let a Schedule inside the callback reuse it mid-flight.
 	e.recycle(ev)
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It returns false when no events remain.
+//
+//cocolint:hotpath
+func (e *Engine) Step() bool {
+	ev, pq, src := e.peekLoc()
+	if ev == nil {
+		return false
+	}
+	e.take(pq, ev, src)
+	e.fire(ev)
 	return true
 }
 
@@ -497,19 +648,90 @@ func (e *Engine) Step() bool {
 // On a partitioned engine with draining enabled it periodically stages
 // upcoming events into per-partition batches (see SetDrain).
 //
+// On partitioned engines Run batch-fires same-timestamp runs: after firing
+// an event at time t from partition p, it keeps popping p's successors that
+// also fire at t without re-scanning the other partitions, as long as the
+// cross-partition minimum snapshot proves they are next. Only events issued
+// before the run started qualify (seq below the run's snapshot) and any
+// Cancel/Reschedule falls back to a full peek, so the fired sequence is
+// provably the global (at, seq) order — identical to Step-ing one event at
+// a time.
+//
 //cocolint:hotpath
 func (e *Engine) Run() Time {
-	if e.drainAt > 0 && e.nparts > 1 {
-		for {
+	if e.nparts == 1 {
+		e.runFlat()
+		return e.now
+	}
+	doDrain := e.drainAt > 0
+	for {
+		if doDrain {
 			e.maybeDrain()
-			if !e.Step() {
-				return e.now
+		}
+		ev, pq, src := e.peekLoc()
+		if ev == nil {
+			return e.now
+		}
+		t := ev.at
+		limit := e.seq // events scheduled from here on have seq >= limit
+		e.moved = false
+		e.take(pq, ev, src)
+		e.fire(ev)
+		haveOther := false
+		var oAt Time
+		var oSeq uint64
+		for !e.moved {
+			nxt, nsrc := pq.peekLocal()
+			//lint:ignore floatorder exact same-timestamp run detection on stored event times
+			if nxt == nil || nxt.at != t || nxt.seq >= limit {
+				break
 			}
+			if !haveOther {
+				// Lazily snapshot the rest of the engine: events scheduled
+				// after this point carry seq >= limit, so they can never
+				// precede a qualifying nxt and the snapshot stays valid for
+				// the whole run (Reschedule is the one exception, handled
+				// by e.moved above).
+				oAt, oSeq = e.minOther(pq)
+				haveOther = true
+			}
+			if !entBefore(t, nxt.seq, oAt, oSeq) {
+				break
+			}
+			e.take(pq, nxt, nsrc)
+			e.fire(nxt)
 		}
 	}
-	for e.Step() {
+}
+
+// runFlat is Run for the sequential reference engine: a tight loop over the
+// single partition's slot and heap (batches exist only under partitioned
+// draining).
+//
+//cocolint:hotpath
+func (e *Engine) runFlat() {
+	pq := &e.parts[0]
+	for {
+		pq.pruneHead()
+		sl := pq.next
+		if len(pq.queue) > 0 {
+			h := &pq.queue[0]
+			if sl == nil || entBefore(h.at, h.seq, sl.at, sl.seq) {
+				ev := h.ev
+				pq.popMin()
+				pq.live--
+				ev.where = notQueued
+				e.fire(ev)
+				continue
+			}
+		}
+		if sl == nil {
+			return
+		}
+		pq.next = nil
+		sl.where = notQueued
+		e.fire(sl)
 	}
-	return e.now
 }
 
 // RunUntil fires events with timestamps <= deadline (advancing the clock to
@@ -517,11 +739,12 @@ func (e *Engine) Run() Time {
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	fired := uint64(0)
 	for {
-		ev, _, _ := e.peekLoc()
+		ev, pq, src := e.peekLoc()
 		if ev == nil || ev.at > deadline {
 			break
 		}
-		e.Step()
+		e.take(pq, ev, src)
+		e.fire(ev)
 		fired++
 	}
 	if e.now < deadline {
