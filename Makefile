@@ -1,8 +1,8 @@
 GO ?= go
 
 .PHONY: build test vet lint lint-json race verify bench bench-blas \
-	bench-blas-smoke bench-campaign bench-campaign-check \
-	bench-campaign-smoke plan-golden-smoke profile results
+	bench-blas-check bench-blas-smoke bench-campaign bench-campaign-check \
+	bench-campaign-smoke cross-arm64 plan-golden-smoke profile results
 
 build:
 	$(GO) build ./...
@@ -34,8 +34,10 @@ race:
 
 # verify is the pre-commit gate: compile, vet, the invariant analyzers,
 # the race-enabled suite, the build-only benchmark smoke, a sub-second
-# run of the campaign-throughput mode and the golden tile-plan check.
-verify: build vet lint race bench-blas-smoke bench-campaign-smoke plan-golden-smoke
+# run of the campaign-throughput mode, the golden tile-plan check, and
+# the arm64 cross-compile (the NEON kernels have no native CI runner, so
+# assemble+vet is their regression gate).
+verify: build vet lint race bench-blas-smoke bench-campaign-smoke plan-golden-smoke cross-arm64
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
@@ -44,6 +46,15 @@ bench:
 # serial and pooled) and writes GFLOP/s per (routine, size) as JSON.
 bench-blas:
 	$(GO) run ./cmd/cocobench -out results/bench-blas.json
+
+# bench-blas-check re-measures the kernel sweep at the fast sizes and
+# fails if any (routine, size) row drops below 85% of the committed
+# baseline GFLOP/s. Run after touching internal/blas kernels, packing or
+# dispatch; refresh the baseline with bench-blas when a slowdown is
+# intentional. The 2048 rows are skipped: the naive oracle at that size
+# dominates a check run's wall time without adding kernel coverage.
+bench-blas-check:
+	$(GO) run ./cmd/cocobench -sizes 256,512,1024 -check results/bench-blas.json
 
 # bench-blas-smoke is the verify-time gate for the benchmark tool: it
 # must keep compiling, but verify should not spend minutes measuring.
@@ -70,6 +81,13 @@ bench-campaign-check:
 # under a second without keeping an output file.
 bench-campaign-smoke:
 	$(GO) run ./cmd/cocobench -campaign -smoke -out /dev/null
+
+# cross-arm64 cross-compiles and vets the whole module for linux/arm64,
+# gating the NEON micro-kernels (gemm_arm64.s) and their build-tagged
+# registration on hosts without arm64 hardware or emulation.
+cross-arm64:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	GOOS=linux GOARCH=arm64 $(GO) vet ./...
 
 # plan-golden-smoke pins the tile-operation IR: the golden plan dumps in
 # internal/plan must stay byte-identical, since every scheduler entry point

@@ -41,9 +41,14 @@ import (
 	"cocopelia/internal/parallel"
 )
 
-// entry is one benchmark measurement in the output JSON.
+// entry is one benchmark measurement in the output JSON. Kernel names the
+// micro-kernel variant that actually ran (naive, generic, avx, fma-avx2,
+// neon — see internal/blas/registry.go), so a committed baseline records
+// which numerics produced its numbers.
 type entry struct {
 	Routine string  `json:"routine"`
+	Dtype   string  `json:"dtype"`
+	Kernel  string  `json:"kernel"`
 	Size    int     `json:"size"`
 	Workers int     `json:"workers"`
 	Reps    int     `json:"reps"`
@@ -66,7 +71,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "tiny work-list, for CI sanity")
 	campaign := flag.Bool("campaign", false, "benchmark the DES campaign pipeline (cells/sec) instead of the BLAS payload engine")
 	passes := flag.Int("passes", 3, "campaign passes per measured row (fresh runner each, fastest pass kept)")
-	check := flag.String("check", "", "compare the campaign reference row against this committed baseline JSON and fail on regression")
+	check := flag.String("check", "", "compare against this committed baseline JSON and fail on regression (campaign reference row, or BLAS GFLOP/s per routine and size)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured section to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this path")
 	flag.Parse()
@@ -117,8 +122,33 @@ func main() {
 		sizes = []int{128}
 	}
 
+	if err := runBlas(*out, sizes, *reps, *check); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runBlas measures the dtype x kernel-variant sweep of the payload engine
+// and either writes the report or, with checkPath set, gates it against a
+// committed baseline instead.
+func runBlas(out string, sizes []int, reps int, checkPath string) error {
 	workers := runtime.GOMAXPROCS(0)
 	pool := parallel.NewPool(workers)
+	exact64, err := blas.SelectedKernel[float64](blas.KernelExact)
+	if err != nil {
+		return err
+	}
+	fma64, err := blas.SelectedKernel[float64](blas.KernelFMA)
+	if err != nil {
+		return err
+	}
+	exact32, err := blas.SelectedKernel[float32](blas.KernelExact)
+	if err != nil {
+		return err
+	}
+	fma32, err := blas.SelectedKernel[float32](blas.KernelFMA)
+	if err != nil {
+		return err
+	}
 	rep := report{Arch: runtime.GOARCH, Maxproc: workers}
 	for _, n := range sizes {
 		rng := rand.New(rand.NewSource(7))
@@ -130,44 +160,86 @@ func main() {
 
 		runs := []struct {
 			routine string
+			dtype   string
+			kernel  string
 			workers int
 			call    func() error
 		}{
-			{"dgemm-naive", 1, func() error {
+			{"dgemm-naive", "f64", "naive", 1, func() error {
 				return blas.GemmNaive(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
 			}},
-			{"dgemm", 1, func() error {
+			{"dgemm", "f64", exact64, 1, func() error {
 				return blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
 			}},
-			{"dgemm-parallel", workers, func() error {
+			{"dgemm-fma", "f64", fma64, 1, func() error {
+				return blas.GemmPolicy(blas.KernelFMA, blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+			}},
+			{"dgemm-parallel", "f64", exact64, workers, func() error {
 				return blas.GemmParallel(pool, blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
 			}},
-			{"sgemm", 1, func() error {
+			{"sgemm", "f32", exact32, 1, func() error {
 				return blas.Sgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a32, n, b32, n, 0, c32, n)
+			}},
+			{"sgemm-fma", "f32", fma32, 1, func() error {
+				return blas.GemmPolicy(blas.KernelFMA, blas.NoTrans, blas.NoTrans, n, n, n, 1, a32, n, b32, n, 0, c32, n)
 			}},
 		}
 		for _, r := range runs {
-			e, err := measure(r.routine, n, r.workers, *reps, r.call)
+			e, err := measure(r.routine, n, r.workers, reps, r.call)
 			if err != nil {
-				log.Fatalf("%s n=%d: %v", r.routine, n, err)
+				return fmt.Errorf("%s n=%d: %w", r.routine, n, err)
 			}
-			log.Printf("%-14s n=%-5d workers=%-2d %8.1f ms  %7.2f GFLOP/s",
-				e.Routine, e.Size, e.Workers, e.Seconds*1e3, e.Gflops)
+			e.Dtype, e.Kernel = r.dtype, r.kernel
+			log.Printf("%-14s n=%-5d kernel=%-9s workers=%-2d %8.1f ms  %7.2f GFLOP/s",
+				e.Routine, e.Size, e.Kernel, e.Workers, e.Seconds*1e3, e.Gflops)
 			rep.Entries = append(rep.Entries, e)
 		}
 	}
 
-	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
-		log.Fatal(err)
+	if checkPath != "" {
+		return checkBlas(checkPath, &rep)
 	}
-	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err := writeJSON(out, &rep); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d entries)", out, len(rep.Entries))
+	return nil
+}
+
+// checkBlas gates a fresh BLAS sweep against the committed baseline: every
+// measured (routine, size) present in both reports must reach at least 85%
+// of the baseline GFLOP/s. Rows only one side measured (a new variant, or
+// a size the check run skipped) pass vacuously.
+func checkBlas(path string, rep *report) error {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		log.Fatal(err)
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
-	log.Printf("wrote %s (%d entries)", *out, len(rep.Entries))
+	baseOf := make(map[string]entry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseOf[fmt.Sprintf("%s/%d", e.Routine, e.Size)] = e
+	}
+	checked := 0
+	for _, e := range rep.Entries {
+		b, ok := baseOf[fmt.Sprintf("%s/%d", e.Routine, e.Size)]
+		if !ok {
+			continue
+		}
+		checked++
+		if floor := 0.85 * b.Gflops; e.Gflops < floor {
+			return fmt.Errorf("%s n=%d regressed: %.2f GFLOP/s < %.2f (85%% of baseline %.2f, kernel %s vs %s)",
+				e.Routine, e.Size, e.Gflops, floor, b.Gflops, e.Kernel, b.Kernel)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("baseline %s shares no (routine, size) rows with this run", path)
+	}
+	log.Printf("blas check OK: %d rows within 85%% of baseline %s", checked, path)
+	return nil
 }
 
 // campaignPhases splits a row's wall time by pipeline phase: plan builds

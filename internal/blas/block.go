@@ -11,11 +11,18 @@ import "sync"
 // accumulation schedule a pure function of (m, n, k), never of the worker
 // count or the machine.
 const (
-	// gemmMR x gemmNR is the register micro-tile: the micro-kernel keeps an
-	// MRxNR block of C in registers while streaming one packed A
-	// micro-panel against one packed B micro-panel.
+	// gemmMR x gemmNR is the register micro-tile of the portable exact
+	// kernel: the micro-kernel keeps an MRxNR block of C in registers
+	// while streaming one packed A micro-panel against one packed B
+	// micro-panel. Native kernel variants may register wider tiles
+	// (registry.go); the packing layer follows the selected tile.
 	gemmMR = 4
 	gemmNR = 4
+	// maxMR/maxNR bound any registered kernel tile: they size the tail
+	// kernel's stack accumulator, and registration rejects tiles past
+	// them (or tiles that do not divide gemmMC/gemmNC).
+	maxMR = 16
+	maxNR = 4
 	// gemmKC is the k-extent of a packed panel pair: one B micro-panel
 	// (gemmKC x gemmNR values) stays resident in L1 while a whole A block
 	// streams against it.

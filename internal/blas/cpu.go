@@ -1,0 +1,97 @@
+package blas
+
+// CPU feature handling and the kernel env override. Architecture probes
+// live in cpu_GOARCH files (cpuid/xgetbv on amd64; arm64 needs none —
+// NEON is baseline); this file owns the one policy decision they feed:
+// which registered kernel variant a (dtype, policy) pair resolves to,
+// and how COCOPELIA_BLAS_KERNEL overrides that resolution.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// KernelEnv is the environment variable that pins the micro-kernel
+// variant process-wide, so tests and benchmarks can select a kernel
+// deterministically regardless of what policy callers pass:
+//
+//	exact    pin the best bitwise-oracle kernel (native when available)
+//	fma      pin the fused kernels; error if this host has none
+//	neon     pin the arm64 NEON kernels; error off arm64
+//	generic  pin the portable Go 4x4 kernel (no assembly at all)
+//
+// Unset or empty means no pin: callers get the kernel their policy asks
+// for. Any other value is rejected with an error from the first call.
+const KernelEnv = "COCOPELIA_BLAS_KERNEL"
+
+// resolveKernels computes the process-wide kernel table once, from the
+// registered native kernels and the KernelEnv override.
+func resolveKernels() {
+	kernelTab, kernelErr = resolveFromEnv(os.Getenv(KernelEnv))
+}
+
+// resolveFromEnv is the pure resolution function (tested directly): it
+// maps an override value to the four (dtype, policy) kernel slots.
+func resolveFromEnv(val string) ([numKernelSlots]kernelSel, error) {
+	var tab [numKernelSlots]kernelSel
+	g := genericSel()
+	tab[slotF64Exact] = firstKernel(registered64, KernelExact, g)
+	tab[slotF32Exact] = firstKernel(registered32, KernelExact, g)
+	// A missing fused kernel falls back to the exact resolution, so the
+	// KernelFMA policy is portable: opt-in callers run fused where the
+	// host has it and bitwise-exact elsewhere.
+	tab[slotF64FMA] = firstKernel(registered64, KernelFMA, tab[slotF64Exact])
+	tab[slotF32FMA] = firstKernel(registered32, KernelFMA, tab[slotF32Exact])
+
+	switch val {
+	case "":
+		// No pin: policy-selected resolution stands.
+	case "exact":
+		tab[slotF64FMA] = tab[slotF64Exact]
+		tab[slotF32FMA] = tab[slotF32Exact]
+	case "generic":
+		for i := range tab {
+			tab[i] = g
+		}
+	case "fma":
+		// A pin must not silently fall back: error when either dtype has
+		// no fused kernel on this host.
+		if tab[slotF64FMA].policy != KernelFMA || tab[slotF32FMA].policy != KernelFMA {
+			return tab, fmt.Errorf("blas: %s=fma: no fused micro-kernel available on this CPU (%s)", KernelEnv, runtime.GOARCH)
+		}
+		tab[slotF64Exact] = tab[slotF64FMA]
+		tab[slotF32Exact] = tab[slotF32FMA]
+	case "neon":
+		n64, ok64 := kernelNamed(registered64, "neon")
+		n32, ok32 := kernelNamed(registered32, "neon")
+		if !ok64 || !ok32 {
+			return tab, fmt.Errorf("blas: %s=neon: NEON kernels exist only on arm64 (GOARCH=%s)", KernelEnv, runtime.GOARCH)
+		}
+		tab = [numKernelSlots]kernelSel{n64, n64, n32, n32}
+	default:
+		return tab, fmt.Errorf("blas: unknown %s value %q (valid: exact, fma, neon, generic)", KernelEnv, val)
+	}
+	return tab, nil
+}
+
+// firstKernel returns the first registered kernel with the given policy,
+// or the fallback.
+func firstKernel(reg []kernelSel, policy KernelPolicy, fallback kernelSel) kernelSel {
+	for _, k := range reg {
+		if k.policy == policy {
+			return k
+		}
+	}
+	return fallback
+}
+
+// kernelNamed returns the registered kernel with the given variant name.
+func kernelNamed(reg []kernelSel, name string) (kernelSel, bool) {
+	for _, k := range reg {
+		if k.name == name {
+			return k, true
+		}
+	}
+	return kernelSel{}, false
+}

@@ -2,38 +2,48 @@
 
 package blas
 
-// Native micro-kernel plumbing for amd64: init installs the AVX float64
-// kernel (gemm_amd64.s) into the engine's dispatch hook when the CPU and
-// OS support 256-bit vector state. Every other configuration — other
-// architectures, pre-AVX CPUs, non-float64 element types, edge tiles —
-// runs the portable Go micro-kernels, which produce the same bits.
+// Native micro-kernel registration for amd64: init installs the AVX
+// exact kernel (gemm_amd64.s) and, when the CPU has AVX2+FMA3 with
+// OS-enabled YMM state, the fused wide-tile kernels (gemm_fma_amd64.s)
+// into the registry. Pre-AVX CPUs, non-float element types and edge
+// tiles run the portable Go micro-kernels.
 
+// dgemmKernel4x4AVX is the exact float64 kernel: VMULPD + ordered
+// VADDPD per k step, bitwise identical to the oracle.
+//
 //go:noescape
 func dgemmKernel4x4AVX(kc int, a, b, c *float64, ldc int)
 
-func cpuidAsm(op, sub uint32) (eax, ebx, ecx, edx uint32)
+// dgemmKernel8x4FMA is the fused float64 kernel: an 8x4 register tile
+// accumulated with VFMADD231PD (one rounding per term).
+//
+//go:noescape
+func dgemmKernel8x4FMA(kc int, a, b, c *float64, ldc int)
 
-func xgetbvAsm() (eax, edx uint32)
+// sgemmKernel16x4FMA is the fused float32 kernel: a 16x4 register tile
+// accumulated with VFMADD231PS.
+//
+//go:noescape
+func sgemmKernel16x4FMA(kc int, a, b, c *float32, ldc int)
 
-// hasAVX reports CPU AVX support with OS-enabled YMM state (OSXSAVE set
-// and XCR0 covering the XMM|YMM bits).
-func hasAVX() bool {
-	maxID, _, _, _ := cpuidAsm(0, 0)
-	if maxID < 1 {
-		return false
-	}
-	_, _, ecx, _ := cpuidAsm(1, 0)
-	const osxsave = 1 << 27
-	const avx = 1 << 28
-	if ecx&osxsave == 0 || ecx&avx == 0 {
-		return false
-	}
-	xcr0, _ := xgetbvAsm()
-	return xcr0&0x6 == 0x6
-}
+// dgemmKernel16x4AVX512 is the fused float64 kernel on the 512-bit
+// datapath: a 16x4 register tile accumulated with EVEX VFMADD231PD.
+//
+//go:noescape
+func dgemmKernel16x4AVX512(kc int, a, b, c *float64, ldc int)
 
 func init() {
 	if hasAVX() {
-		dgemmKernel4x4 = dgemmKernel4x4AVX
+		registerKernel64("avx", KernelExact, 4, 4, dgemmKernel4x4AVX)
+	}
+	// Registration order is preference order within a policy
+	// (resolveFromEnv picks the first match): the AVX-512 kernel beats
+	// the AVX2 one wherever ZMM state exists, so it registers first.
+	if hasAVX512() {
+		registerKernel64("fma-avx512", KernelFMA, 16, 4, dgemmKernel16x4AVX512)
+	}
+	if hasAVX2FMA() {
+		registerKernel64("fma-avx2", KernelFMA, 8, 4, dgemmKernel8x4FMA)
+		registerKernel32("fma-avx2", KernelFMA, 16, 4, sgemmKernel16x4FMA)
 	}
 }

@@ -1,0 +1,27 @@
+//go:build arm64
+
+package blas
+
+// Native micro-kernel registration for arm64: NEON (ASIMD) is baseline
+// on every arm64 Go port, so init registers the FMLA kernels
+// (gemm_arm64.s) unconditionally. FMLA fuses each multiply-add pair into
+// a single rounding, so both kernels carry the KernelFMA policy; the
+// bitwise-exact policy on arm64 runs the portable Go micro-kernels,
+// which keeps the oracle contract architecture-independent.
+
+// dgemmKernel4x4NEON is the fused float64 kernel: a 4x4 register tile
+// accumulated with FMLA over 2-lane vectors.
+//
+//go:noescape
+func dgemmKernel4x4NEON(kc int, a, b, c *float64, ldc int)
+
+// sgemmKernel8x4NEON is the fused float32 kernel: an 8x4 register tile
+// accumulated with FMLA over 4-lane vectors.
+//
+//go:noescape
+func sgemmKernel8x4NEON(kc int, a, b, c *float32, ldc int)
+
+func init() {
+	registerKernel64("neon", KernelFMA, 4, 4, dgemmKernel4x4NEON)
+	registerKernel32("neon", KernelFMA, 8, 4, sgemmKernel8x4NEON)
+}

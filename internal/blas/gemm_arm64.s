@@ -1,0 +1,122 @@
+// NEON micro-kernels of the blocked GEMM engine (arm64, FMLA), registered
+// under KernelFMA (gemm_arm64.go).
+//
+// Arithmetic contract (see registry.go): FMLA contracts each multiply-add
+// pair into a single rounding, so results are ULP-bounded against the
+// exact oracle, not bitwise equal — but stay bitwise reproducible for a
+// fixed kernel and geometry at any worker count (terms accumulate in
+// increasing k order per C element).
+//
+// Register plan (both kernels): V0..V7 hold the C tile (two vectors per
+// column), V16..V19 stream the packed A/B panels, V20 holds the current
+// B broadcast. V8..V15 (callee-saved low halves in AAPCS64) are never
+// touched.
+
+#include "textflag.h"
+
+// func dgemmKernel4x4NEON(kc int, a, b, c *float64, ldc int)
+//
+// a: packed A micro-panel, 4 doubles per k step (unit stride).
+// b: packed B micro-panel, 4 doubles per k step, alpha folded in.
+// c: 4x4 column-major block of C, leading dimension ldc (elements).
+TEXT ·dgemmKernel4x4NEON(SB), NOSPLIT, $0-40
+	MOVD kc+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD c+24(FP), R3
+	MOVD ldc+32(FP), R4
+	LSL  $3, R4, R4          // ldc in bytes
+
+	// Column pointers of the C block.
+	MOVD R3, R5              // &c[0, 0]
+	ADD  R4, R5, R6          // &c[0, 1]
+	ADD  R4, R6, R7          // &c[0, 2]
+	ADD  R4, R7, R8          // &c[0, 3]
+
+	// Accumulators: two 2-lane vectors per column (rows 0..1 and 2..3).
+	VLD1 (R5), [V0.D2, V1.D2]
+	VLD1 (R6), [V2.D2, V3.D2]
+	VLD1 (R7), [V4.D2, V5.D2]
+	VLD1 (R8), [V6.D2, V7.D2]
+
+	CBZ  R0, done
+
+loop:
+	VLD1.P 32(R1), [V16.D2, V17.D2]   // a[0:2], a[2:4]
+	VLD1.P 32(R2), [V18.D2, V19.D2]   // b[0:2], b[2:4]
+
+	VDUP  V18.D[0], V20.D2
+	VFMLA V20.D2, V16.D2, V0.D2
+	VFMLA V20.D2, V17.D2, V1.D2
+	VDUP  V18.D[1], V20.D2
+	VFMLA V20.D2, V16.D2, V2.D2
+	VFMLA V20.D2, V17.D2, V3.D2
+	VDUP  V19.D[0], V20.D2
+	VFMLA V20.D2, V16.D2, V4.D2
+	VFMLA V20.D2, V17.D2, V5.D2
+	VDUP  V19.D[1], V20.D2
+	VFMLA V20.D2, V16.D2, V6.D2
+	VFMLA V20.D2, V17.D2, V7.D2
+
+	SUBS $1, R0, R0
+	BNE  loop
+
+done:
+	VST1 [V0.D2, V1.D2], (R5)
+	VST1 [V2.D2, V3.D2], (R6)
+	VST1 [V4.D2, V5.D2], (R7)
+	VST1 [V6.D2, V7.D2], (R8)
+	RET
+
+// func sgemmKernel8x4NEON(kc int, a, b, c *float32, ldc int)
+//
+// a: packed A micro-panel, 8 floats per k step (unit stride).
+// b: packed B micro-panel, 4 floats per k step, alpha folded in.
+// c: 8x4 column-major block of C, leading dimension ldc (elements).
+TEXT ·sgemmKernel8x4NEON(SB), NOSPLIT, $0-40
+	MOVD kc+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD c+24(FP), R3
+	MOVD ldc+32(FP), R4
+	LSL  $2, R4, R4          // ldc in bytes
+
+	MOVD R3, R5
+	ADD  R4, R5, R6
+	ADD  R4, R6, R7
+	ADD  R4, R7, R8
+
+	// Accumulators: two 4-lane vectors per column (rows 0..3 and 4..7).
+	VLD1 (R5), [V0.S4, V1.S4]
+	VLD1 (R6), [V2.S4, V3.S4]
+	VLD1 (R7), [V4.S4, V5.S4]
+	VLD1 (R8), [V6.S4, V7.S4]
+
+	CBZ  R0, done
+
+loop:
+	VLD1.P 32(R1), [V16.S4, V17.S4]   // a[0:4], a[4:8]
+	VLD1.P 16(R2), [V18.S4]           // b[0:4]
+
+	VDUP  V18.S[0], V20.S4
+	VFMLA V20.S4, V16.S4, V0.S4
+	VFMLA V20.S4, V17.S4, V1.S4
+	VDUP  V18.S[1], V20.S4
+	VFMLA V20.S4, V16.S4, V2.S4
+	VFMLA V20.S4, V17.S4, V3.S4
+	VDUP  V18.S[2], V20.S4
+	VFMLA V20.S4, V16.S4, V4.S4
+	VFMLA V20.S4, V17.S4, V5.S4
+	VDUP  V18.S[3], V20.S4
+	VFMLA V20.S4, V16.S4, V6.S4
+	VFMLA V20.S4, V17.S4, V7.S4
+
+	SUBS $1, R0, R0
+	BNE  loop
+
+done:
+	VST1 [V0.S4, V1.S4], (R5)
+	VST1 [V2.S4, V3.S4], (R6)
+	VST1 [V4.S4, V5.S4], (R7)
+	VST1 [V6.S4, V7.S4], (R8)
+	RET

@@ -1,0 +1,120 @@
+// AVX-512 fused micro-kernel of the blocked GEMM engine, registered
+// under KernelFMA (gemm_amd64.go) and preferred over the AVX2 fused
+// kernel when ZMM state is available: the 256-bit FMA kernel saturates
+// the two 256-bit FMA ports, so the only way past that ceiling is the
+// 512-bit datapath.
+//
+// Same arithmetic contract as gemm_fma_amd64.s: one VFMADD231PD
+// rounding per term, terms accumulated in increasing k order per C
+// element, so the result is ULP-bounded against the exact oracle and
+// bitwise reproducible across runs and worker counts.
+
+#include "textflag.h"
+
+// func dgemmKernel16x4AVX512(kc int, a, b, c *float64, ldc int)
+//
+// a: packed A micro-panel, 16 doubles per k step (unit stride).
+// b: packed B micro-panel, 4 doubles per k step, alpha folded in.
+// c: 16x4 column-major block of C, leading dimension ldc (elements).
+//
+// Register plan: Z0..Z7 hold the 16x4 C tile (two ZMM per column),
+// Z8/Z9 and Z14/Z15 stream A, Z10..Z13 and Z16..Z19 hold B broadcasts.
+// Per k step: 2 loads + 4 broadcasts feed 8 FMAs over 8-wide lanes.
+TEXT ·dgemmKernel16x4AVX512(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $3, R8              // ldc in bytes
+
+	// Column pointers of the C block.
+	MOVQ DX, R9              // &c[0, 0]
+	LEAQ (DX)(R8*1), R10     // &c[0, 1]
+	LEAQ (R10)(R8*1), R11    // &c[0, 2]
+	LEAQ (R11)(R8*1), R12    // &c[0, 3]
+
+	// Accumulators: two ZMM per column (rows 0..7 and 8..15).
+	VMOVUPD (R9), Z0
+	VMOVUPD 64(R9), Z1
+	VMOVUPD (R10), Z2
+	VMOVUPD 64(R10), Z3
+	VMOVUPD (R11), Z4
+	VMOVUPD 64(R11), Z5
+	VMOVUPD (R12), Z6
+	VMOVUPD 64(R12), Z7
+
+	MOVQ CX, BX
+	SHRQ $1, BX              // unrolled-by-2 iteration count
+	ANDQ $1, CX              // remainder k step
+	TESTQ BX, BX
+	JZ   tail
+
+loop2:
+	// k step 0
+	VMOVUPD (SI), Z8
+	VMOVUPD 64(SI), Z9
+	VBROADCASTSD (DI), Z10
+	VFMADD231PD Z8, Z10, Z0
+	VFMADD231PD Z9, Z10, Z1
+	VBROADCASTSD 8(DI), Z11
+	VFMADD231PD Z8, Z11, Z2
+	VFMADD231PD Z9, Z11, Z3
+	VBROADCASTSD 16(DI), Z12
+	VFMADD231PD Z8, Z12, Z4
+	VFMADD231PD Z9, Z12, Z5
+	VBROADCASTSD 24(DI), Z13
+	VFMADD231PD Z8, Z13, Z6
+	VFMADD231PD Z9, Z13, Z7
+
+	// k step 1
+	VMOVUPD 128(SI), Z14
+	VMOVUPD 192(SI), Z15
+	VBROADCASTSD 32(DI), Z16
+	VFMADD231PD Z14, Z16, Z0
+	VFMADD231PD Z15, Z16, Z1
+	VBROADCASTSD 40(DI), Z17
+	VFMADD231PD Z14, Z17, Z2
+	VFMADD231PD Z15, Z17, Z3
+	VBROADCASTSD 48(DI), Z18
+	VFMADD231PD Z14, Z18, Z4
+	VFMADD231PD Z15, Z18, Z5
+	VBROADCASTSD 56(DI), Z19
+	VFMADD231PD Z14, Z19, Z6
+	VFMADD231PD Z15, Z19, Z7
+
+	ADDQ $256, SI
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  loop2
+
+tail:
+	TESTQ CX, CX
+	JZ   done
+
+	VMOVUPD (SI), Z8
+	VMOVUPD 64(SI), Z9
+	VBROADCASTSD (DI), Z10
+	VFMADD231PD Z8, Z10, Z0
+	VFMADD231PD Z9, Z10, Z1
+	VBROADCASTSD 8(DI), Z11
+	VFMADD231PD Z8, Z11, Z2
+	VFMADD231PD Z9, Z11, Z3
+	VBROADCASTSD 16(DI), Z12
+	VFMADD231PD Z8, Z12, Z4
+	VFMADD231PD Z9, Z12, Z5
+	VBROADCASTSD 24(DI), Z13
+	VFMADD231PD Z8, Z13, Z6
+	VFMADD231PD Z9, Z13, Z7
+
+done:
+	VMOVUPD Z0, (R9)
+	VMOVUPD Z1, 64(R9)
+	VMOVUPD Z2, (R10)
+	VMOVUPD Z3, 64(R10)
+	VMOVUPD Z4, (R11)
+	VMOVUPD Z5, 64(R11)
+	VMOVUPD Z6, (R12)
+	VMOVUPD Z7, 64(R12)
+	VZEROUPPER
+	RET

@@ -5,22 +5,21 @@ import "cocopelia/internal/parallel"
 // This file is the driver of the blocked GEMM engine: three-level cache
 // blocking (NC column panels x KC depth panels x MC row blocks) over the
 // packed micro-panels of pack.go, with the innermost work done by the
-// micro-kernels (microkernel.go, plus the optional vectorized float64
-// kernel installed by the amd64 build).
+// micro-kernel variant the registry resolves for the call's element type
+// and KernelPolicy (registry.go: portable/AVX exact kernels, AVX2+FMA and
+// NEON fused kernels).
 //
 // Determinism: C columns are independent — element (i,j) is touched only
 // by the beta pass over column j and by micro-kernels in column j's panel
 // — so partitioning columns across workers cannot change any element's
 // accumulation order. Within one column the order is fixed by the pc/k
-// loops: terms arrive in increasing k, one rounded add each, which is the
-// oracle's order. Hence results are bitwise identical to GemmNaive and
-// across worker counts; TestGemmBlockedBitwise* pin both properties.
-
-// dgemmKernel4x4 is the optional native full-tile kernel for float64
-// (installed by init on amd64 when the CPU supports AVX; nil elsewhere).
-// It must compute exactly what microKernel4x4 computes, bit for bit:
-// per-lane IEEE multiply then ordered add, no FMA contraction.
-var dgemmKernel4x4 func(kc int, a, b, c *float64, ldc int)
+// loops: terms arrive in increasing k, one rounded accumulation step
+// each. Under KernelExact that step is the oracle's multiply-then-add, so
+// results are bitwise identical to GemmNaive; under KernelFMA it is one
+// fused rounding, so results are ULP-bounded against the oracle instead.
+// Either way the schedule is a pure function of (m, n, k, kernel), so
+// results are bitwise identical across worker counts;
+// TestGemmBlockedBitwise* and TestGemmFMA* pin these properties.
 
 // checkGemm validates a Gemm call's flags, dimensions and operand shapes.
 func checkGemm[F Float](transA, transB byte, m, n, k int, a []F, lda int, b []F, ldb int, c []F, ldc int) error {
@@ -70,10 +69,16 @@ func scaleColumns[F Float](m, jLo, jHi int, beta F, c []F, ldc int) {
 
 // Gemm computes C = alpha*op(A)*op(B) + beta*C where op(A) is m x k,
 // op(B) is k x n and C is m x n, all column-major, using the blocked
-// packed engine on the calling goroutine. Results are bitwise identical to
-// the GemmNaive oracle.
+// packed engine on the calling goroutine under the default KernelExact
+// policy. Results are bitwise identical to the GemmNaive oracle.
 func Gemm[F Float](transA, transB byte, m, n, k int, alpha F, a []F, lda int, b []F, ldb int, beta F, c []F, ldc int) error {
-	return GemmParallel(nil, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	return GemmParallelPolicy(nil, KernelExact, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// GemmPolicy is Gemm under an explicit kernel policy (see KernelPolicy
+// for the numerics contract of each).
+func GemmPolicy[F Float](policy KernelPolicy, transA, transB byte, m, n, k int, alpha F, a []F, lda int, b []F, ldb int, beta F, c []F, ldc int) error {
+	return GemmParallelPolicy(nil, policy, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 }
 
 // GemmParallel is Gemm fanned out over the pool's workers, each owning a
@@ -81,7 +86,20 @@ func Gemm[F Float](transA, transB byte, m, n, k int, alpha F, a []F, lda int, b 
 // element's accumulation order independent of the partition, so the result
 // is bitwise identical at any worker count (a nil pool runs inline).
 func GemmParallel[F Float](p *parallel.Pool, transA, transB byte, m, n, k int, alpha F, a []F, lda int, b []F, ldb int, beta F, c []F, ldc int) error {
+	return GemmParallelPolicy(p, KernelExact, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// GemmParallelPolicy is the full engine entry point: an explicit kernel
+// policy and a worker pool. Whatever the selected kernel, the blocking
+// schedule depends only on (m, n, k, kernel), so results are bitwise
+// identical at any worker count; KernelExact results are additionally
+// bitwise identical to the GemmNaive oracle.
+func GemmParallelPolicy[F Float](p *parallel.Pool, policy KernelPolicy, transA, transB byte, m, n, k int, alpha F, a []F, lda int, b []F, ldb int, beta F, c []F, ldc int) error {
 	if err := checkGemm(transA, transB, m, n, k, a, lda, b, ldb, c, ldc); err != nil {
+		return err
+	}
+	sel, err := kernelFor[F](policy)
+	if err != nil {
 		return err
 	}
 	if m == 0 || n == 0 {
@@ -90,7 +108,7 @@ func GemmParallel[F Float](p *parallel.Pool, transA, transB byte, m, n, k int, a
 	accumulate := alpha != 0 && k > 0
 	small := int64(m)*int64(n)*int64(k) <= gemmSmallCutoff
 	workers := p.Workers()
-	if panels := (n + gemmNR - 1) / gemmNR; workers > panels {
+	if panels := (n + sel.nr - 1) / sel.nr; workers > panels {
 		workers = panels
 	}
 	if workers <= 1 || !accumulate || small {
@@ -102,71 +120,91 @@ func GemmParallel[F Float](p *parallel.Pool, transA, transB byte, m, n, k int, a
 			gemmRefAccum(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
 			return nil
 		}
-		gemmColumns(transA, transB, m, 0, n, k, alpha, a, lda, b, ldb, c, ldc)
+		gemmColumns(sel, transA, transB, m, 0, n, k, alpha, a, lda, b, ldb, c, ldc)
 		return nil
 	}
 	// Split the column panels into one contiguous, NR-aligned range per
 	// worker. The split only chooses who computes a column, never how.
-	panelsPer := ((n+gemmNR-1)/gemmNR + workers - 1) / workers
+	panelsPer := ((n+sel.nr-1)/sel.nr + workers - 1) / workers
 	type colRange struct{ lo, hi int }
 	ranges := make([]colRange, 0, workers)
-	for lo := 0; lo < n; lo += panelsPer * gemmNR {
-		ranges = append(ranges, colRange{lo, min(lo+panelsPer*gemmNR, n)})
+	for lo := 0; lo < n; lo += panelsPer * sel.nr {
+		ranges = append(ranges, colRange{lo, min(lo+panelsPer*sel.nr, n)})
 	}
 	return parallel.ForEach(p, ranges, func(_ int, r colRange) error {
 		scaleColumns(m, r.lo, r.hi, beta, c, ldc)
-		gemmColumns(transA, transB, m, r.lo, r.hi, k, alpha, a, lda, b, ldb, c, ldc)
+		gemmColumns(sel, transA, transB, m, r.lo, r.hi, k, alpha, a, lda, b, ldb, c, ldc)
 		return nil
 	})
 }
 
-// gemmColumns runs the blocked engine over C columns [jLo, jHi). The beta
-// pass must already have run; alpha != 0 and k > 0.
-func gemmColumns[F Float](transA, transB byte, m, jLo, jHi, k int, alpha F, a []F, lda int, b []F, ldb int, c []F, ldc int) {
+// gemmColumns runs the blocked engine over C columns [jLo, jHi) on the
+// selected kernel. The beta pass must already have run; alpha != 0 and
+// k > 0.
+func gemmColumns[F Float](sel kernelSel, transA, transB byte, m, jLo, jHi, k int, alpha F, a []F, lda int, b []F, ldb int, c []F, ldc int) {
+	mrK, nrK := sel.mr, sel.nr
 	bufs := gemmBufPool.Get().(*gemmBuffers)
 	defer gemmBufPool.Put(bufs)
-	apCap := roundUp(min(gemmMC, m), gemmMR) * min(gemmKC, k)
-	bpCap := min(gemmKC, k) * roundUp(min(gemmNC, jHi-jLo), gemmNR)
+	apCap := roundUp(min(gemmMC, m), mrK) * min(gemmKC, k)
+	bpCap := min(gemmKC, k) * roundUp(min(gemmNC, jHi-jLo), nrK)
 	ap, bp := packSlices[F](bufs, apCap, bpCap)
 
-	// Native-kernel views (nil unless F is literally float64 and the
-	// platform installed a kernel). The pointer-based casts never allocate.
+	// Native-kernel views (nil unless F is literally the kernel's element
+	// type). The pointer-based casts never allocate.
 	var a64, b64, c64 []float64
-	kern := dgemmKernel4x4
-	if kern != nil {
+	kern64 := sel.f64
+	if kern64 != nil {
 		var okA, okB, okC bool
 		a64, okA = asTyped[float64](&ap)
 		b64, okB = asTyped[float64](&bp)
 		c64, okC = asTyped[float64](&c)
 		if !okA || !okB || !okC {
-			kern = nil
+			kern64 = nil
+		}
+	}
+	var a32, b32, c32 []float32
+	kern32 := sel.f32
+	if kern32 != nil {
+		var okA, okB, okC bool
+		a32, okA = asTyped[float32](&ap)
+		b32, okB = asTyped[float32](&bp)
+		c32, okC = asTyped[float32](&c)
+		if !okA || !okB || !okC {
+			kern32 = nil
 		}
 	}
 
 	for jc := jLo; jc < jHi; jc += gemmNC {
 		nc := min(gemmNC, jHi-jc)
-		ncPad := roundUp(nc, gemmNR)
+		ncPad := roundUp(nc, nrK)
 		for pc := 0; pc < k; pc += gemmKC {
 			kc := min(gemmKC, k-pc)
-			packB(transB, b, ldb, pc, jc, kc, nc, alpha, bp[:kc*ncPad])
+			packB(transB, b, ldb, pc, jc, kc, nc, nrK, alpha, bp[:kc*ncPad])
 			for ic := 0; ic < m; ic += gemmMC {
 				mc := min(gemmMC, m-ic)
-				packA(transA, a, lda, ic, pc, mc, kc, ap[:roundUp(mc, gemmMR)*kc])
-				for jr := 0; jr < nc; jr += gemmNR {
-					nr := min(gemmNR, nc-jr)
+				packA(transA, a, lda, ic, pc, mc, kc, mrK, ap[:roundUp(mc, mrK)*kc])
+				for jr := 0; jr < nc; jr += nrK {
+					nr := min(nrK, nc-jr)
 					cPanel := c[(ic)+(jc+jr)*ldc:]
-					for ir := 0; ir < mc; ir += gemmMR {
-						mr := min(gemmMR, mc-ir)
-						if mr == gemmMR && nr == gemmNR {
-							if kern != nil {
+					for ir := 0; ir < mc; ir += mrK {
+						mr := min(mrK, mc-ir)
+						if mr == mrK && nr == nrK {
+							if kern64 != nil {
 								cb := c64[(ic+ir)+(jc+jr)*ldc:]
-								kern(kc, &a64[ir*kc], &b64[jr*kc], &cb[0], ldc)
+								kern64(kc, &a64[ir*kc], &b64[jr*kc], &cb[0], ldc)
 								continue
 							}
-							microKernel4x4(kc, ap[ir*kc:], bp[jr*kc:], cPanel[ir:], ldc)
-							continue
+							if kern32 != nil {
+								cb := c32[(ic+ir)+(jc+jr)*ldc:]
+								kern32(kc, &a32[ir*kc], &b32[jr*kc], &cb[0], ldc)
+								continue
+							}
+							if mrK == gemmMR && nrK == gemmNR {
+								microKernel4x4(kc, ap[ir*kc:], bp[jr*kc:], cPanel[ir:], ldc)
+								continue
+							}
 						}
-						microKernelTail(kc, mr, nr, ap[ir*kc:], bp[jr*kc:], cPanel[ir:], ldc)
+						microKernelTail(kc, mr, nr, mrK, nrK, ap[ir*kc:], bp[jr*kc:], cPanel[ir:], ldc)
 					}
 				}
 			}
@@ -223,11 +261,16 @@ func GemmNaive[F Float](transA, transB byte, m, n, k int, alpha F, a []F, lda in
 
 // SyrkParallel is Syrk through the parallel blocked engine.
 func SyrkParallel[F Float](p *parallel.Pool, trans byte, n, k int, alpha F, a []F, lda int, beta F, c []F, ldc int) error {
+	return SyrkParallelPolicy(p, KernelExact, trans, n, k, alpha, a, lda, beta, c, ldc)
+}
+
+// SyrkParallelPolicy is SyrkParallel under an explicit kernel policy.
+func SyrkParallelPolicy[F Float](p *parallel.Pool, policy KernelPolicy, trans byte, n, k int, alpha F, a []F, lda int, beta F, c []F, ldc int) error {
 	if err := checkTrans("syrk", trans); err != nil {
 		return err
 	}
 	if trans == NoTrans {
-		return GemmParallel(p, NoTrans, Trans, n, n, k, alpha, a, lda, a, lda, beta, c, ldc)
+		return GemmParallelPolicy(p, policy, NoTrans, Trans, n, n, k, alpha, a, lda, a, lda, beta, c, ldc)
 	}
-	return GemmParallel(p, Trans, NoTrans, n, n, k, alpha, a, lda, a, lda, beta, c, ldc)
+	return GemmParallelPolicy(p, policy, Trans, NoTrans, n, n, k, alpha, a, lda, a, lda, beta, c, ldc)
 }

@@ -237,6 +237,9 @@ func TestGemmBlockedBetaZeroOverwritesNaN(t *testing.T) {
 // TestGemmSteadyStateAllocs verifies the sync.Pool-backed packing buffers:
 // after a warm-up call, serial blocked Gemm performs no allocations.
 func TestGemmSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool randomly drops Puts, so the packing buffers cannot pin 0 allocs")
+	}
 	n := 160 // above the small-problem cutoff, ragged against MC/KC
 	rng := rand.New(rand.NewSource(11))
 	a := randSlice(rng, n*n)

@@ -1,0 +1,225 @@
+// Fused micro-kernels of the blocked GEMM engine (AVX2+FMA3), registered
+// under KernelFMA (gemm_amd64.go).
+//
+// Arithmetic contract (see registry.go): each multiply-add pair contracts
+// into a single VFMADD231 rounding, so results differ from the exact
+// oracle by a k-scaled ULP bound — validated by the ULP differential
+// tests, never by bitwise comparison. Terms still accumulate one at a
+// time in increasing k order per C element, so for a fixed kernel the
+// result is a pure function of (m, n, k, inputs): bitwise reproducible
+// across runs and worker counts.
+
+#include "textflag.h"
+
+// func dgemmKernel8x4FMA(kc int, a, b, c *float64, ldc int)
+//
+// a: packed A micro-panel, 8 doubles per k step (unit stride).
+// b: packed B micro-panel, 4 doubles per k step, alpha folded in.
+// c: 8x4 column-major block of C, leading dimension ldc (elements).
+//
+// Register plan: Y0..Y7 hold the 8x4 C tile (two YMM per column),
+// Y8/Y9 and Y14/Y15 stream A, Y10..Y13 hold B broadcasts. Per k step:
+// 2 loads + 4 broadcasts feed 8 FMAs, so the loop is FMA-bound.
+TEXT ·dgemmKernel8x4FMA(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $3, R8              // ldc in bytes
+
+	// Column pointers of the C block.
+	MOVQ DX, R9              // &c[0, 0]
+	LEAQ (DX)(R8*1), R10     // &c[0, 1]
+	LEAQ (R10)(R8*1), R11    // &c[0, 2]
+	LEAQ (R11)(R8*1), R12    // &c[0, 3]
+
+	// Accumulators: two YMM per column (rows 0..3 and 4..7).
+	VMOVUPD (R9), Y0
+	VMOVUPD 32(R9), Y1
+	VMOVUPD (R10), Y2
+	VMOVUPD 32(R10), Y3
+	VMOVUPD (R11), Y4
+	VMOVUPD 32(R11), Y5
+	VMOVUPD (R12), Y6
+	VMOVUPD 32(R12), Y7
+
+	MOVQ CX, BX
+	SHRQ $1, BX              // unrolled-by-2 iteration count
+	ANDQ $1, CX              // remainder k step
+	TESTQ BX, BX
+	JZ   tail
+
+loop2:
+	// k step 0
+	VMOVUPD (SI), Y8
+	VMOVUPD 32(SI), Y9
+	VBROADCASTSD (DI), Y10
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+	VBROADCASTSD 8(DI), Y11
+	VFMADD231PD Y8, Y11, Y2
+	VFMADD231PD Y9, Y11, Y3
+	VBROADCASTSD 16(DI), Y12
+	VFMADD231PD Y8, Y12, Y4
+	VFMADD231PD Y9, Y12, Y5
+	VBROADCASTSD 24(DI), Y13
+	VFMADD231PD Y8, Y13, Y6
+	VFMADD231PD Y9, Y13, Y7
+
+	// k step 1
+	VMOVUPD 64(SI), Y14
+	VMOVUPD 96(SI), Y15
+	VBROADCASTSD 32(DI), Y10
+	VFMADD231PD Y14, Y10, Y0
+	VFMADD231PD Y15, Y10, Y1
+	VBROADCASTSD 40(DI), Y11
+	VFMADD231PD Y14, Y11, Y2
+	VFMADD231PD Y15, Y11, Y3
+	VBROADCASTSD 48(DI), Y12
+	VFMADD231PD Y14, Y12, Y4
+	VFMADD231PD Y15, Y12, Y5
+	VBROADCASTSD 56(DI), Y13
+	VFMADD231PD Y14, Y13, Y6
+	VFMADD231PD Y15, Y13, Y7
+
+	ADDQ $128, SI
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  loop2
+
+tail:
+	TESTQ CX, CX
+	JZ   done
+
+	VMOVUPD (SI), Y8
+	VMOVUPD 32(SI), Y9
+	VBROADCASTSD (DI), Y10
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+	VBROADCASTSD 8(DI), Y11
+	VFMADD231PD Y8, Y11, Y2
+	VFMADD231PD Y9, Y11, Y3
+	VBROADCASTSD 16(DI), Y12
+	VFMADD231PD Y8, Y12, Y4
+	VFMADD231PD Y9, Y12, Y5
+	VBROADCASTSD 24(DI), Y13
+	VFMADD231PD Y8, Y13, Y6
+	VFMADD231PD Y9, Y13, Y7
+
+done:
+	VMOVUPD Y0, (R9)
+	VMOVUPD Y1, 32(R9)
+	VMOVUPD Y2, (R10)
+	VMOVUPD Y3, 32(R10)
+	VMOVUPD Y4, (R11)
+	VMOVUPD Y5, 32(R11)
+	VMOVUPD Y6, (R12)
+	VMOVUPD Y7, 32(R12)
+	VZEROUPPER
+	RET
+
+// func sgemmKernel16x4FMA(kc int, a, b, c *float32, ldc int)
+//
+// a: packed A micro-panel, 16 floats per k step (unit stride).
+// b: packed B micro-panel, 4 floats per k step, alpha folded in.
+// c: 16x4 column-major block of C, leading dimension ldc (elements).
+//
+// Same shape as the float64 kernel with 8-wide single-precision lanes:
+// two YMM per C column, 2 loads + 4 broadcasts per 8 FMAs.
+TEXT ·sgemmKernel16x4FMA(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8              // ldc in bytes
+
+	MOVQ DX, R9
+	LEAQ (DX)(R8*1), R10
+	LEAQ (R10)(R8*1), R11
+	LEAQ (R11)(R8*1), R12
+
+	VMOVUPS (R9), Y0
+	VMOVUPS 32(R9), Y1
+	VMOVUPS (R10), Y2
+	VMOVUPS 32(R10), Y3
+	VMOVUPS (R11), Y4
+	VMOVUPS 32(R11), Y5
+	VMOVUPS (R12), Y6
+	VMOVUPS 32(R12), Y7
+
+	MOVQ CX, BX
+	SHRQ $1, BX
+	ANDQ $1, CX
+	TESTQ BX, BX
+	JZ   tail
+
+loop2:
+	// k step 0
+	VMOVUPS (SI), Y8
+	VMOVUPS 32(SI), Y9
+	VBROADCASTSS (DI), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VFMADD231PS Y9, Y10, Y1
+	VBROADCASTSS 4(DI), Y11
+	VFMADD231PS Y8, Y11, Y2
+	VFMADD231PS Y9, Y11, Y3
+	VBROADCASTSS 8(DI), Y12
+	VFMADD231PS Y8, Y12, Y4
+	VFMADD231PS Y9, Y12, Y5
+	VBROADCASTSS 12(DI), Y13
+	VFMADD231PS Y8, Y13, Y6
+	VFMADD231PS Y9, Y13, Y7
+
+	// k step 1
+	VMOVUPS 64(SI), Y14
+	VMOVUPS 96(SI), Y15
+	VBROADCASTSS 16(DI), Y10
+	VFMADD231PS Y14, Y10, Y0
+	VFMADD231PS Y15, Y10, Y1
+	VBROADCASTSS 20(DI), Y11
+	VFMADD231PS Y14, Y11, Y2
+	VFMADD231PS Y15, Y11, Y3
+	VBROADCASTSS 24(DI), Y12
+	VFMADD231PS Y14, Y12, Y4
+	VFMADD231PS Y15, Y12, Y5
+	VBROADCASTSS 28(DI), Y13
+	VFMADD231PS Y14, Y13, Y6
+	VFMADD231PS Y15, Y13, Y7
+
+	ADDQ $128, SI
+	ADDQ $32, DI
+	DECQ BX
+	JNZ  loop2
+
+tail:
+	TESTQ CX, CX
+	JZ   done
+
+	VMOVUPS (SI), Y8
+	VMOVUPS 32(SI), Y9
+	VBROADCASTSS (DI), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VFMADD231PS Y9, Y10, Y1
+	VBROADCASTSS 4(DI), Y11
+	VFMADD231PS Y8, Y11, Y2
+	VFMADD231PS Y9, Y11, Y3
+	VBROADCASTSS 8(DI), Y12
+	VFMADD231PS Y8, Y12, Y4
+	VFMADD231PS Y9, Y12, Y5
+	VBROADCASTSS 12(DI), Y13
+	VFMADD231PS Y8, Y13, Y6
+	VFMADD231PS Y9, Y13, Y7
+
+done:
+	VMOVUPS Y0, (R9)
+	VMOVUPS Y1, 32(R9)
+	VMOVUPS Y2, (R10)
+	VMOVUPS Y3, 32(R10)
+	VMOVUPS Y4, (R11)
+	VMOVUPS Y5, 32(R11)
+	VMOVUPS Y6, (R12)
+	VMOVUPS Y7, 32(R12)
+	VZEROUPPER
+	RET

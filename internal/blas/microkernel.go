@@ -52,30 +52,32 @@ func microKernel4x4[F Float](kc int, ap, bp []F, c []F, ldc int) {
 	col3[0], col3[1], col3[2], col3[3] = c03, c13, c23, c33
 }
 
-// microKernelTail handles ragged edges: an mr x nr corner (mr <= gemmMR,
-// nr <= gemmNR) read from full-width zero-padded micro-panels. Only the
-// valid C elements are loaded and stored; padded lanes accumulate zeros
-// into dead accumulator slots.
-func microKernelTail[F Float](kc, mr, nr int, ap, bp []F, c []F, ldc int) {
-	var acc [gemmMR * gemmNR]F
+// microKernelTail handles ragged edges: an mr x nr corner (mr <= mrK,
+// nr <= nrK) read from zero-padded micro-panels whose packed widths are
+// the selected kernel's mrK x nrK tile. Only the valid C elements are
+// loaded and stored; padded lanes accumulate zeros into dead accumulator
+// slots. Arithmetic stays exact (one multiply, one ordered add per term)
+// under every policy — tails never fuse.
+func microKernelTail[F Float](kc, mr, nr, mrK, nrK int, ap, bp []F, c []F, ldc int) {
+	var acc [maxMR * maxNR]F
 	for jj := 0; jj < nr; jj++ {
 		for ii := 0; ii < mr; ii++ {
-			acc[jj*gemmMR+ii] = c[ii+jj*ldc]
+			acc[jj*maxMR+ii] = c[ii+jj*ldc]
 		}
 	}
 	for l := 0; l < kc; l++ {
-		a := ap[gemmMR*l : gemmMR*l+gemmMR]
-		b := bp[gemmNR*l : gemmNR*l+gemmNR]
+		a := ap[mrK*l : mrK*l+mrK]
+		b := bp[nrK*l : nrK*l+nrK]
 		for jj := 0; jj < nr; jj++ {
 			bj := b[jj]
 			for ii := 0; ii < mr; ii++ {
-				acc[jj*gemmMR+ii] += a[ii] * bj
+				acc[jj*maxMR+ii] += a[ii] * bj
 			}
 		}
 	}
 	for jj := 0; jj < nr; jj++ {
 		for ii := 0; ii < mr; ii++ {
-			c[ii+jj*ldc] = acc[jj*gemmMR+ii]
+			c[ii+jj*ldc] = acc[jj*maxMR+ii]
 		}
 	}
 }

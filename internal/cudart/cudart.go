@@ -224,6 +224,10 @@ type Runtime struct {
 	streams     int
 	streamList  []*Stream
 	payloadPool *parallel.Pool
+	// payloadPolicy selects the CPU kernel numerics for backed payloads:
+	// the default blas.KernelExact keeps the bitwise oracle contract;
+	// blas.KernelFMA opts into the fused (ULP-bounded) micro-kernels.
+	payloadPolicy blas.KernelPolicy
 
 	// opFree recycles op objects the moment their hardware work completes;
 	// evFree recycles completion events at Sync, with evLive tracking the
@@ -335,6 +339,7 @@ func (rt *Runtime) Reset(dev *device.Device) {
 	rt.outstanding = 0
 	rt.streams = 0
 	rt.payloadPool = nil
+	rt.payloadPolicy = blas.KernelExact
 	for i := range rt.streamList {
 		rt.streamList[i] = nil
 	}
@@ -354,6 +359,16 @@ func (rt *Runtime) Reset(dev *device.Device) {
 // worker counts, so the pool changes only wall-clock time, never results.
 // A nil pool (the default) runs payloads inline.
 func (rt *Runtime) SetPayloadPool(p *parallel.Pool) { rt.payloadPool = p }
+
+// SetPayloadPolicy selects the CPU kernel numerics for backed payloads.
+// The default blas.KernelExact reproduces the GemmNaive oracle bit for
+// bit; blas.KernelFMA routes to the fused micro-kernels (FMA/NEON),
+// which are ULP-bounded against the oracle and still bitwise
+// reproducible across worker counts. Reset restores the default.
+func (rt *Runtime) SetPayloadPolicy(p blas.KernelPolicy) { rt.payloadPolicy = p }
+
+// PayloadPolicy reports the kernel policy applied to backed payloads.
+func (rt *Runtime) PayloadPolicy() blas.KernelPolicy { return rt.payloadPolicy }
 
 // Device returns the underlying simulated device.
 func (rt *Runtime) Device() *device.Device { return rt.dev }
@@ -855,10 +870,10 @@ func (s *Stream) GemmAsync(transA, transB byte, m, n, k int,
 		payload = func() {
 			var err error
 			if dt == kernelmodel.F64 {
-				err = blas.GemmParallel(s.rt.payloadPool, transA, transB, m, n, k, alpha,
+				err = blas.GemmParallelPolicy(s.rt.payloadPool, s.rt.payloadPolicy, transA, transB, m, n, k, alpha,
 					a.f64[offA:], lda, b.f64[offB:], ldb, beta, c.f64[offC:], ldc)
 			} else {
-				err = blas.GemmParallel(s.rt.payloadPool, transA, transB, m, n, k, float32(alpha),
+				err = blas.GemmParallelPolicy(s.rt.payloadPool, s.rt.payloadPolicy, transA, transB, m, n, k, float32(alpha),
 					a.f32[offA:], lda, b.f32[offB:], ldb, float32(beta), c.f32[offC:], ldc)
 			}
 			if err != nil {

@@ -255,6 +255,82 @@ func TestGemmAsyncPayloadPoolBitwise(t *testing.T) {
 	}
 }
 
+// TestGemmAsyncPayloadPolicy opts payloads into the fused kernels with
+// SetPayloadPolicy: the result must stay within a k-scaled ULP bound of
+// the exact engine, be bitwise identical across worker counts, and the
+// policy must revert to exact on Reset.
+func TestGemmAsyncPayloadPolicy(t *testing.T) {
+	m, n, k := 130, 70, 65
+	rng := rand.New(rand.NewSource(43))
+	hostA := make([]float64, m*k)
+	hostB := make([]float64, k*n)
+	for i := range hostA {
+		hostA[i] = rng.NormFloat64()
+	}
+	for i := range hostB {
+		hostB[i] = rng.NormFloat64()
+	}
+	run := func(policy blas.KernelPolicy, pool *parallel.Pool) []float64 {
+		rt := newRT()
+		rt.SetPayloadPool(pool)
+		rt.SetPayloadPolicy(policy)
+		s := rt.NewStream()
+		dA, _ := rt.Malloc(kernelmodel.F64, int64(m*k), true)
+		dB, _ := rt.Malloc(kernelmodel.F64, int64(k*n), true)
+		dC, _ := rt.Malloc(kernelmodel.F64, int64(m*n), true)
+		_, _ = s.MemcpyH2DAsync(dA, 0, hostA, nil, int64(m*k))
+		_, _ = s.MemcpyH2DAsync(dB, 0, hostB, nil, int64(k*n))
+		if _, err := s.GemmAsync(blas.NoTrans, blas.NoTrans, m, n, k, 1.25, dA, 0, m, dB, 0, k, 0, dC, 0, m); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, m*n)
+		_, _ = s.MemcpyD2HAsync(out, nil, dC, 0, int64(m*n))
+		if _, err := rt.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	exact := run(blas.KernelExact, nil)
+	fused := run(blas.KernelFMA, nil)
+	// Magnitude bound per element: 1.25 * sum_l |A[i,l]||B[l,j]|, computed
+	// on the host (cancellation makes |exact| itself too small a yardstick).
+	absA := make([]float64, len(hostA))
+	absB := make([]float64, len(hostB))
+	for i, v := range hostA {
+		absA[i] = math.Abs(v)
+	}
+	for i, v := range hostB {
+		absB[i] = math.Abs(v)
+	}
+	mag := make([]float64, m*n)
+	if err := blas.Dgemm(blas.NoTrans, blas.NoTrans, m, n, k, 1.25, absA, m, absB, k, 0, mag, m); err != nil {
+		t.Fatal(err)
+	}
+	bound := 4 * float64(k+2) * 0x1p-52
+	for i := range exact {
+		if diff := math.Abs(fused[i] - exact[i]); diff > bound*mag[i] {
+			t.Fatalf("fused payload element %d outside ULP bound: %v vs %v", i, fused[i], exact[i])
+		}
+	}
+	for _, w := range []int{2, 8} {
+		pooled := run(blas.KernelFMA, parallel.NewPool(w))
+		for i := range fused {
+			if math.Float64bits(fused[i]) != math.Float64bits(pooled[i]) {
+				t.Fatalf("workers=%d: fused payload differs from serial at %d", w, i)
+			}
+		}
+	}
+	rt := newRT()
+	rt.SetPayloadPolicy(blas.KernelFMA)
+	if got := rt.PayloadPolicy(); got != blas.KernelFMA {
+		t.Fatalf("PayloadPolicy after set: %v", got)
+	}
+	rt.Reset(rt.Device())
+	if got := rt.PayloadPolicy(); got != blas.KernelExact {
+		t.Fatalf("PayloadPolicy after Reset: %v, want exact", got)
+	}
+}
+
 func TestGemmDtypeMismatch(t *testing.T) {
 	rt := newRT()
 	s := rt.NewStream()
