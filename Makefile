@@ -2,7 +2,8 @@ GO ?= go
 
 .PHONY: build test vet lint lint-json race verify bench bench-blas \
 	bench-blas-check bench-blas-smoke bench-campaign bench-campaign-check \
-	bench-campaign-smoke cross-arm64 plan-golden-smoke profile results
+	bench-campaign-smoke bench-factor bench-factor-check cross-arm64 \
+	plan-golden-smoke profile results
 
 build:
 	$(GO) build ./...
@@ -34,10 +35,12 @@ race:
 
 # verify is the pre-commit gate: compile, vet, the invariant analyzers,
 # the race-enabled suite, the build-only benchmark smoke, a sub-second
-# run of the campaign-throughput mode, the golden tile-plan check, and
-# the arm64 cross-compile (the NEON kernels have no native CI runner, so
-# assemble+vet is their regression gate).
-verify: build vet lint race bench-blas-smoke bench-campaign-smoke plan-golden-smoke cross-arm64
+# run of the campaign-throughput mode, the factorization-sweep identity
+# gate, the golden tile-plan check, and the arm64 cross-compile (the NEON
+# kernels have no native CI runner, so assemble+vet is their regression
+# gate).
+verify: build vet lint race bench-blas-smoke bench-campaign-smoke \
+	bench-factor-check plan-golden-smoke cross-arm64
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
@@ -81,6 +84,20 @@ bench-campaign-check:
 # under a second without keeping an output file.
 bench-campaign-smoke:
 	$(GO) run ./cmd/cocobench -campaign -smoke -out /dev/null
+
+# bench-factor sweeps the tiled factorization planners (cholesky, lu,
+# trsm over the task-graph IR) and records each cell's simulated makespan,
+# kernel count and traffic. Refresh the baseline with this target when a
+# planner change is intentional.
+bench-factor:
+	$(GO) run ./cmd/cocobench -factor -out results/bench-factor.json
+
+# bench-factor-check re-runs the factorization sweep and fails on ANY
+# drift from the committed baseline — the simulated fields are exact, so
+# this is a byte-identity gate on the task-graph planners and their
+# replay, not a tolerance check. Sub-second (timing-only simulation).
+bench-factor-check:
+	$(GO) run ./cmd/cocobench -factor -check results/bench-factor.json
 
 # cross-arm64 cross-compiles and vets the whole module for linux/arm64,
 # gating the NEON micro-kernels (gemm_arm64.s) and their build-tagged

@@ -7,7 +7,11 @@
 //     (routine, size) — this bounds functional-verification turnaround;
 //   - with -campaign, the discrete-event campaign pipeline itself, as
 //     cells/sec and events/sec over a timing-only measurement sweep —
-//     this bounds how fast tables and figures regenerate.
+//     this bounds how fast tables and figures regenerate;
+//   - with -factor, the tiled factorization planners (cholesky, lu, trsm)
+//     over the task-graph IR, recording each cell's simulated makespan and
+//     traffic — the committed baseline pins the new planners' schedules
+//     exactly, the way the campaign baseline pins the flat gemm plans.
 //
 // Examples:
 //
@@ -16,6 +20,8 @@
 //	cocobench -smoke                       # one tiny size, sanity + CI smoke
 //	cocobench -campaign                    # DES sweep, results/bench-campaign.json
 //	cocobench -campaign -cpuprofile results/campaign.pprof
+//	cocobench -factor                      # results/bench-factor.json
+//	cocobench -factor -check results/bench-factor.json
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -70,6 +77,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per measurement (best is kept)")
 	smoke := flag.Bool("smoke", false, "tiny work-list, for CI sanity")
 	campaign := flag.Bool("campaign", false, "benchmark the DES campaign pipeline (cells/sec) instead of the BLAS payload engine")
+	factor := flag.Bool("factor", false, "sweep the tiled factorization planners (cholesky/lu/trsm) and record their simulated outcomes")
 	passes := flag.Int("passes", 3, "campaign passes per measured row (fresh runner each, fastest pass kept)")
 	check := flag.String("check", "", "compare against this committed baseline JSON and fail on regression (campaign reference row, or BLAS GFLOP/s per routine and size)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured section to this path")
@@ -106,6 +114,15 @@ func main() {
 			*out = filepath.Join("results", "bench-campaign.json")
 		}
 		if err := runCampaign(*out, *smoke, *passes, *check); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *factor {
+		if *out == "" {
+			*out = filepath.Join("results", "bench-factor.json")
+		}
+		if err := runFactor(*out, *smoke, *check); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -660,6 +677,129 @@ func phaseGate(tag string, got, base *campaignPhases) error {
 				tag, c.name, c.got, limit, c.base)
 		}
 	}
+	return nil
+}
+
+// factorRow is one measured factorization cell. Every field except
+// WallSeconds is a simulated outcome and must reproduce exactly: the
+// schedule a task-graph planner emits is deterministic, so any drift in
+// SimSeconds, Subkernels or the traffic bytes means the planner (or the
+// executor replaying it) changed.
+type factorRow struct {
+	Routine     string  `json:"routine"`
+	M           int     `json:"m"`
+	N           int     `json:"n"`
+	Tile        int     `json:"tile"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	Gflops      float64 `json:"gflops"`
+	Subkernels  int64   `json:"subkernels"`
+	BytesH2D    int64   `json:"bytes_h2d"`
+	BytesD2H    int64   `json:"bytes_d2h"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// factorReport is the JSON schema of results/bench-factor.json. Events is
+// the total DES event count of the whole sweep — one number that pins the
+// factorization plans' event-graph shapes the way the campaign baseline
+// pins the flat gemm plans.
+type factorReport struct {
+	Testbed string      `json:"testbed"`
+	Reps    int         `json:"reps"`
+	Events  int64       `json:"events"`
+	Rows    []factorRow `json:"rows"`
+}
+
+// factorTiles returns the tile sweep for the factorization mode.
+func factorTiles(smoke bool) []int {
+	if smoke {
+		return []int{512}
+	}
+	return []int{512, 1024}
+}
+
+// runFactor sweeps the tiled factorization planners over the factor
+// problem set on testbed I and either writes the report or, with checkPath
+// set, gates the simulated outcomes against the committed baseline. The
+// sweep is timing-only (no payload), so the whole mode runs in well under
+// a second.
+func runFactor(out string, smoke bool, checkPath string) error {
+	tb := machine.TestbedI()
+	r := eval.NewRunner(tb)
+	rep := factorReport{Testbed: tb.Name, Reps: r.Reps}
+	for _, p := range eval.FactorSet(smoke) {
+		for _, T := range factorTiles(smoke) {
+			start := time.Now()
+			res, err := r.Measure(eval.LibCoCoPeLia, p, T)
+			if err != nil {
+				return fmt.Errorf("factor %s T=%d: %w", p.Name(), T, err)
+			}
+			row := factorRow{
+				Routine: p.Routine, M: p.M, N: p.N, Tile: T,
+				SimSeconds: res.Seconds,
+				Gflops:     p.Flops() / res.Seconds / 1e9,
+				Subkernels: res.Subkernels,
+				BytesH2D:   res.BytesH2D, BytesD2H: res.BytesD2H,
+				WallSeconds: time.Since(start).Seconds(),
+			}
+			log.Printf("factor %-6s n=%-5d T=%-4d sim %8.2f ms  %7.1f GFLOP/s  %4d kernels  %5.1f MB up  %5.1f MB down",
+				row.Routine, row.N, row.Tile, row.SimSeconds*1e3, row.Gflops,
+				row.Subkernels, float64(row.BytesH2D)/1e6, float64(row.BytesD2H)/1e6)
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	rep.Events = r.EventsProcessed()
+	log.Printf("factor sweep: %d cells, %d DES events", len(rep.Rows), rep.Events)
+
+	if checkPath != "" {
+		return checkFactor(checkPath, &rep)
+	}
+	if err := writeJSON(out, &rep); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d rows)", out, len(rep.Rows))
+	return nil
+}
+
+// checkFactor gates a fresh factorization sweep against the committed
+// baseline. Unlike the BLAS and campaign gates there is no tolerance: every
+// simulated field must match exactly (encoding/json round-trips float64
+// shortest-form, so == on SimSeconds is an exact bit comparison), and the
+// two sweeps must contain the same rows. Wall-clock columns are
+// informational only.
+func checkFactor(path string, rep *factorReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base factorReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if len(rep.Rows) != len(base.Rows) {
+		return fmt.Errorf("factor sweep has %d rows, baseline %s has %d", len(rep.Rows), path, len(base.Rows))
+	}
+	for i, row := range rep.Rows {
+		b := base.Rows[i]
+		if row.Routine != b.Routine || row.M != b.M || row.N != b.N || row.Tile != b.Tile {
+			return fmt.Errorf("factor row %d is %s %dx%d T=%d, baseline has %s %dx%d T=%d",
+				i, row.Routine, row.M, row.N, row.Tile, b.Routine, b.M, b.N, b.Tile)
+		}
+		// Bit identity, not tolerance: the simulated time must round-trip
+		// through the JSON baseline unchanged.
+		if math.Float64bits(row.SimSeconds) != math.Float64bits(b.SimSeconds) ||
+			row.Subkernels != b.Subkernels ||
+			row.BytesH2D != b.BytesH2D || row.BytesD2H != b.BytesD2H {
+			return fmt.Errorf(
+				"factor %s n=%d T=%d drifted from baseline %s: sim=%v kernels=%d h2d=%d d2h=%d, baseline sim=%v kernels=%d h2d=%d d2h=%d",
+				row.Routine, row.N, row.Tile, path,
+				row.SimSeconds, row.Subkernels, row.BytesH2D, row.BytesD2H,
+				b.SimSeconds, b.Subkernels, b.BytesH2D, b.BytesD2H)
+		}
+	}
+	if rep.Events != base.Events {
+		return fmt.Errorf("factor sweep processed %d DES events, baseline %s has %d", rep.Events, path, base.Events)
+	}
+	log.Printf("factor check OK: %d rows and %d events identical to baseline %s", len(rep.Rows), rep.Events, path)
 	return nil
 }
 

@@ -39,7 +39,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cocomodel: ")
 	testbed := flag.String("testbed", "II", "testbed: I or II")
-	routine := flag.String("routine", "dgemm", "routine: dgemm, sgemm or daxpy")
+	routine := flag.String("routine", "dgemm", "routine: dgemm, sgemm, daxpy, or (with -dump-plan) dpotrf, dgetrf, dtrsm")
 	size := flag.Int("size", 8192, "square problem size (sets m=n=k)")
 	m := flag.Int("m", 0, "gemm M (overrides -size)")
 	n := flag.Int("n", 0, "gemm N / daxpy length (overrides -size)")
@@ -72,9 +72,23 @@ func main() {
 		p.Dtype = kernelmodel.F32
 	}
 	want := 3
-	if *routine == "daxpy" {
+	switch *routine {
+	case "daxpy":
 		want = 2
 		p.M, p.K = 0, 0
+	case "dpotrf", "dgetrf":
+		// Square factorization: one operand, M follows N.
+		want = 1
+		p.M, p.K = p.N, 0
+	case "dtrsm":
+		// Triangular solve: A (M x M) and B (M x N).
+		want = 2
+		p.K = 0
+	}
+	if len(*locs) == 3 && want < 3 && *locs == "HHH" {
+		// The default flag value; shrink it rather than demanding -locs for
+		// the all-host case.
+		*locs = "HHH"[:want]
 	}
 	if len(*locs) != want {
 		log.Fatalf("-locs needs %d characters for %s", want, *routine)
@@ -95,6 +109,10 @@ func main() {
 			log.Fatal(err)
 		}
 		return
+	}
+	switch *routine {
+	case "dpotrf", "dgetrf", "dtrsm":
+		log.Fatalf("%s supports -dump-plan only (the prediction table covers the benchmarked routines)", *routine)
 	}
 
 	// Progress goes to stderr so stdout carries only the prediction table.
@@ -199,6 +217,49 @@ func dumpPlanText(tb *machine.Testbed, p eval.Problem, T int) error {
 	ctx := sched.NewContext(rt, false)
 	var pl *plan.Plan
 	var err error
+	mat := func(rows, cols int, loc model.Loc) (*operand.Matrix, error) {
+		if loc == model.OnHost {
+			return &operand.Matrix{Rows: rows, Cols: cols, Loc: model.OnHost, HostLd: rows}, nil
+		}
+		buf, err := rt.Malloc(p.Dtype, int64(rows)*int64(cols), false)
+		if err != nil {
+			return nil, err
+		}
+		return &operand.Matrix{Rows: rows, Cols: cols, Loc: model.OnDevice, Dev: buf, DevLd: rows}, nil
+	}
+	switch p.Routine {
+	case "dpotrf", "dgetrf":
+		var a *operand.Matrix
+		if a, err = mat(p.N, p.N, p.Locs[0]); err != nil {
+			return err
+		}
+		if p.Routine == "dpotrf" {
+			pl, err = ctx.PlanCholesky(sched.CholeskyOpts{Dtype: p.Dtype, N: p.N, A: a, T: T})
+		} else {
+			pl, err = ctx.PlanLU(sched.LUOpts{Dtype: p.Dtype, N: p.N, A: a, T: T})
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(pl.Dump())
+		return nil
+	case "dtrsm":
+		var a, b *operand.Matrix
+		if a, err = mat(p.M, p.M, p.Locs[0]); err != nil {
+			return err
+		}
+		if b, err = mat(p.M, p.N, p.Locs[1]); err != nil {
+			return err
+		}
+		pl, err = ctx.PlanTrsm(sched.TrsmOpts{
+			Dtype: p.Dtype, M: p.M, N: p.N, Alpha: 1, A: a, B: b, T: T,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(pl.Dump())
+		return nil
+	}
 	if p.Routine == "daxpy" {
 		vec := func(loc model.Loc) (*operand.Vector, error) {
 			if loc == model.OnHost {
@@ -219,16 +280,6 @@ func dumpPlanText(tb *machine.Testbed, p eval.Problem, T int) error {
 		}
 		pl, err = ctx.PlanAxpy(sched.AxpyOpts{N: p.N, Alpha: 1, X: x, Y: y, T: T})
 	} else {
-		mat := func(rows, cols int, loc model.Loc) (*operand.Matrix, error) {
-			if loc == model.OnHost {
-				return &operand.Matrix{Rows: rows, Cols: cols, Loc: model.OnHost, HostLd: rows}, nil
-			}
-			buf, err := rt.Malloc(p.Dtype, int64(rows)*int64(cols), false)
-			if err != nil {
-				return nil, err
-			}
-			return &operand.Matrix{Rows: rows, Cols: cols, Loc: model.OnDevice, Dev: buf, DevLd: rows}, nil
-		}
 		var a, b, c *operand.Matrix
 		if a, err = mat(p.M, p.K, p.Locs[0]); err != nil {
 			return err

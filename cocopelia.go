@@ -30,6 +30,7 @@ package cocopelia
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"cocopelia/internal/cudart"
 	"cocopelia/internal/device"
@@ -38,6 +39,7 @@ import (
 	"cocopelia/internal/microbench"
 	"cocopelia/internal/model"
 	"cocopelia/internal/operand"
+	"cocopelia/internal/plan"
 	"cocopelia/internal/predictor"
 	"cocopelia/internal/sched"
 	"cocopelia/internal/sim"
@@ -378,6 +380,143 @@ func (l *Library) DaxpyTile(n int, alpha float64, x, y *Vector, T int) (Result, 
 		return Result{}, fmt.Errorf("cocopelia: non-positive tile %d", T)
 	}
 	return l.ctx.Axpy(sched.AxpyOpts{N: n, Alpha: alpha, X: x, Y: y, T: T})
+}
+
+// The tiled factorizations below run on the task-graph plan IR: one plan
+// whose kernel ops span several BLAS kinds (potrf/getrf/trsm/syrk/gemm
+// tiles) with explicit cross-kernel dependency edges, so a factored tile
+// forwards directly from the kernel that produced it to the kernels that
+// consume it — no intermediate write-back.
+
+// factorTileGrid is the candidate sweep searched by the factorization
+// entry points. The factorization kernels are modeled analytically rather
+// than on the deployment's benchmarked lookup grid, so the candidates are
+// a fixed sweep clipped to the problem size.
+var factorTileGrid = []int{256, 512, 768, 1024, 1536, 2048}
+
+// predictPlanOverlap evaluates the Werkhoven-style full-overlap lower
+// bound for a task-graph plan: the simulated run can approach but never
+// beat max(sum of kernel times, h2d link time, d2h link time), with each
+// transfer op paying the link's setup latency once.
+func (l *Library) predictPlanOverlap(p *plan.Plan) float64 {
+	nIn, nOut := p.TransferOps()
+	v := p.Volumes()
+	tIn := float64(nIn)*l.tb.H2D.LatencyS + float64(v.BytesH2D)/l.tb.H2D.BandwidthBps
+	tOut := float64(nOut)*l.tb.D2H.LatencyS + float64(v.BytesD2H)/l.tb.D2H.BandwidthBps
+	return math.Max(p.KernelSeconds(&l.tb.GPU), math.Max(tIn, tOut))
+}
+
+// factorPlan builds the task-graph plan for one factorization invocation.
+// b is the right-hand side of "dtrsm" and nil otherwise.
+func (l *Library) factorPlan(routine string, m, n, T int, diag byte, alpha float64, a, b *Matrix) (*plan.Plan, error) {
+	switch routine {
+	case "dpotrf":
+		return l.ctx.PlanCholesky(sched.CholeskyOpts{Dtype: kernelmodel.F64, N: n, A: a, T: T})
+	case "dgetrf":
+		return l.ctx.PlanLU(sched.LUOpts{Dtype: kernelmodel.F64, N: n, A: a, T: T})
+	case "dtrsm":
+		return l.ctx.PlanTrsm(sched.TrsmOpts{
+			Dtype: kernelmodel.F64, Diag: diag, M: m, N: n,
+			Alpha: alpha, A: a, B: b, T: T,
+		})
+	}
+	return nil, fmt.Errorf("cocopelia: unknown factorization routine %q", routine)
+}
+
+// SelectFactorTile picks the tiling size minimizing the overlap bound for
+// a factorization routine ("dpotrf", "dgetrf" or "dtrsm" — for dpotrf and
+// dgetrf pass m == n). Problems smaller than the candidate grid run as a
+// single tile; Selection.Predicted is the bound at the chosen tile either
+// way.
+func (l *Library) SelectFactorTile(routine string, m, n int, a, b *Matrix) (Selection, error) {
+	minDim := min(m, n)
+	if routine != "dtrsm" {
+		minDim = n
+	}
+	best := Selection{Predicted: math.Inf(1)}
+	for _, T := range factorTileGrid {
+		if T > minDim {
+			continue
+		}
+		p, err := l.factorPlan(routine, m, n, T, 0, 1, a, b)
+		if err != nil {
+			return Selection{}, err
+		}
+		if t := l.predictPlanOverlap(p); t < best.Predicted {
+			best = Selection{T: T, Predicted: t}
+		}
+	}
+	if best.T == 0 {
+		p, err := l.factorPlan(routine, m, n, minDim, 0, 1, a, b)
+		if err != nil {
+			return Selection{}, err
+		}
+		best = Selection{T: minDim, Predicted: l.predictPlanOverlap(p)}
+	}
+	return best, nil
+}
+
+// Dpotrf computes the in-place lower-triangular Cholesky factorization
+// A = L*L^T of the n x n matrix A through the task-graph scheduler, with
+// automatic tiling-size selection. On functional sessions A's lower
+// triangle is overwritten by L; tiles strictly above the diagonal are
+// never touched.
+func (l *Library) Dpotrf(n int, a *Matrix) (Result, error) {
+	sel, err := l.SelectFactorTile("dpotrf", n, n, a, nil)
+	if err != nil {
+		return Result{}, fmt.Errorf("cocopelia: tile selection: %w", err)
+	}
+	return l.DpotrfTile(n, a, sel.T)
+}
+
+// DpotrfTile is Dpotrf with an explicit tiling size.
+func (l *Library) DpotrfTile(n int, a *Matrix, T int) (Result, error) {
+	if T <= 0 {
+		return Result{}, fmt.Errorf("cocopelia: non-positive tile %d", T)
+	}
+	return l.ctx.Cholesky(sched.CholeskyOpts{Dtype: kernelmodel.F64, N: n, A: a, T: T})
+}
+
+// Dgetrf computes the in-place unpivoted LU factorization A = L*U of the
+// n x n matrix A with automatic tiling-size selection. The schedule models
+// no row exchanges; functional callers supply pivot-free (e.g. diagonally
+// dominant) matrices.
+func (l *Library) Dgetrf(n int, a *Matrix) (Result, error) {
+	sel, err := l.SelectFactorTile("dgetrf", n, n, a, nil)
+	if err != nil {
+		return Result{}, fmt.Errorf("cocopelia: tile selection: %w", err)
+	}
+	return l.DgetrfTile(n, a, sel.T)
+}
+
+// DgetrfTile is Dgetrf with an explicit tiling size.
+func (l *Library) DgetrfTile(n int, a *Matrix, T int) (Result, error) {
+	if T <= 0 {
+		return Result{}, fmt.Errorf("cocopelia: non-positive tile %d", T)
+	}
+	return l.ctx.LU(sched.LUOpts{Dtype: kernelmodel.F64, N: n, A: a, T: T})
+}
+
+// Dtrsm solves the left/lower/no-trans triangular system A*X = alpha*B in
+// place (X overwrites the m x n matrix B; diag is 'N' or 'U') with
+// automatic tiling-size selection.
+func (l *Library) Dtrsm(diag byte, m, n int, alpha float64, a, b *Matrix) (Result, error) {
+	sel, err := l.SelectFactorTile("dtrsm", m, n, a, b)
+	if err != nil {
+		return Result{}, fmt.Errorf("cocopelia: tile selection: %w", err)
+	}
+	return l.DtrsmTile(diag, m, n, alpha, a, b, sel.T)
+}
+
+// DtrsmTile is Dtrsm with an explicit tiling size.
+func (l *Library) DtrsmTile(diag byte, m, n int, alpha float64, a, b *Matrix, T int) (Result, error) {
+	if T <= 0 {
+		return Result{}, fmt.Errorf("cocopelia: non-positive tile %d", T)
+	}
+	return l.ctx.Trsm(sched.TrsmOpts{
+		Dtype: kernelmodel.F64, Diag: diag, M: m, N: n,
+		Alpha: alpha, A: a, B: b, T: T,
+	})
 }
 
 // DeviceMatrix allocates a device-resident matrix on the session's GPU,

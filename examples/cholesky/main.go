@@ -1,15 +1,19 @@
-// Blocked Cholesky factorization on top of the CoCoPeLia public API — the
-// kind of higher-level computation the paper's introduction motivates
+// Tiled Cholesky factorization through the CoCoPeLia task-graph planner —
+// the kind of higher-level computation the paper's introduction motivates
 // ("domain experts rely on standardized and performance-optimized
 // [BLAS] libraries to build more complex simulations").
 //
-// The right-looking blocked algorithm factors a symmetric positive-
-// definite A = L·Lᵀ in panels: the small diagonal block factors on the
-// host, the panel solve runs on the host (trsm), and the large trailing
-// update — the FLOP-dominant step — offloads through CoCoPeLia's
-// auto-tuned syrk/gemm with 3-way overlap on the simulated GPU.
+// Unlike a host-driven blocked loop that offloads only the trailing
+// update, the whole right-looking factorization is planned as ONE task
+// graph: POTRF, TRSM, SYRK and GEMM tile kernels with explicit dependency
+// edges, so a factored tile forwards directly from the kernel that
+// produced it to the kernels that consume it while other tiles are still
+// in flight. The example prints the Werkhoven-style full-overlap lower
+// bound (max of kernel-time sum, h2d time, d2h time — derived from the
+// plan's volume annotations) next to the simulated makespan, then
+// verifies L against the original matrix.
 //
-//	go run ./examples/cholesky [-n 768] [-nb 128]
+//	go run ./examples/cholesky [-n 1536] [-t 0]
 package main
 
 import (
@@ -25,10 +29,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	n := flag.Int("n", 768, "matrix order")
-	nb := flag.Int("nb", 128, "panel width")
+	n := flag.Int("n", 1536, "matrix order")
+	tile := flag.Int("t", 0, "tiling size (0 = auto-select)")
 	flag.Parse()
-	N, NB := *n, *nb
+	N := *n
 
 	lib, err := cocopelia.Open(cocopelia.TestbedII(), cocopelia.Options{Backed: true})
 	if err != nil {
@@ -50,48 +54,36 @@ func main() {
 		a[i+i*N] += float64(N)
 	}
 	orig := append([]float64(nil), a...)
+	mat := cocopelia.HostMatrix(N, N, a)
 
-	fmt.Printf("blocked Cholesky of a %dx%d SPD matrix, panel %d\n", N, N, NB)
-	offloaded := 0.0
-	panels := 0
-	for j := 0; j < N; j += NB {
-		jb := min(NB, N-j)
-
-		// 1. Factor the diagonal block on the host (unblocked Cholesky).
-		if err := cholUnblocked(a, N, j, jb); err != nil {
-			log.Fatalf("panel %d: %v", j/NB, err)
-		}
-
-		if j+jb >= N {
-			break
-		}
-		rest := N - j - jb
-
-		// 2. Panel solve on the host: L21 = A21 · L11^-T.
-		if err := blas.Trsm(blas.Right, blas.Lower, blas.Trans, blas.NonUnit,
-			rest, jb, 1, a[j+j*N:], N, a[(j+jb)+j*N:], N); err != nil {
-			log.Fatal(err)
-		}
-
-		// 3. Trailing update on the GPU through CoCoPeLia:
-		//    A22 -= L21 · L21ᵀ  (syrk with alpha = -1, beta = 1).
-		l21 := &cocopelia.Matrix{
-			Rows: rest, Cols: jb, Loc: cocopelia.OnHost,
-			HostF64: a[(j+jb)+j*N:], HostLd: N,
-		}
-		a22 := &cocopelia.Matrix{
-			Rows: rest, Cols: rest, Loc: cocopelia.OnHost,
-			HostF64: a[(j+jb)+(j+jb)*N:], HostLd: N,
-		}
-		res, err := lib.Dsyrk('N', rest, jb, -1, l21, 1, a22)
-		if err != nil {
-			log.Fatal(err)
-		}
-		offloaded += res.Seconds
-		panels++
+	// Pick the tile (or adopt the flag) and report the model's view.
+	sel, err := lib.SelectFactorTile("dpotrf", N, N, mat, nil)
+	if err != nil {
+		log.Fatal(err)
 	}
+	T := sel.T
+	if *tile > 0 {
+		T = *tile
+	}
+	fmt.Printf("tiled Cholesky of a %dx%d SPD matrix, tile %d", N, N, T)
+	if *tile == 0 {
+		fmt.Printf(" (auto-selected)")
+	}
+	fmt.Println()
 
-	// Verify: zero the strict upper triangle, compute L·Lᵀ and compare.
+	res, err := lib.DpotrfTile(N, mat, T)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d tile kernels, %.1f MB up, %.1f MB down\n",
+		res.Subkernels, float64(res.BytesH2D)/1e6, float64(res.BytesD2H)/1e6)
+	fmt.Printf("  predicted (full-overlap bound) %8.3f ms\n", sel.Predicted*1e3)
+	fmt.Printf("  simulated makespan             %8.3f ms  (%.2fx the bound)\n",
+		res.Seconds*1e3, res.Seconds/sel.Predicted)
+
+	// Verify: zero the strict upper triangle (above-diagonal entries inside
+	// diagonal tiles hold intermediate update values — the simulated SYRK
+	// payload writes full tiles), compute L·Lᵀ and compare against A.
 	l := append([]float64(nil), a...)
 	for j := 0; j < N; j++ {
 		for i := 0; i < j; i++ {
@@ -107,35 +99,9 @@ func main() {
 		maxErr = math.Max(maxErr, math.Abs(check[i]-orig[i]))
 		ref = math.Max(ref, math.Abs(orig[i]))
 	}
-	fmt.Printf("  %d trailing updates offloaded, %.3f ms simulated GPU time\n", panels, offloaded*1e3)
 	fmt.Printf("  residual ||L*L^T - A||_max / ||A||_max = %.2e\n", maxErr/ref)
 	if maxErr/ref > 1e-10 {
 		log.Fatal("factorization verification FAILED")
 	}
 	fmt.Println("  factorization verified against the original matrix")
-}
-
-// cholUnblocked factors the jb x jb diagonal block at (j, j) in place
-// (lower triangle), referencing columns below it for the already-updated
-// panel.
-func cholUnblocked(a []float64, lda, j, jb int) error {
-	for p := j; p < j+jb; p++ {
-		d := a[p+p*lda]
-		for l := j; l < p; l++ {
-			d -= a[p+l*lda] * a[p+l*lda]
-		}
-		if d <= 0 {
-			return fmt.Errorf("matrix not positive definite at %d (pivot %g)", p, d)
-		}
-		d = math.Sqrt(d)
-		a[p+p*lda] = d
-		for i := p + 1; i < j+jb; i++ {
-			s := a[i+p*lda]
-			for l := j; l < p; l++ {
-				s -= a[i+l*lda] * a[p+l*lda]
-			}
-			a[i+p*lda] = s / d
-		}
-	}
-	return nil
 }

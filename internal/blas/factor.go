@@ -1,0 +1,116 @@
+package blas
+
+// This file holds the unblocked dense factorization kernels. They are the
+// functional payloads of the simulated GPU's diagonal-tile kernels
+// (POTRF/GETRF): the tiled factorization planners decompose a matrix into
+// tile task graphs whose diagonal factorizations land here, while the
+// panel solves and trailing updates reuse Trsm/Syrk/Gemm.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// badWrap wraps a sentinel error with formatted detail.
+func badWrap(sentinel error, format string, args ...any) error {
+	return fmt.Errorf("%w: %s", sentinel, fmt.Sprintf(format, args...))
+}
+
+// ErrNotPositiveDefinite is wrapped by Potrf when a leading minor is not
+// positive definite.
+var ErrNotPositiveDefinite = errors.New("blas: matrix not positive definite")
+
+// ErrSingular is wrapped by Getrf when a pivot is exactly zero.
+var ErrSingular = errors.New("blas: matrix is singular")
+
+// Potrf computes the in-place Cholesky factorization of the n x n matrix A:
+// A = L*L^T (uplo Lower, L written to the lower triangle) or A = U^T*U
+// (uplo Upper). Only the referenced triangle is read and written; the
+// opposite triangle is left untouched.
+func Potrf[F Float](uplo byte, n int, a []F, lda int) error {
+	if uplo != Upper && uplo != Lower {
+		return badShape("potrf: bad uplo %q", uplo)
+	}
+	if err := checkMatrix("A", n, n, lda, a); err != nil {
+		return err
+	}
+	if uplo == Lower {
+		for j := 0; j < n; j++ {
+			// Diagonal: a[j,j] = sqrt(a[j,j] - sum_k L[j,k]²).
+			var s F
+			row := a[j:]
+			for k := 0; k < j; k++ {
+				v := row[k*lda]
+				s += v * v
+			}
+			d := a[j+j*lda] - s
+			if d <= 0 {
+				return errorMinor(j)
+			}
+			d = F(math.Sqrt(float64(d)))
+			a[j+j*lda] = d
+			// Column below: L[i,j] = (a[i,j] - sum_k L[i,k]·L[j,k]) / d.
+			for i := j + 1; i < n; i++ {
+				var s F
+				for k := 0; k < j; k++ {
+					s += a[i+k*lda] * a[j+k*lda]
+				}
+				a[i+j*lda] = (a[i+j*lda] - s) / d
+			}
+		}
+		return nil
+	}
+	// Upper: factor the transposed problem over the upper triangle.
+	for j := 0; j < n; j++ {
+		var s F
+		col := a[j*lda : j*lda+j]
+		for _, v := range col {
+			s += v * v
+		}
+		d := a[j+j*lda] - s
+		if d <= 0 {
+			return errorMinor(j)
+		}
+		d = F(math.Sqrt(float64(d)))
+		a[j+j*lda] = d
+		for i := j + 1; i < n; i++ {
+			var s F
+			for k := 0; k < j; k++ {
+				s += a[k+j*lda] * a[k+i*lda]
+			}
+			a[j+i*lda] = (a[j+i*lda] - s) / d
+		}
+	}
+	return nil
+}
+
+func errorMinor(j int) error {
+	return badWrap(ErrNotPositiveDefinite, "leading minor of order %d", j+1)
+}
+
+// Getrf computes the in-place unpivoted LU factorization of the n x n
+// matrix A = L*U with L unit lower triangular (its unit diagonal is not
+// stored) and U upper triangular. Without pivoting the factorization
+// requires every leading minor to be nonsingular — callers supply
+// diagonally dominant (or otherwise pivot-free) matrices, matching the
+// tiled right-looking planner, which models no row exchanges.
+func Getrf[F Float](n int, a []F, lda int) error {
+	if err := checkMatrix("A", n, n, lda, a); err != nil {
+		return err
+	}
+	for k := 0; k < n; k++ {
+		p := a[k+k*lda]
+		if p == 0 {
+			return badWrap(ErrSingular, "zero pivot at %d", k)
+		}
+		for i := k + 1; i < n; i++ {
+			l := a[i+k*lda] / p
+			a[i+k*lda] = l
+			for j := k + 1; j < n; j++ {
+				a[i+j*lda] -= l * a[k+j*lda]
+			}
+		}
+	}
+	return nil
+}

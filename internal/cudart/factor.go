@@ -1,0 +1,196 @@
+package cudart
+
+// Factorization tile kernels: the device-side POTRF/GETRF/TRSM/SYRK calls
+// the task-graph plans launch. Timing comes from the per-routine kernel
+// ground-truth models (memoized like the flat BLAS kinds); arithmetic runs
+// on backed buffers through the reference CPU kernels, so a backed
+// factorization replay produces real numerics tile by tile.
+
+import (
+	"errors"
+	"fmt"
+
+	"cocopelia/internal/blas"
+	"cocopelia/internal/kernelmodel"
+)
+
+// Kernel-time memo tags of the factorization routines. The flat-BLAS tags
+// (ktGemm..ktAxpy) always set bit 61 or 62, so keys with those bits clear
+// form a disjoint family; the factorization routines put their sub-tag in
+// the low bits instead (their dims occupy bits 20..59, dtype bit 60), which
+// also keeps every key non-zero as kernelTime requires.
+const (
+	ktfPotrf int64 = 1
+	ktfGetrf int64 = 2
+	ktfTrsmL int64 = 3
+	ktfTrsmR int64 = 4
+	ktfSyrk  int64 = 5
+)
+
+// potrfTime returns the memoized Cholesky tile-kernel duration.
+func (rt *Runtime) potrfTime(dt kernelmodel.Dtype, n int) float64 {
+	if n >= ktDimLimit {
+		return kernelmodel.PotrfTime(&rt.dev.Testbed().GPU, dt, n)
+	}
+	key := int64(dt)<<60 | int64(n)<<20 | ktfPotrf
+	return rt.kernelTime(key, func() float64 {
+		return kernelmodel.PotrfTime(&rt.dev.Testbed().GPU, dt, n)
+	})
+}
+
+// getrfTime returns the memoized LU tile-kernel duration.
+func (rt *Runtime) getrfTime(dt kernelmodel.Dtype, n int) float64 {
+	if n >= ktDimLimit {
+		return kernelmodel.GetrfTime(&rt.dev.Testbed().GPU, dt, n)
+	}
+	key := int64(dt)<<60 | int64(n)<<20 | ktfGetrf
+	return rt.kernelTime(key, func() float64 {
+		return kernelmodel.GetrfTime(&rt.dev.Testbed().GPU, dt, n)
+	})
+}
+
+// trsmTime returns the memoized triangular-solve kernel duration; the side
+// flag selects the sub-tag (the shape dims occupy bits 20..59).
+func (rt *Runtime) trsmTime(dt kernelmodel.Dtype, side byte, m, n int) float64 {
+	if m >= ktDimLimit || n >= ktDimLimit {
+		return kernelmodel.TrsmTime(&rt.dev.Testbed().GPU, dt, side, m, n)
+	}
+	tag := ktfTrsmR
+	if side == blas.Left {
+		tag = ktfTrsmL
+	}
+	key := int64(dt)<<60 | int64(m)<<40 | int64(n)<<20 | tag
+	return rt.kernelTime(key, func() float64 {
+		return kernelmodel.TrsmTime(&rt.dev.Testbed().GPU, dt, side, m, n)
+	})
+}
+
+// syrkTime returns the memoized rank-k-update kernel duration.
+func (rt *Runtime) syrkTime(dt kernelmodel.Dtype, n, k int) float64 {
+	if n >= ktDimLimit || k >= ktDimLimit {
+		return kernelmodel.SyrkTime(&rt.dev.Testbed().GPU, dt, n, k)
+	}
+	key := int64(dt)<<60 | int64(n)<<40 | int64(k)<<20 | ktfSyrk
+	return rt.kernelTime(key, func() float64 {
+		return kernelmodel.SyrkTime(&rt.dev.Testbed().GPU, dt, n, k)
+	})
+}
+
+// kernelName picks the dtype-prefixed kernel name ("dpotrf"/"spotrf", ...).
+func kernelName(dt kernelmodel.Dtype, d, s string) string {
+	if dt == kernelmodel.F32 {
+		return s
+	}
+	return d
+}
+
+// PotrfAsync enqueues the in-place Cholesky factorization of the n x n
+// tile at A[offA] (referenced triangle per uplo). The payload panics on a
+// non-positive-definite tile, mirroring the other payloads' treatment of
+// impossible launches — callers own operand validity.
+func (s *Stream) PotrfAsync(uplo byte, n int, a *DevBuffer, offA int64, lda int) (*Event, error) {
+	dt := a.dt
+	dur := s.rt.potrfTime(dt, n)
+	var payload func()
+	if a.Backed() {
+		payload = func() {
+			var err error
+			if dt == kernelmodel.F64 {
+				err = blas.Potrf(uplo, n, a.f64[offA:], lda)
+			} else {
+				err = blas.Potrf(uplo, n, a.f32[offA:], lda)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("cudart: potrf payload: %v", err))
+			}
+		}
+	}
+	o := s.allocKernelOp(kernelName(dt, "dpotrf", "spotrf"), dur, payload)
+	return s.enqueue(o), nil
+}
+
+// GetrfAsync enqueues the in-place unpivoted LU factorization of the
+// n x n tile at A[offA].
+func (s *Stream) GetrfAsync(n int, a *DevBuffer, offA int64, lda int) (*Event, error) {
+	dt := a.dt
+	dur := s.rt.getrfTime(dt, n)
+	var payload func()
+	if a.Backed() {
+		payload = func() {
+			var err error
+			if dt == kernelmodel.F64 {
+				err = blas.Getrf(n, a.f64[offA:], lda)
+			} else {
+				err = blas.Getrf(n, a.f32[offA:], lda)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("cudart: getrf payload: %v", err))
+			}
+		}
+	}
+	o := s.allocKernelOp(kernelName(dt, "dgetrf", "sgetrf"), dur, payload)
+	return s.enqueue(o), nil
+}
+
+// TrsmAsync enqueues the triangular tile solve op(A)*X = alpha*B (side L)
+// or X*op(A) = alpha*B (side R), overwriting the m x n tile B.
+func (s *Stream) TrsmAsync(side, uplo, transA, diag byte, m, n int, alpha float64,
+	a *DevBuffer, offA int64, lda int, b *DevBuffer, offB int64, ldb int) (*Event, error) {
+
+	dt := b.dt
+	if a.dt != dt {
+		return nil, errors.New("cudart: trsm operand dtype mismatch")
+	}
+	dur := s.rt.trsmTime(dt, side, m, n)
+	var payload func()
+	if b.Backed() {
+		payload = func() {
+			var err error
+			if dt == kernelmodel.F64 {
+				err = blas.Trsm(side, uplo, transA, diag, m, n, alpha,
+					a.f64[offA:], lda, b.f64[offB:], ldb)
+			} else {
+				err = blas.Trsm(side, uplo, transA, diag, m, n, float32(alpha),
+					a.f32[offA:], lda, b.f32[offB:], ldb)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("cudart: trsm payload: %v", err))
+			}
+		}
+	}
+	o := s.allocKernelOp(kernelName(dt, "dtrsm", "strsm"), dur, payload)
+	return s.enqueue(o), nil
+}
+
+// SyrkAsync enqueues the symmetric rank-k tile update
+// C = alpha*A*A^T + beta*C (trans 'N') or alpha*A^T*A + beta*C ('T') for
+// the n x n tile C. The uplo flag rides along for the timing model's sake
+// only — the CPU payload writes the full tile (the framework has no packed
+// triangular storage), which is harmless because factorization plans never
+// read the unreferenced triangle.
+func (s *Stream) SyrkAsync(uplo, trans byte, n, k int, alpha float64,
+	a *DevBuffer, offA int64, lda int, beta float64, c *DevBuffer, offC int64, ldc int) (*Event, error) {
+
+	_ = uplo
+	dt := c.dt
+	if a.dt != dt {
+		return nil, errors.New("cudart: syrk operand dtype mismatch")
+	}
+	dur := s.rt.syrkTime(dt, n, k)
+	var payload func()
+	if c.Backed() {
+		payload = func() {
+			var err error
+			if dt == kernelmodel.F64 {
+				err = blas.Syrk(trans, n, k, alpha, a.f64[offA:], lda, beta, c.f64[offC:], ldc)
+			} else {
+				err = blas.Syrk(trans, n, k, float32(alpha), a.f32[offA:], lda, float32(beta), c.f32[offC:], ldc)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("cudart: syrk payload: %v", err))
+			}
+		}
+	}
+	o := s.allocKernelOp(kernelName(dt, "dsyrk", "ssyrk"), dur, payload)
+	return s.enqueue(o), nil
+}

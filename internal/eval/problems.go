@@ -72,6 +72,14 @@ func (p Problem) Flops() float64 {
 		return 2 * float64(p.N)
 	case "dgemv":
 		return 2 * float64(p.M) * float64(p.N)
+	case "dpotrf":
+		n := float64(p.N)
+		return n * n * n / 3
+	case "dgetrf":
+		n := float64(p.N)
+		return 2 * n * n * n / 3
+	case "dtrsm":
+		return float64(p.M) * float64(p.M) * float64(p.N)
 	}
 	return 2 * float64(p.M) * float64(p.N) * float64(p.K)
 }
@@ -213,6 +221,29 @@ func GemvValidationSet(fast bool) []Problem {
 				Locs: append([]model.Loc(nil), locs...), Tag: "matvec",
 			})
 		}
+	}
+	return out
+}
+
+// FactorSet returns the tiled-factorization problem set: the three
+// task-graph routines (unpivoted, lower-triangular variants) at square
+// sizes with every operand host-resident — the full-offload case the
+// factorization planners target.
+func FactorSet(fast bool) []Problem {
+	sizes := []int{4096, 8192}
+	if fast {
+		sizes = []int{4096}
+	}
+	var out []Problem
+	for _, s := range sizes {
+		out = append(out,
+			Problem{Routine: "dpotrf", Dtype: kernelmodel.F64, M: s, N: s,
+				Locs: []model.Loc{model.OnHost}, Tag: "factor"},
+			Problem{Routine: "dgetrf", Dtype: kernelmodel.F64, M: s, N: s,
+				Locs: []model.Loc{model.OnHost}, Tag: "factor"},
+			Problem{Routine: "dtrsm", Dtype: kernelmodel.F64, M: s, N: s,
+				Locs: []model.Loc{model.OnHost, model.OnHost}, Tag: "factor"},
+		)
 	}
 	return out
 }

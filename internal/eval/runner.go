@@ -694,6 +694,14 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (res operand.Res
 		return r.finishTimed(&pc, rt, pend, err)
 	}
 
+	switch p.Routine {
+	case "dpotrf", "dgetrf", "dtrsm":
+		if lib != LibCoCoPeLia {
+			return operand.Result{}, fmt.Errorf("eval: library %s has no %s", lib, p.Routine)
+		}
+		return r.runFactor(bd, &pc, p, T)
+	}
+
 	a, b, c, err := gemmOperands(rt, p)
 	if err != nil {
 		return operand.Result{}, err
@@ -753,6 +761,73 @@ func (r *Runner) runOnce(lib Lib, p Problem, T int, seed int64) (res operand.Res
 		return res, err
 	}
 	return operand.Result{}, fmt.Errorf("eval: unknown library %s", lib)
+}
+
+// runFactor executes one repetition of a tiled factorization problem
+// ("dpotrf", "dgetrf" or "dtrsm") through the task-graph planners, with
+// the same plan-cache and phase-attribution flow as the flat routines.
+func (r *Runner) runFactor(bd *simBundle, pc *phaseLap, p Problem, T int) (operand.Result, error) {
+	rt, ctx := bd.rt, bd.ctx
+	mat := func(rows, cols int, loc model.Loc) (*operand.Matrix, error) {
+		if loc == model.OnHost {
+			return &operand.Matrix{Rows: rows, Cols: cols, Loc: model.OnHost, HostLd: rows}, nil
+		}
+		return deviceMatrix(rt, p.Dtype, rows, cols)
+	}
+	switch p.Routine {
+	case "dpotrf":
+		a, err := mat(p.N, p.N, p.Locs[0])
+		if err != nil {
+			return operand.Result{}, err
+		}
+		opts := sched.CholeskyOpts{Dtype: p.Dtype, N: p.N, A: a, T: T}
+		pc.lap(phaseOther)
+		pl, err := r.planFor(planCell("cholesky", p, T), func() (*plan.Plan, error) {
+			return ctx.PlanCholesky(opts)
+		})
+		if err != nil {
+			return operand.Result{}, err
+		}
+		pc.lap(phasePlan)
+		pend, err := ctx.CholeskyEnqueueWith(pl, opts)
+		return r.finishTimed(pc, rt, pend, err)
+	case "dgetrf":
+		a, err := mat(p.N, p.N, p.Locs[0])
+		if err != nil {
+			return operand.Result{}, err
+		}
+		opts := sched.LUOpts{Dtype: p.Dtype, N: p.N, A: a, T: T}
+		pc.lap(phaseOther)
+		pl, err := r.planFor(planCell("lu", p, T), func() (*plan.Plan, error) {
+			return ctx.PlanLU(opts)
+		})
+		if err != nil {
+			return operand.Result{}, err
+		}
+		pc.lap(phasePlan)
+		pend, err := ctx.LUEnqueueWith(pl, opts)
+		return r.finishTimed(pc, rt, pend, err)
+	}
+	// dtrsm: A is the M x M lower triangle, B the M x N right-hand side.
+	a, err := mat(p.M, p.M, p.Locs[0])
+	if err != nil {
+		return operand.Result{}, err
+	}
+	b, err := mat(p.M, p.N, p.Locs[1])
+	if err != nil {
+		return operand.Result{}, err
+	}
+	opts := sched.TrsmOpts{Dtype: p.Dtype, M: p.M, N: p.N, Alpha: 1, A: a, B: b, T: T}
+	pc.lap(phaseOther)
+	pl, err := r.planFor(planCell("trsm", p, T), func() (*plan.Plan, error) {
+		return ctx.PlanTrsm(opts)
+	})
+	if err != nil {
+		return operand.Result{}, err
+	}
+	pc.lap(phasePlan)
+	pend, err := ctx.TrsmEnqueueWith(pl, opts)
+	return r.finishTimed(pc, rt, pend, err)
 }
 
 // Measure runs the library on the problem with tiling size T (ignored by

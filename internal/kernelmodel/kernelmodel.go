@@ -164,6 +164,72 @@ func GemvTime(g *machine.GPUSpec, dt Dtype, m, n int) float64 {
 	return g.KernelLaunchS + math.Max(tCompute, tMemory)
 }
 
+// PotrfTime returns the execution time of the in-place Cholesky
+// factorization of an n x n tile (n³/3 flops over n² elements). The
+// panel's sequential dependency chain keeps the kernel well below gemm
+// efficiency at equal volume, which is why blocked factorizations push
+// their flops into TRSM/SYRK/GEMM updates.
+func PotrfTime(g *machine.GPUSpec, dt Dtype, n int) float64 {
+	if n <= 0 {
+		return g.KernelLaunchS
+	}
+	flops := float64(n) * float64(n) * float64(n) / 3
+	bytes := int64(n) * int64(n) * dt.Size()
+	tCompute := flops / (peak(g, dt) * 0.40 * gemmEff(g, dt, n, n, n))
+	tMemory := float64(bytes) / (g.MemBandwidthBps * memEff(g, bytes))
+	return g.KernelLaunchS + math.Max(tCompute, tMemory)
+}
+
+// GetrfTime returns the execution time of the in-place unpivoted LU
+// factorization of an n x n tile (2n³/3 flops over n² elements).
+func GetrfTime(g *machine.GPUSpec, dt Dtype, n int) float64 {
+	if n <= 0 {
+		return g.KernelLaunchS
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n) / 3
+	bytes := int64(n) * int64(n) * dt.Size()
+	tCompute := flops / (peak(g, dt) * 0.45 * gemmEff(g, dt, n, n, n))
+	tMemory := float64(bytes) / (g.MemBandwidthBps * memEff(g, bytes))
+	return g.KernelLaunchS + math.Max(tCompute, tMemory)
+}
+
+// TrsmTime returns the execution time of a triangular tile solve with an
+// m x n right-hand side: side 'L' solves op(A)X = B with A m x m (m²n
+// flops), any other side solves Xop(A) = B with A n x n (mn² flops). The
+// per-column back-substitution chain costs roughly half of the equivalent
+// gemm's efficiency.
+func TrsmTime(g *machine.GPUSpec, dt Dtype, side byte, m, n int) float64 {
+	if m <= 0 || n <= 0 {
+		return g.KernelLaunchS
+	}
+	var flops float64
+	var bytes int64
+	if side == 'L' {
+		flops = float64(m) * float64(m) * float64(n)
+		bytes = (int64(m)*int64(m) + 2*int64(m)*int64(n)) * dt.Size()
+	} else {
+		flops = float64(m) * float64(n) * float64(n)
+		bytes = (int64(n)*int64(n) + 2*int64(m)*int64(n)) * dt.Size()
+	}
+	tCompute := flops / (peak(g, dt) * 0.50 * gemmEff(g, dt, m, n, min(m, n)))
+	tMemory := float64(bytes) / (g.MemBandwidthBps * memEff(g, bytes))
+	return g.KernelLaunchS + math.Max(tCompute, tMemory)
+}
+
+// SyrkTime returns the execution time of a symmetric rank-k tile update of
+// an n x n output (n²k flops — the triangle halves the multiply count of
+// the equivalent gemm, and cuBLAS syrk tracks gemm efficiency closely).
+func SyrkTime(g *machine.GPUSpec, dt Dtype, n, k int) float64 {
+	if n <= 0 || k <= 0 {
+		return g.KernelLaunchS
+	}
+	flops := float64(n) * float64(n) * float64(k)
+	bytes := (int64(n)*int64(k) + int64(n)*int64(n)) * dt.Size()
+	tCompute := flops / (peak(g, dt) * gemmEff(g, dt, n, n, k))
+	tMemory := float64(bytes) / (g.MemBandwidthBps * memEff(g, bytes))
+	return g.KernelLaunchS + math.Max(tCompute, tMemory)
+}
+
 // DotTime returns the execution time of a length-n dot product (reads two
 // vectors, reduction output negligible).
 func DotTime(g *machine.GPUSpec, dt Dtype, n int) float64 {
@@ -189,15 +255,21 @@ type Routine string
 
 // The routines with ground-truth timing models.
 const (
-	RoutineGemm Routine = "gemm"
-	RoutineAxpy Routine = "axpy"
-	RoutineGemv Routine = "gemv"
-	RoutineDot  Routine = "dot"
-	RoutineScal Routine = "scal"
+	RoutineGemm  Routine = "gemm"
+	RoutineAxpy  Routine = "axpy"
+	RoutineGemv  Routine = "gemv"
+	RoutineDot   Routine = "dot"
+	RoutineScal  Routine = "scal"
+	RoutinePotrf Routine = "potrf"
+	RoutineGetrf Routine = "getrf"
+	RoutineTrsm  Routine = "trsm"
+	RoutineSyrk  Routine = "syrk"
 )
 
 // Time dispatches to the routine-specific model. dims carries (M, N, K) for
-// gemm, (M, N) for gemv, and (N) for the level-1 routines.
+// gemm, (M, N) for gemv and trsm (trsm dispatches as a left-side solve;
+// right-side callers use TrsmTime directly), (N, K) for syrk, and (N) for
+// potrf, getrf and the level-1 routines.
 func Time(g *machine.GPUSpec, r Routine, dt Dtype, dims ...int) (float64, error) {
 	switch r {
 	case RoutineGemm:
@@ -210,6 +282,26 @@ func Time(g *machine.GPUSpec, r Routine, dt Dtype, dims ...int) (float64, error)
 			return 0, fmt.Errorf("kernelmodel: gemv needs 2 dims, got %d", len(dims))
 		}
 		return GemvTime(g, dt, dims[0], dims[1]), nil
+	case RoutineTrsm:
+		if len(dims) != 2 {
+			return 0, fmt.Errorf("kernelmodel: trsm needs 2 dims, got %d", len(dims))
+		}
+		return TrsmTime(g, dt, 'L', dims[0], dims[1]), nil
+	case RoutineSyrk:
+		if len(dims) != 2 {
+			return 0, fmt.Errorf("kernelmodel: syrk needs 2 dims, got %d", len(dims))
+		}
+		return SyrkTime(g, dt, dims[0], dims[1]), nil
+	case RoutinePotrf:
+		if len(dims) != 1 {
+			return 0, fmt.Errorf("kernelmodel: potrf needs 1 dim, got %d", len(dims))
+		}
+		return PotrfTime(g, dt, dims[0]), nil
+	case RoutineGetrf:
+		if len(dims) != 1 {
+			return 0, fmt.Errorf("kernelmodel: getrf needs 1 dim, got %d", len(dims))
+		}
+		return GetrfTime(g, dt, dims[0]), nil
 	case RoutineAxpy, RoutineDot, RoutineScal:
 		if len(dims) != 1 {
 			return 0, fmt.Errorf("kernelmodel: %s needs 1 dim, got %d", r, len(dims))

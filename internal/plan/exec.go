@@ -145,7 +145,7 @@ func (e *Executor) Run(p *Plan, tgt Target, args []Arg) ([]*cudart.DevBuffer, er
 				bBuf, bOff, bLd := e.resolve(args, o.B)
 				cBuf, cOff, cLd := e.resolve(args, o.C)
 				ev, err = tgt.Comp.GemmAsync(o.TransA, o.TransB,
-					int(o.M), int(o.N), int(o.K), p.Alpha,
+					int(o.M), int(o.N), int(o.K), p.opAlpha(o),
 					aBuf, aOff, aLd, bBuf, bOff, bLd,
 					p.opBeta(o), cBuf, cOff, cLd)
 			case KGemv:
@@ -159,6 +159,24 @@ func (e *Executor) Run(p *Plan, tgt Target, args []Arg) ([]*cudart.DevBuffer, er
 				xBuf, xOff, _ := e.resolve(args, o.A)
 				yBuf, yOff, _ := e.resolve(args, o.C)
 				ev, err = tgt.Comp.AxpyAsync(int(o.N), p.Alpha, xBuf, xOff, yBuf, yOff)
+			case KPotrf:
+				aBuf, aOff, aLd := e.resolve(args, o.A)
+				ev, err = tgt.Comp.PotrfAsync(o.Uplo, int(o.N), aBuf, aOff, aLd)
+			case KGetrf:
+				aBuf, aOff, aLd := e.resolve(args, o.A)
+				ev, err = tgt.Comp.GetrfAsync(int(o.N), aBuf, aOff, aLd)
+			case KTrsm:
+				aBuf, aOff, aLd := e.resolve(args, o.A)
+				bBuf, bOff, bLd := e.resolve(args, o.B)
+				ev, err = tgt.Comp.TrsmAsync(o.Side, o.Uplo, o.TransA, o.Diag,
+					int(o.M), int(o.N), p.opAlpha(o),
+					aBuf, aOff, aLd, bBuf, bOff, bLd)
+			case KSyrk:
+				aBuf, aOff, aLd := e.resolve(args, o.A)
+				cBuf, cOff, cLd := e.resolve(args, o.C)
+				ev, err = tgt.Comp.SyrkAsync(o.Uplo, o.TransA, int(o.N), int(o.K),
+					p.opAlpha(o), aBuf, aOff, aLd,
+					p.opBeta(o), cBuf, cOff, cLd)
 			}
 			if err != nil {
 				return fail(err)

@@ -34,7 +34,7 @@ type GemmSpec struct {
 // already available — a device-resident operand or an unfetched slot).
 type tileState struct {
 	ref   Ref
-	ready int32
+	ready OpID
 	live  bool
 }
 
@@ -51,10 +51,11 @@ func newTileGrid(rows, cols int) tileGrid {
 func (g *tileGrid) at(ti, tj int) *tileState { return &g.tiles[ti*g.cols+tj] }
 
 // BuildGemm emits the full-reuse tiled gemm schedule (the paper's Section
-// IV-C scheduler): each input tile is fetched exactly once, output tiles
-// accumulate over K on the compute stream and are written back once. Op
-// emission order matches the imperative scheduler's stream-call order
-// exactly, so replay is event-identical.
+// IV-C scheduler) as a thin client of the Graph builder: each input tile is
+// fetched exactly once, output tiles accumulate over K on the compute
+// stream and are written back once. Op emission order matches the
+// imperative scheduler's stream-call order exactly, so replay is
+// event-identical.
 func BuildGemm(spec GemmSpec) *Plan {
 	T := spec.T
 	mt := ceil(spec.M, T)
@@ -70,10 +71,9 @@ func BuildGemm(spec GemmSpec) *Plan {
 		DispatchS: spec.DispatchOverheadS,
 		Locs:      []model.Loc{spec.LocA, spec.LocB, spec.LocC},
 	}
-	b := &builder{p: p}
+	g := NewGraph(p)
 
-	// Pre-size the arenas from the known schedule shape: appending tens of
-	// thousands of ops through slice growth would dominate planning time.
+	// Pre-size the arenas from the known schedule shape.
 	hostTiles := func(l model.Loc, n int) int {
 		if l == model.OnHost {
 			return n
@@ -93,9 +93,7 @@ func BuildGemm(spec GemmSpec) *Plan {
 		cFetches = cTiles
 	}
 	slotsCap := aTiles + bTiles + cTiles
-	p.Slots = make([]Slot, 0, slotsCap)
-	p.Ops = make([]Op, 0, slotsCap+aTiles+bTiles+cFetches+kernelOps+cTiles)
-	p.deps = make([]int32, 0, 4*kernels+cTiles)
+	g.Grow(slotsCap, slotsCap+aTiles+bTiles+cFetches+kernelOps+cTiles, 4*kernels+cTiles)
 
 	// Tile grids are keyed by STORED coordinates, following the transposes.
 	aGridR, aGridC := mt, kt
@@ -122,28 +120,24 @@ func BuildGemm(spec GemmSpec) *Plan {
 		}
 		t.live = true
 		if loc(arg) == model.OnDevice {
-			t.ref = argRef(arg, int32(ti*T), int32(tj*T))
-			t.ready = -1
+			t.ref = ArgRef(arg, int32(ti*T), int32(tj*T))
+			t.ready = NoOp
 			return t
 		}
-		slot := b.slot(dt, int64(rows)*int64(cols))
-		b.alloc(slot)
-		t.ref = slotRef(slot, int32(rows))
-		t.ready = -1
+		slot := g.Slot(dt, int64(rows)*int64(cols))
+		g.Alloc(slot)
+		t.ref = SlotRef(slot, int32(rows))
+		t.ready = NoOp
 		if fetch {
-			o, id := b.emit()
-			o.Kind, o.Slot = OpFetch, slot
-			o.A = argRef(arg, int32(ti*T), int32(tj*T))
-			o.M, o.N = int32(rows), int32(cols)
-			t.ready = id
-			p.BytesH2D += int64(rows) * int64(cols) * dt.Size()
+			t.ready = g.Fetch(arg, int32(ti*T), int32(tj*T), int32(rows), int32(cols), slot)
 		}
 		return t
 	}
 
 	fetchC := spec.Beta != 0 // C contributes only when beta != 0
-	pendingWB := int32(-1)   // blocking write-back awaiting the next kernel
-	lastComp := int32(-1)
+	pendingWB := NoOp        // blocking write-back awaiting the next kernel
+	lastComp := NoOp
+	var depBuf []OpID // reused wait list, in registration order
 
 	for tj := 0; tj < nt; tj++ {
 		for ti := 0; ti < mt; ti++ {
@@ -165,13 +159,11 @@ func BuildGemm(spec GemmSpec) *Plan {
 				// Compute-stream waits, in registration order: a pending
 				// blocking write-back attaches first, then the input tiles,
 				// then (first accumulation only) the output tile.
-				b.dep(pendingWB)
-				pendingWB = -1
-				b.dep(aTile.ready)
-				b.dep(bTile.ready)
+				depBuf = append(depBuf[:0], pendingWB, aTile.ready, bTile.ready)
+				pendingWB = NoOp
 				beta := 1.0
 				if tk == 0 {
-					b.dep(cTile.ready)
+					depBuf = append(depBuf, cTile.ready)
 					beta = spec.Beta
 					if !fetchC {
 						beta = 0
@@ -180,35 +172,25 @@ func BuildGemm(spec GemmSpec) *Plan {
 				if spec.DispatchOverheadS > 0 {
 					// The dispatch kernel drains the pending waits; the gemm
 					// follows it in stream order with no explicit deps.
-					d, _ := b.emit()
-					d.Kind, d.Kernel = OpKernel, KDispatch
+					g.Dispatch(depBuf...)
+					depBuf = depBuf[:0]
 				}
-				o, kid := b.emit()
-				o.Kind, o.Kernel = OpKernel, KGemm
-				o.TransA, o.TransB = spec.TransA, spec.TransB
-				o.M, o.N, o.K = int32(rows), int32(cols), int32(inner)
-				o.Beta = betaSel(beta)
-				o.A, o.B, o.C = aTile.ref, bTile.ref, cTile.ref
-				lastComp = kid
-				p.Subkernels++
+				lastComp = g.Gemm(spec.TransA, spec.TransB,
+					int32(rows), int32(cols), int32(inner),
+					AlphaPlan, betaSel(beta),
+					aTile.ref, bTile.ref, cTile.ref, depBuf...)
 			}
 			if spec.LocC == model.OnHost {
-				b.dep(lastComp)
-				o, wb := b.emit()
-				o.Kind, o.Slot = OpWriteback, cTile.ref.Slot
-				o.A = argRef(2, int32(ti*T), int32(tj*T))
-				o.M, o.N = int32(rows), int32(cols)
-				p.BytesD2H += int64(rows) * int64(cols) * dt.Size()
+				wb := g.Writeback(cTile.ref.Slot, 2, int32(ti*T), int32(tj*T),
+					int32(rows), int32(cols), lastComp)
 				if spec.BlockingWriteback {
 					pendingWB = wb
 				}
 			}
 		}
 	}
-	if pendingWB >= 0 {
-		p.TailComp = append(p.TailComp, pendingWB)
-	}
-	return finish(p)
+	g.TailComp(pendingWB)
+	return g.Finish()
 }
 
 // BuildGemmNoReuse emits the stateless-sub-kernel schedule: every
@@ -231,7 +213,7 @@ func BuildGemmNoReuse(spec GemmSpec, freeBytes int64) *Plan {
 		Alpha: spec.Alpha, Beta: spec.Beta,
 		Locs: []model.Loc{spec.LocA, spec.LocB, spec.LocC},
 	}
-	b := &builder{p: p}
+	g := NewGraph(p)
 
 	tileA := int64(min(T, spec.M)) * int64(min(T, spec.K))
 	tileB := int64(min(T, spec.K)) * int64(min(T, spec.N))
@@ -277,42 +259,40 @@ func BuildGemmNoReuse(spec GemmSpec, freeBytes int64) *Plan {
 		}
 	}
 	allocs := nSlots * hostOperands
-	p.Slots = make([]Slot, 0, allocs)
-	p.Ops = make([]Op, 0, allocs+fetchesPerSk*sk+cFetches+sk+wbs)
-	p.deps = make([]int32, 0, 6*sk)
+	g.Grow(allocs, allocs+fetchesPerSk*sk+cFetches+sk+wbs, 6*sk)
 
 	type group struct {
 		a, b, c                   int32
-		lastKernel, lastWriteback int32
+		lastKernel, lastWriteback OpID
 	}
 	groups := make([]group, nSlots)
 	for i := range groups {
-		g := &groups[i]
-		*g = group{a: -1, b: -1, c: -1, lastKernel: -1, lastWriteback: -1}
+		gr := &groups[i]
+		*gr = group{a: -1, b: -1, c: -1, lastKernel: NoOp, lastWriteback: NoOp}
 		if spec.LocA == model.OnHost {
-			g.a = b.slot(dt, tileA)
-			b.alloc(g.a)
+			gr.a = g.Slot(dt, tileA)
+			g.Alloc(gr.a)
 		}
 		if spec.LocB == model.OnHost {
-			g.b = b.slot(dt, tileB)
-			b.alloc(g.b)
+			gr.b = g.Slot(dt, tileB)
+			g.Alloc(gr.b)
 		}
 		if spec.LocC == model.OnHost {
-			g.c = b.slot(dt, tileC)
-			b.alloc(g.c)
+			gr.c = g.Slot(dt, tileC)
+			g.Alloc(gr.c)
 		}
 	}
 
-	writebackOf := make([]int32, mt*nt)
+	writebackOf := make([]OpID, mt*nt)
 	for i := range writebackOf {
-		writebackOf[i] = -1
+		writebackOf[i] = NoOp
 	}
 
 	// pendingH2D carries h2d-stream waits (slot-reuse hazards) to the next
 	// fetch op, exactly as Stream.WaitEvent accumulates waits until the
 	// next enqueue on the stream.
-	var pendingH2D []int32
-	lastH2D := int32(-1)
+	var pendingH2D []OpID
+	lastH2D := NoOp
 
 	idx := 0
 	for tk := 0; tk < kt; tk++ {
@@ -321,43 +301,35 @@ func BuildGemmNoReuse(spec GemmSpec, freeBytes int64) *Plan {
 			for ti := 0; ti < mt; ti++ {
 				rows := min(T, spec.M-ti*T)
 				cols := min(T, spec.N-tj*T)
-				g := &groups[idx%nSlots]
+				gr := &groups[idx%nSlots]
 				idx++
-				if g.lastKernel >= 0 {
-					pendingH2D = append(pendingH2D, g.lastKernel)
+				if gr.lastKernel >= 0 {
+					pendingH2D = append(pendingH2D, gr.lastKernel)
 				}
-				if g.lastWriteback >= 0 {
-					pendingH2D = append(pendingH2D, g.lastWriteback)
+				if gr.lastWriteback >= 0 {
+					pendingH2D = append(pendingH2D, gr.lastWriteback)
 				}
 
-				emitFetch := func(arg int8, slot, row, col, r, cl int) int32 {
-					for _, d := range pendingH2D {
-						b.dep(d)
-					}
+				emitFetch := func(arg int8, slot, row, col, r, cl int) {
+					lastH2D = g.Fetch(arg, int32(row), int32(col),
+						int32(r), int32(cl), int32(slot), pendingH2D...)
 					pendingH2D = pendingH2D[:0]
-					o, id := b.emit()
-					o.Kind, o.Slot = OpFetch, int32(slot)
-					o.A = argRef(arg, int32(row), int32(col))
-					o.M, o.N = int32(r), int32(cl)
-					p.BytesH2D += int64(r) * int64(cl) * dt.Size()
-					lastH2D = id
-					return id
 				}
 
-				aRef := argRef(0, int32(ti*T), int32(tk*T))
+				aRef := ArgRef(0, int32(ti*T), int32(tk*T))
 				if spec.LocA == model.OnHost {
-					emitFetch(0, int(g.a), ti*T, tk*T, rows, inner)
-					aRef = slotRef(g.a, int32(rows))
+					emitFetch(0, int(gr.a), ti*T, tk*T, rows, inner)
+					aRef = SlotRef(gr.a, int32(rows))
 				}
-				bRef := argRef(1, int32(tk*T), int32(tj*T))
+				bRef := ArgRef(1, int32(tk*T), int32(tj*T))
 				if spec.LocB == model.OnHost {
-					emitFetch(1, int(g.b), tk*T, tj*T, inner, cols)
-					bRef = slotRef(g.b, int32(inner))
+					emitFetch(1, int(gr.b), tk*T, tj*T, inner, cols)
+					bRef = SlotRef(gr.b, int32(inner))
 				}
 				beta := 1.0
-				cRef := argRef(2, int32(ti*T), int32(tj*T))
+				cRef := ArgRef(2, int32(ti*T), int32(tj*T))
 				if spec.LocC == model.OnHost {
-					cRef = slotRef(g.c, int32(rows))
+					cRef = SlotRef(gr.c, int32(rows))
 					fetch := tk > 0 || spec.Beta != 0
 					if fetch {
 						// The previous write-back of this C tile must land in
@@ -366,7 +338,7 @@ func BuildGemmNoReuse(spec GemmSpec, freeBytes int64) *Plan {
 						if wb := writebackOf[ti*nt+tj]; wb >= 0 {
 							pendingH2D = append(pendingH2D, wb)
 						}
-						emitFetch(2, int(g.c), ti*T, tj*T, rows, cols)
+						emitFetch(2, int(gr.c), ti*T, tj*T, rows, cols)
 						if tk == 0 {
 							beta = spec.Beta
 						}
@@ -379,31 +351,24 @@ func BuildGemmNoReuse(spec GemmSpec, freeBytes int64) *Plan {
 
 				// The kernel waits on the h2d stream's tail (everything
 				// fetched so far), mirroring comp.WaitEvent(h2d.Record()).
-				b.dep(lastH2D)
-				o, kid := b.emit()
-				o.Kind, o.Kernel = OpKernel, KGemm
-				o.TransA, o.TransB = blas.NoTrans, blas.NoTrans
-				o.M, o.N, o.K = int32(rows), int32(cols), int32(inner)
-				o.Beta = betaSel(beta)
-				o.A, o.B, o.C = aRef, bRef, cRef
-				p.Subkernels++
-				g.lastKernel = kid
+				kid := g.Gemm(blas.NoTrans, blas.NoTrans,
+					int32(rows), int32(cols), int32(inner),
+					AlphaPlan, betaSel(beta), aRef, bRef, cRef, lastH2D)
+				gr.lastKernel = kid
 
 				if spec.LocC == model.OnHost {
-					b.dep(kid)
-					o, wb := b.emit()
-					o.Kind, o.Slot = OpWriteback, g.c
-					o.A = argRef(2, int32(ti*T), int32(tj*T))
-					o.M, o.N = int32(rows), int32(cols)
-					p.BytesD2H += int64(rows) * int64(cols) * dt.Size()
-					g.lastWriteback = wb
+					wb := g.Writeback(gr.c, 2, int32(ti*T), int32(tj*T),
+						int32(rows), int32(cols), kid)
+					gr.lastWriteback = wb
 					writebackOf[ti*nt+tj] = wb
 				}
 			}
 		}
 	}
-	p.TailH2D = append(p.TailH2D, pendingH2D...)
-	return finish(p)
+	for _, id := range pendingH2D {
+		g.TailH2D(id)
+	}
+	return g.Finish()
 }
 
 func ceil(a, b int) int { return (a + b - 1) / b }

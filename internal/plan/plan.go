@@ -25,6 +25,7 @@ import (
 
 	"cocopelia/internal/blas"
 	"cocopelia/internal/kernelmodel"
+	"cocopelia/internal/machine"
 	"cocopelia/internal/model"
 )
 
@@ -46,11 +47,18 @@ type Kernel uint8
 
 // The kernel sub-kinds. KDispatch models a comparator runtime's
 // per-sub-kernel dispatch overhead and does not count as a sub-kernel.
+// The factorization kinds (KPotrf, KGetrf, KTrsm, KSyrk) carry their own
+// geometry and triangle flags per op, so one plan can mix kernel kinds —
+// the task-graph generalization the tiled factorization planners build on.
 const (
 	KGemm Kernel = iota
 	KGemv
 	KAxpy
 	KDispatch
+	KPotrf
+	KGetrf
+	KTrsm
+	KSyrk
 )
 
 // Ref locates one kernel operand: either a staging slot (Slot >= 0) or a
@@ -86,6 +94,19 @@ const (
 	BetaPlan
 )
 
+// AlphaSel selects a kernel op's alpha scalar the same way BetaSel selects
+// beta: the zero value keeps the plan-level alpha (every flat BLAS planner),
+// while the factorization planners pin individual tile kernels to +1 (panel
+// solves) or -1 (trailing-matrix updates) independent of the plan scalar.
+type AlphaSel uint8
+
+// The alpha selectors.
+const (
+	AlphaPlan AlphaSel = iota
+	AlphaOne
+	AlphaNegOne
+)
+
 // Op is one plan operation. The encoding is deliberately compact — large
 // no-reuse plans run to ~10^5 ops, and both planning cost and replay cache
 // traffic scale with the op size — so kernel and transfer ops overlay the
@@ -108,10 +129,15 @@ type Op struct {
 	Kernel         Kernel
 	TransA, TransB byte
 	Beta           BetaSel
-	Slot           int32
-	M, N, K        int32
-	A, B, C        Ref
-	depOff, depN   int32
+	Alpha          AlphaSel
+	// Side, Uplo and Diag carry the BLAS triangle flags of the
+	// factorization kernels (KTrsm uses all three, KPotrf/KSyrk use Uplo);
+	// the flat BLAS kinds leave them zero.
+	Side, Uplo, Diag byte
+	Slot             int32
+	M, N, K          int32
+	A, B, C          Ref
+	depOff, depN     int32
 	// Ev is the op's slot in the executor's completion-event table, or -1
 	// when no later op waits on this op (most kernels and write-backs).
 	// Keeping the table dense over referenced ops only — rather than one
@@ -128,6 +154,17 @@ func (p *Plan) opBeta(o *Op) float64 {
 		return 1
 	}
 	return p.Beta
+}
+
+// opAlpha resolves a kernel op's alpha selector against the plan scalar.
+func (p *Plan) opAlpha(o *Op) float64 {
+	switch o.Alpha {
+	case AlphaOne:
+		return 1
+	case AlphaNegOne:
+		return -1
+	}
+	return p.Alpha
 }
 
 // betaSel encodes a planner-computed beta, which is always +0, 1 or the
@@ -164,13 +201,17 @@ type Slot struct {
 // Plan is one routine invocation in IR form.
 type Plan struct {
 	// Routine identifies the schedule family: "gemm", "gemm-noreuse",
-	// "gemv" or "axpy".
+	// "gemv", "axpy", or one of the factorization task graphs "cholesky",
+	// "lu" and "trsm".
 	Routine        string
 	Dtype          kernelmodel.Dtype
 	TransA, TransB byte
-	M, N, K        int
-	T              int
-	Alpha, Beta    float64
+	// Diag is the unit-diagonal flag of a "trsm" plan (blas.Unit or
+	// blas.NonUnit); zero for every other routine.
+	Diag        byte
+	M, N, K     int
+	T           int
+	Alpha, Beta float64
 	// DispatchS is the duration of the plan's dispatch ops, when the
 	// schedule has them (comparator runtimes); zero otherwise.
 	DispatchS float64
@@ -221,6 +262,54 @@ type Volumes struct {
 // Volumes returns the plan's transfer-volume annotations.
 func (p *Plan) Volumes() Volumes {
 	return Volumes{BytesH2D: p.BytesH2D, BytesD2H: p.BytesD2H, Subkernels: p.Subkernels}
+}
+
+// KernelSeconds sums the modeled execution time of every kernel op on gpu
+// — the compute term of the Werkhoven-style full-overlap lower bound
+// max(kernel sum, t_h2d, t_d2h). Dispatch ops contribute their fixed
+// duration; transfer ops contribute nothing.
+func (p *Plan) KernelSeconds(gpu *machine.GPUSpec) float64 {
+	sum := 0.0
+	for i := range p.Ops {
+		o := &p.Ops[i]
+		if o.Kind != OpKernel {
+			continue
+		}
+		switch o.Kernel {
+		case KDispatch:
+			sum += p.DispatchS
+		case KGemm:
+			sum += kernelmodel.GemmTime(gpu, p.Dtype, int(o.M), int(o.N), int(o.K))
+		case KGemv:
+			sum += kernelmodel.GemvTime(gpu, kernelmodel.F64, int(o.M), int(o.N))
+		case KAxpy:
+			sum += kernelmodel.AxpyTime(gpu, kernelmodel.F64, int(o.N))
+		case KPotrf:
+			sum += kernelmodel.PotrfTime(gpu, p.Dtype, int(o.N))
+		case KGetrf:
+			sum += kernelmodel.GetrfTime(gpu, p.Dtype, int(o.N))
+		case KTrsm:
+			sum += kernelmodel.TrsmTime(gpu, p.Dtype, o.Side, int(o.M), int(o.N))
+		case KSyrk:
+			sum += kernelmodel.SyrkTime(gpu, p.Dtype, int(o.N), int(o.K))
+		}
+	}
+	return sum
+}
+
+// TransferOps counts the plan's fetch and write-back operations. Each
+// transfer pays the link's per-transfer setup latency once, so the counts
+// turn the byte volumes into link-time predictions.
+func (p *Plan) TransferOps() (h2d, d2h int) {
+	for i := range p.Ops {
+		switch p.Ops[i].Kind {
+		case OpFetch:
+			h2d++
+		case OpWriteback:
+			d2h++
+		}
+	}
+	return h2d, d2h
 }
 
 // builder accumulates ops and dependency edges while a planner runs.
@@ -314,6 +403,10 @@ func argNames(routine string) []string {
 		return []string{"A", "x", "y"}
 	case "axpy":
 		return []string{"x", "y"}
+	case "cholesky", "lu":
+		return []string{"A"}
+	case "trsm":
+		return []string{"A", "B"}
 	}
 	return []string{"A", "B", "C"}
 }
@@ -331,15 +424,17 @@ func locString(locs []model.Loc) string {
 	return sb.String()
 }
 
+// transChar renders one transpose flag ('n' or 't').
+func transChar(t byte) byte {
+	if t == blas.Trans {
+		return 't'
+	}
+	return 'n'
+}
+
 // transString renders a transpose pair ("nn", "nt", ...).
 func transString(ta, tb byte) string {
-	f := func(t byte) byte {
-		if t == blas.Trans {
-			return 't'
-		}
-		return 'n'
-	}
-	return string([]byte{f(ta), f(tb)})
+	return string([]byte{transChar(ta), transChar(tb)})
 }
 
 // refString renders a kernel operand reference.
@@ -429,13 +524,25 @@ func opString(p *Plan, i int32, names []string) string {
 		return fmt.Sprintf("dispatch dur=%gs", p.DispatchS)
 	case KGemm:
 		return fmt.Sprintf("gemm %s m=%d n=%d k=%d alpha=%g beta=%g A=%s B=%s C=%s",
-			transString(o.TransA, o.TransB), o.M, o.N, o.K, p.Alpha, p.opBeta(o),
+			transString(o.TransA, o.TransB), o.M, o.N, o.K, p.opAlpha(o), p.opBeta(o),
 			refString(o.A, names), refString(o.B, names), refString(o.C, names))
 	case KGemv:
 		return fmt.Sprintf("gemv m=%d n=%d alpha=%g beta=%g A=%s x=%s y=%s",
-			o.M, o.N, p.Alpha, p.opBeta(o),
+			o.M, o.N, p.opAlpha(o), p.opBeta(o),
 			refString(o.A, names), refString(o.B, names), refString(o.C, names))
+	case KPotrf:
+		return fmt.Sprintf("potrf uplo=%c n=%d A=%s", o.Uplo, o.N, refString(o.A, names))
+	case KGetrf:
+		return fmt.Sprintf("getrf n=%d A=%s", o.N, refString(o.A, names))
+	case KTrsm:
+		return fmt.Sprintf("trsm side=%c uplo=%c trans=%c diag=%c m=%d n=%d alpha=%g A=%s B=%s",
+			o.Side, o.Uplo, transChar(o.TransA), o.Diag, o.M, o.N, p.opAlpha(o),
+			refString(o.A, names), refString(o.B, names))
+	case KSyrk:
+		return fmt.Sprintf("syrk uplo=%c trans=%c n=%d k=%d alpha=%g beta=%g A=%s C=%s",
+			o.Uplo, transChar(o.TransA), o.N, o.K, p.opAlpha(o), p.opBeta(o),
+			refString(o.A, names), refString(o.C, names))
 	}
 	return fmt.Sprintf("axpy n=%d alpha=%g x=%s y=%s",
-		o.N, p.Alpha, refString(o.A, names), refString(o.C, names))
+		o.N, p.opAlpha(o), refString(o.A, names), refString(o.C, names))
 }

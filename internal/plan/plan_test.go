@@ -183,6 +183,150 @@ ops 18
 volumes h2d=80 d2h=40 subkernels=3
 `
 
+// goldenCholesky pins the task-graph schedule of a 3x3-tile right-
+// looking Cholesky: POTRF/TRSM/SYRK/GEMM tile kernels with cross-kernel
+// dependency edges, factored tiles forwarding device-side (no
+// write-back/refetch between producer and consumer kernels).
+const goldenCholesky = `plan cholesky dtype=f64 trans=nn m=6 n=6 k=0 T=2 alpha=1 beta=0 locs=H
+slots 6
+  s0 f64 elems=4
+  s1 f64 elems=4
+  s2 f64 elems=4
+  s3 f64 elems=4
+  s4 f64 elems=4
+  s5 f64 elems=4
+ops 28
+  o0 alloc s0
+  o1 fetch A[0,0 2x2] -> s0 bytes=32
+  o2 potrf uplo=L n=2 A=s0(ld=2) deps=[o1]
+  o3 writeback s0 -> A[0,0 2x2] bytes=32 deps=[o2]
+  o4 alloc s1
+  o5 fetch A[2,0 2x2] -> s1 bytes=32
+  o6 trsm side=R uplo=L trans=t diag=N m=2 n=2 alpha=1 A=s0(ld=2) B=s1(ld=2) deps=[o2 o5]
+  o7 writeback s1 -> A[2,0 2x2] bytes=32 deps=[o6]
+  o8 alloc s2
+  o9 fetch A[4,0 2x2] -> s2 bytes=32
+  o10 trsm side=R uplo=L trans=t diag=N m=2 n=2 alpha=1 A=s0(ld=2) B=s2(ld=2) deps=[o2 o9]
+  o11 writeback s2 -> A[4,0 2x2] bytes=32 deps=[o10]
+  o12 alloc s3
+  o13 fetch A[2,2 2x2] -> s3 bytes=32
+  o14 syrk uplo=L trans=n n=2 k=2 alpha=-1 beta=1 A=s1(ld=2) C=s3(ld=2) deps=[o6 o13]
+  o15 alloc s4
+  o16 fetch A[4,2 2x2] -> s4 bytes=32
+  o17 gemm nt m=2 n=2 k=2 alpha=-1 beta=1 A=s2(ld=2) B=s1(ld=2) C=s4(ld=2) deps=[o10 o6 o16]
+  o18 alloc s5
+  o19 fetch A[4,4 2x2] -> s5 bytes=32
+  o20 syrk uplo=L trans=n n=2 k=2 alpha=-1 beta=1 A=s2(ld=2) C=s5(ld=2) deps=[o10 o19]
+  o21 potrf uplo=L n=2 A=s3(ld=2) deps=[o14]
+  o22 writeback s3 -> A[2,2 2x2] bytes=32 deps=[o21]
+  o23 trsm side=R uplo=L trans=t diag=N m=2 n=2 alpha=1 A=s3(ld=2) B=s4(ld=2) deps=[o21 o17]
+  o24 writeback s4 -> A[4,2 2x2] bytes=32 deps=[o23]
+  o25 syrk uplo=L trans=n n=2 k=2 alpha=-1 beta=1 A=s4(ld=2) C=s5(ld=2) deps=[o23 o20]
+  o26 potrf uplo=L n=2 A=s5(ld=2) deps=[o25]
+  o27 writeback s5 -> A[4,4 2x2] bytes=32 deps=[o26]
+volumes h2d=192 d2h=192 subkernels=10
+`
+
+// goldenLU pins the 3x3-tile right-looking unpivoted LU task graph:
+// GETRF diagonals, upper/non-unit column-panel solves, lower/unit
+// row-panel solves and the trailing GEMM updates.
+const goldenLU = `plan lu dtype=f64 trans=nn m=6 n=6 k=0 T=2 alpha=1 beta=0 locs=H
+slots 9
+  s0 f64 elems=4
+  s1 f64 elems=4
+  s2 f64 elems=4
+  s3 f64 elems=4
+  s4 f64 elems=4
+  s5 f64 elems=4
+  s6 f64 elems=4
+  s7 f64 elems=4
+  s8 f64 elems=4
+ops 41
+  o0 alloc s0
+  o1 fetch A[0,0 2x2] -> s0 bytes=32
+  o2 getrf n=2 A=s0(ld=2) deps=[o1]
+  o3 writeback s0 -> A[0,0 2x2] bytes=32 deps=[o2]
+  o4 alloc s1
+  o5 fetch A[2,0 2x2] -> s1 bytes=32
+  o6 trsm side=R uplo=U trans=n diag=N m=2 n=2 alpha=1 A=s0(ld=2) B=s1(ld=2) deps=[o2 o5]
+  o7 writeback s1 -> A[2,0 2x2] bytes=32 deps=[o6]
+  o8 alloc s2
+  o9 fetch A[4,0 2x2] -> s2 bytes=32
+  o10 trsm side=R uplo=U trans=n diag=N m=2 n=2 alpha=1 A=s0(ld=2) B=s2(ld=2) deps=[o2 o9]
+  o11 writeback s2 -> A[4,0 2x2] bytes=32 deps=[o10]
+  o12 alloc s3
+  o13 fetch A[0,2 2x2] -> s3 bytes=32
+  o14 trsm side=L uplo=L trans=n diag=U m=2 n=2 alpha=1 A=s0(ld=2) B=s3(ld=2) deps=[o2 o13]
+  o15 writeback s3 -> A[0,2 2x2] bytes=32 deps=[o14]
+  o16 alloc s4
+  o17 fetch A[0,4 2x2] -> s4 bytes=32
+  o18 trsm side=L uplo=L trans=n diag=U m=2 n=2 alpha=1 A=s0(ld=2) B=s4(ld=2) deps=[o2 o17]
+  o19 writeback s4 -> A[0,4 2x2] bytes=32 deps=[o18]
+  o20 alloc s5
+  o21 fetch A[2,2 2x2] -> s5 bytes=32
+  o22 gemm nn m=2 n=2 k=2 alpha=-1 beta=1 A=s1(ld=2) B=s3(ld=2) C=s5(ld=2) deps=[o6 o14 o21]
+  o23 alloc s6
+  o24 fetch A[4,2 2x2] -> s6 bytes=32
+  o25 gemm nn m=2 n=2 k=2 alpha=-1 beta=1 A=s2(ld=2) B=s3(ld=2) C=s6(ld=2) deps=[o10 o14 o24]
+  o26 alloc s7
+  o27 fetch A[2,4 2x2] -> s7 bytes=32
+  o28 gemm nn m=2 n=2 k=2 alpha=-1 beta=1 A=s1(ld=2) B=s4(ld=2) C=s7(ld=2) deps=[o6 o18 o27]
+  o29 alloc s8
+  o30 fetch A[4,4 2x2] -> s8 bytes=32
+  o31 gemm nn m=2 n=2 k=2 alpha=-1 beta=1 A=s2(ld=2) B=s4(ld=2) C=s8(ld=2) deps=[o10 o18 o30]
+  o32 getrf n=2 A=s5(ld=2) deps=[o22]
+  o33 writeback s5 -> A[2,2 2x2] bytes=32 deps=[o32]
+  o34 trsm side=R uplo=U trans=n diag=N m=2 n=2 alpha=1 A=s5(ld=2) B=s6(ld=2) deps=[o32 o25]
+  o35 writeback s6 -> A[4,2 2x2] bytes=32 deps=[o34]
+  o36 trsm side=L uplo=L trans=n diag=U m=2 n=2 alpha=1 A=s5(ld=2) B=s7(ld=2) deps=[o32 o28]
+  o37 writeback s7 -> A[2,4 2x2] bytes=32 deps=[o36]
+  o38 gemm nn m=2 n=2 k=2 alpha=-1 beta=1 A=s6(ld=2) B=s7(ld=2) C=s8(ld=2) deps=[o34 o36 o31]
+  o39 getrf n=2 A=s8(ld=2) deps=[o38]
+  o40 writeback s8 -> A[4,4 2x2] bytes=32 deps=[o39]
+volumes h2d=288 d2h=288 subkernels=14
+`
+
+// goldenTrsm pins the 2x2-tile left/lower/no-trans triangular solve:
+// the first GEMM of each tile carries the alpha scale through BetaPlan
+// (header beta equals alpha), row-block-0 TRSMs scale by AlphaPlan, and
+// solved X tiles forward straight into the GEMMs below them.
+const goldenTrsm = `plan trsm dtype=f64 trans=nn m=4 n=4 k=0 T=2 alpha=1 beta=1 locs=HH
+slots 7
+  s0 f64 elems=4
+  s1 f64 elems=4
+  s2 f64 elems=4
+  s3 f64 elems=4
+  s4 f64 elems=4
+  s5 f64 elems=4
+  s6 f64 elems=4
+ops 24
+  o0 alloc s0
+  o1 fetch B[0,0 2x2] -> s0 bytes=32
+  o2 alloc s1
+  o3 fetch A[0,0 2x2] -> s1 bytes=32
+  o4 trsm side=L uplo=L trans=n diag=N m=2 n=2 alpha=1 A=s1(ld=2) B=s0(ld=2) deps=[o3 o1]
+  o5 writeback s0 -> B[0,0 2x2] bytes=32 deps=[o4]
+  o6 alloc s2
+  o7 fetch B[2,0 2x2] -> s2 bytes=32
+  o8 alloc s3
+  o9 fetch A[2,0 2x2] -> s3 bytes=32
+  o10 gemm nn m=2 n=2 k=2 alpha=-1 beta=1 A=s3(ld=2) B=s0(ld=2) C=s2(ld=2) deps=[o9 o4 o7]
+  o11 alloc s4
+  o12 fetch A[2,2 2x2] -> s4 bytes=32
+  o13 trsm side=L uplo=L trans=n diag=N m=2 n=2 alpha=1 A=s4(ld=2) B=s2(ld=2) deps=[o12 o10]
+  o14 writeback s2 -> B[2,0 2x2] bytes=32 deps=[o13]
+  o15 alloc s5
+  o16 fetch B[0,2 2x2] -> s5 bytes=32
+  o17 trsm side=L uplo=L trans=n diag=N m=2 n=2 alpha=1 A=s1(ld=2) B=s5(ld=2) deps=[o3 o16]
+  o18 writeback s5 -> B[0,2 2x2] bytes=32 deps=[o17]
+  o19 alloc s6
+  o20 fetch B[2,2 2x2] -> s6 bytes=32
+  o21 gemm nn m=2 n=2 k=2 alpha=-1 beta=1 A=s3(ld=2) B=s5(ld=2) C=s6(ld=2) deps=[o9 o17 o20]
+  o22 trsm side=L uplo=L trans=n diag=N m=2 n=2 alpha=1 A=s4(ld=2) B=s6(ld=2) deps=[o12 o21]
+  o23 writeback s6 -> B[2,2 2x2] bytes=32 deps=[o22]
+volumes h2d=224 d2h=128 subkernels=6
+`
+
 func TestGoldenPlans(t *testing.T) {
 	H, D := model.OnHost, model.OnDevice
 	cases := []struct {
@@ -210,6 +354,12 @@ func TestGoldenPlans(t *testing.T) {
 		{"gemv", BuildGemv(GemvSpec{M: 4, N: 4, Alpha: 1, Beta: 1,
 			LocA: H, LocX: H, LocY: H, T: 2}), goldenGemv},
 		{"axpy", BuildAxpy(AxpySpec{N: 5, Alpha: 1.1, LocX: H, LocY: H, T: 2}), goldenAxpy},
+		{"cholesky", BuildCholesky(CholeskySpec{Dtype: kernelmodel.F64,
+			N: 6, LocA: H, T: 2}), goldenCholesky},
+		{"lu", BuildLU(LUSpec{Dtype: kernelmodel.F64,
+			N: 6, LocA: H, T: 2}), goldenLU},
+		{"trsm", BuildTrsm(TrsmSpec{Dtype: kernelmodel.F64, Diag: blas.NonUnit,
+			M: 4, N: 4, Alpha: 1, LocA: H, LocB: H, T: 2}), goldenTrsm},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -244,6 +394,11 @@ func planBattery() map[string]*Plan {
 		"gemv-dev":      BuildGemv(GemvSpec{M: 150, N: 130, Alpha: 1, Beta: 0, LocA: D, LocX: D, LocY: H, T: 64}),
 		"axpy":          BuildAxpy(AxpySpec{N: 1000, Alpha: 1.1, LocX: H, LocY: H, T: 384}),
 		"axpy-dev":      BuildAxpy(AxpySpec{N: 777, Alpha: 0.75, LocX: D, LocY: D, T: 256}),
+		"cholesky":      BuildCholesky(CholeskySpec{Dtype: kernelmodel.F64, N: 130, LocA: H, T: 64}),
+		"cholesky-dev":  BuildCholesky(CholeskySpec{Dtype: kernelmodel.F64, N: 128, LocA: D, T: 64}),
+		"lu":            BuildLU(LUSpec{Dtype: kernelmodel.F64, N: 130, LocA: H, T: 64}),
+		"trsm":          BuildTrsm(TrsmSpec{Dtype: kernelmodel.F64, Diag: blas.NonUnit, M: 130, N: 70, Alpha: 0.5, LocA: H, LocB: H, T: 64}),
+		"trsm-unit":     BuildTrsm(TrsmSpec{Dtype: kernelmodel.F64, Diag: blas.Unit, M: 96, N: 64, Alpha: 1, LocA: D, LocB: H, T: 32}),
 	}
 }
 
@@ -303,6 +458,34 @@ func TestPlanVolumesMatchClosedForm(t *testing.T) {
 		}
 		if got, want := BuildGemmNoReuse(spec, 1<<30).Volumes(), GemmNoReuseVolumes(spec); got != want {
 			t.Errorf("noreuse %+v: built %+v, closed form %+v", spec, got, want)
+		}
+	}
+
+	// Factorization planners: ragged and exact grids, host and device
+	// residency, both TRSM diagonals.
+	for _, spec := range []CholeskySpec{
+		{Dtype: kernelmodel.F64, N: 130, LocA: H, T: 64},
+		{Dtype: kernelmodel.F64, N: 128, LocA: D, T: 32},
+		{Dtype: kernelmodel.F32, N: 96, LocA: H, T: 32},
+	} {
+		if got, want := BuildCholesky(spec).Volumes(), CholeskyVolumes(spec); got != want {
+			t.Errorf("cholesky %+v: built %+v, closed form %+v", spec, got, want)
+		}
+	}
+	for _, spec := range []LUSpec{
+		{Dtype: kernelmodel.F64, N: 130, LocA: H, T: 64},
+		{Dtype: kernelmodel.F64, N: 128, LocA: D, T: 32},
+	} {
+		if got, want := BuildLU(spec).Volumes(), LUVolumes(spec); got != want {
+			t.Errorf("lu %+v: built %+v, closed form %+v", spec, got, want)
+		}
+	}
+	for _, spec := range []TrsmSpec{
+		{Dtype: kernelmodel.F64, Diag: blas.NonUnit, M: 130, N: 70, Alpha: 0.5, LocA: H, LocB: H, T: 64},
+		{Dtype: kernelmodel.F64, Diag: blas.Unit, M: 96, N: 64, Alpha: 1, LocA: D, LocB: H, T: 32},
+	} {
+		if got, want := BuildTrsm(spec).Volumes(), TrsmVolumes(spec); got != want {
+			t.Errorf("trsm %+v: built %+v, closed form %+v", spec, got, want)
 		}
 	}
 }

@@ -42,7 +42,8 @@ const (
 // tapeNames is the kernel-name table tapeOp.name indexes into; keeping the
 // string out of the op makes the instruction array pointer-free, so tapes
 // are never scanned by the garbage collector and their arenas zero faster.
-var tapeNames = [...]string{"dispatch", "dgemm", "sgemm", "gemv", "daxpy"}
+var tapeNames = [...]string{"dispatch", "dgemm", "sgemm", "gemv", "daxpy",
+	"dpotrf", "spotrf", "dgetrf", "sgetrf", "dtrsm", "strsm", "dsyrk", "ssyrk"}
 
 const (
 	nDispatch uint8 = iota
@@ -50,7 +51,23 @@ const (
 	nSgemm
 	nGemv
 	nDaxpy
+	nDpotrf
+	nSpotrf
+	nDgetrf
+	nSgetrf
+	nDtrsm
+	nStrsm
+	nDsyrk
+	nSsyrk
 )
+
+// dtypeName picks the float64 or float32 member of a d/s kernel-name pair.
+func dtypeName(dt kernelmodel.Dtype, d, s uint8) uint8 {
+	if dt == kernelmodel.F32 {
+		return s
+	}
+	return d
+}
 
 // tapeOp is one precompiled instruction.
 type tapeOp struct {
@@ -115,7 +132,10 @@ func compileTape(p *Plan, gpu *machine.GPUSpec) *Tape {
 	for i, d := range p.deps {
 		t.deps[i] = p.Ops[d].Ev
 	}
-	var memo tapeMemo
+	// One memo per kernel kind: factorization plans mix GEMM, TRSM, SYRK and
+	// the diagonal kernels in a single op list, and their shape keys (two or
+	// three packed dims) would collide across kinds in a shared table.
+	var memos [KSyrk + 1]tapeMemo
 	for i := range p.Ops {
 		o := &p.Ops[i]
 		to := &t.ops[i]
@@ -135,22 +155,40 @@ func compileTape(p *Plan, gpu *machine.GPUSpec) *Tape {
 			case KDispatch:
 				to.name, to.dur = nDispatch, p.DispatchS
 			case KGemm:
-				to.name = nDgemm
-				if p.Dtype == kernelmodel.F32 {
-					to.name = nSgemm
-				}
-				to.dur = memo.get(int64(o.M)<<42|int64(o.N)<<21|int64(o.K), func() float64 {
+				to.name = dtypeName(p.Dtype, nDgemm, nSgemm)
+				to.dur = memos[KGemm].get(int64(o.M)<<42|int64(o.N)<<21|int64(o.K), func() float64 {
 					return kernelmodel.GemmTime(gpu, p.Dtype, int(o.M), int(o.N), int(o.K))
 				})
 			case KGemv:
 				to.name = nGemv
-				to.dur = memo.get(int64(o.M)<<21|int64(o.N), func() float64 {
+				to.dur = memos[KGemv].get(int64(o.M)<<21|int64(o.N), func() float64 {
 					return kernelmodel.GemvTime(gpu, kernelmodel.F64, int(o.M), int(o.N))
 				})
 			case KAxpy:
 				to.name = nDaxpy
-				to.dur = memo.get(int64(o.N), func() float64 {
+				to.dur = memos[KAxpy].get(int64(o.N), func() float64 {
 					return kernelmodel.AxpyTime(gpu, kernelmodel.F64, int(o.N))
+				})
+			case KPotrf:
+				to.name = dtypeName(p.Dtype, nDpotrf, nSpotrf)
+				to.dur = memos[KPotrf].get(int64(o.N), func() float64 {
+					return kernelmodel.PotrfTime(gpu, p.Dtype, int(o.N))
+				})
+			case KGetrf:
+				to.name = dtypeName(p.Dtype, nDgetrf, nSgetrf)
+				to.dur = memos[KGetrf].get(int64(o.N), func() float64 {
+					return kernelmodel.GetrfTime(gpu, p.Dtype, int(o.N))
+				})
+			case KTrsm:
+				to.name = dtypeName(p.Dtype, nDtrsm, nStrsm)
+				// Side changes the flop/byte shape, so it is part of the key.
+				to.dur = memos[KTrsm].get(int64(o.Side)<<42|int64(o.M)<<21|int64(o.N), func() float64 {
+					return kernelmodel.TrsmTime(gpu, p.Dtype, o.Side, int(o.M), int(o.N))
+				})
+			case KSyrk:
+				to.name = dtypeName(p.Dtype, nDsyrk, nSsyrk)
+				to.dur = memos[KSyrk].get(int64(o.N)<<21|int64(o.K), func() float64 {
+					return kernelmodel.SyrkTime(gpu, p.Dtype, int(o.N), int(o.K))
 				})
 			}
 		}

@@ -31,7 +31,7 @@ func BuildGemv(spec GemvSpec) *Plan {
 		Alpha: spec.Alpha, Beta: spec.Beta,
 		Locs: []model.Loc{spec.LocA, spec.LocX, spec.LocY},
 	}
-	b := &builder{p: p}
+	g := NewGraph(p)
 
 	// x chunks: fetched once, reused by every tile row.
 	xChunks := make([]tileState, nt)
@@ -42,100 +42,75 @@ func BuildGemv(spec GemvSpec) *Plan {
 		}
 		ch.live = true
 		if spec.LocX == model.OnDevice {
-			ch.ref = argRef(1, int32(tj*T), 0)
-			ch.ready = -1
+			ch.ref = ArgRef(1, int32(tj*T), 0)
+			ch.ready = NoOp
 			return ch
 		}
-		slot := b.slot(kernelmodel.F64, int64(n))
-		b.alloc(slot)
-		ch.ref = slotRef(slot, 0)
-		o, id := b.emit()
-		o.Kind, o.Slot = OpFetch, slot
-		o.A, o.M = argRef(1, int32(tj*T), 0), int32(n)
-		ch.ready = id
-		p.BytesH2D += int64(n) * 8
+		slot := g.Slot(kernelmodel.F64, int64(n))
+		g.Alloc(slot)
+		ch.ref = SlotRef(slot, 0)
+		ch.ready = g.FetchVec(1, int32(tj*T), int32(n), slot)
 		return ch
 	}
 
-	pendingWB := int32(-1)
-	lastComp := int32(-1)
+	pendingWB := NoOp
+	lastComp := NoOp
+	var depBuf []OpID
 
 	for ti := 0; ti < mt; ti++ {
 		rows := min(T, spec.M-ti*T)
 		var yRef Ref
 		ySlot := int32(-1)
-		yReady := int32(-1)
+		yReady := NoOp
 		if spec.LocY == model.OnDevice {
-			yRef = argRef(2, int32(ti*T), 0)
+			yRef = ArgRef(2, int32(ti*T), 0)
 		} else {
-			ySlot = b.slot(kernelmodel.F64, int64(rows))
-			b.alloc(ySlot)
-			yRef = slotRef(ySlot, 0)
+			ySlot = g.Slot(kernelmodel.F64, int64(rows))
+			g.Alloc(ySlot)
+			yRef = SlotRef(ySlot, 0)
 			if spec.Beta != 0 {
-				o, id := b.emit()
-				o.Kind, o.Slot = OpFetch, ySlot
-				o.A, o.M = argRef(2, int32(ti*T), 0), int32(rows)
-				yReady = id
-				p.BytesH2D += int64(rows) * 8
+				yReady = g.FetchVec(2, int32(ti*T), int32(rows), ySlot)
 			}
 		}
 
 		for tj := 0; tj < nt; tj++ {
 			cols := min(T, spec.N-tj*T)
 			xc := getX(tj, cols)
-			aRef := argRef(0, int32(ti*T), int32(tj*T))
-			aReady := int32(-1)
+			aRef := ArgRef(0, int32(ti*T), int32(tj*T))
+			aReady := NoOp
 			if spec.LocA == model.OnHost {
-				slot := b.slot(kernelmodel.F64, int64(rows)*int64(cols))
-				b.alloc(slot)
-				o, id := b.emit()
-				o.Kind, o.Slot = OpFetch, slot
-				o.A = argRef(0, int32(ti*T), int32(tj*T))
-				o.M, o.N = int32(rows), int32(cols)
-				aReady = id
-				p.BytesH2D += int64(rows) * int64(cols) * 8
-				aRef = slotRef(slot, int32(rows))
+				slot := g.Slot(kernelmodel.F64, int64(rows)*int64(cols))
+				g.Alloc(slot)
+				aReady = g.Fetch(0, int32(ti*T), int32(tj*T), int32(rows), int32(cols), slot)
+				aRef = SlotRef(slot, int32(rows))
 			}
 
 			// Compute-stream waits, in registration order: pending blocking
 			// write-back, the A fetch, the x chunk, then (first column only)
 			// the y chunk.
-			b.dep(pendingWB)
-			pendingWB = -1
-			b.dep(aReady)
-			b.dep(xc.ready)
+			depBuf = append(depBuf[:0], pendingWB, aReady, xc.ready)
+			pendingWB = NoOp
 			beta := 1.0
 			if tj == 0 {
-				b.dep(yReady)
+				depBuf = append(depBuf, yReady)
 				beta = spec.Beta
 				if spec.LocY == model.OnHost && spec.Beta == 0 {
 					beta = 0
 				}
 			}
-			o, kid := b.emit()
-			o.Kind, o.Kernel = OpKernel, KGemv
-			o.M, o.N = int32(rows), int32(cols)
-			o.Beta = betaSel(beta)
-			o.A, o.B, o.C = aRef, xc.ref, yRef
-			lastComp = kid
-			p.Subkernels++
+			lastComp = g.Gemv(int32(rows), int32(cols), betaSel(beta),
+				aRef, xc.ref, yRef, depBuf...)
 		}
 
 		if spec.LocY == model.OnHost {
-			b.dep(lastComp)
-			o, wb := b.emit()
-			o.Kind, o.Slot = OpWriteback, ySlot
-			o.A, o.M = argRef(2, int32(ti*T), 0), int32(rows)
-			p.BytesD2H += int64(rows) * 8
+			wb := g.WritebackVec(ySlot, 2, int32(ti*T), int32(rows), lastComp)
 			if spec.BlockingWriteback {
 				pendingWB = wb
 			}
 		}
 	}
-	if pendingWB >= 0 {
-		p.TailComp = append(p.TailComp, pendingWB)
-	}
-	return finish(p)
+	g.TailComp(pendingWB)
+	return g.Finish()
 }
 
 // AxpySpec parameterizes the level-1 planner (y += alpha*x, float64).
@@ -156,43 +131,30 @@ func BuildAxpy(spec AxpySpec) *Plan {
 		Alpha: spec.Alpha,
 		Locs:  []model.Loc{spec.LocX, spec.LocY},
 	}
-	b := &builder{p: p}
+	g := NewGraph(p)
 
 	chunks := ceil(spec.N, spec.T)
 	for ci := 0; ci < chunks; ci++ {
 		off := ci * spec.T
 		n := min(spec.T, spec.N-off)
 
-		chunk := func(arg int8) (Ref, int32) {
+		chunk := func(arg int8) (Ref, OpID) {
 			if p.Locs[arg] == model.OnDevice {
-				return argRef(arg, int32(off), 0), -1
+				return ArgRef(arg, int32(off), 0), NoOp
 			}
-			slot := b.slot(kernelmodel.F64, int64(n))
-			b.alloc(slot)
-			o, ready := b.emit()
-			o.Kind, o.Slot = OpFetch, slot
-			o.A, o.M = argRef(arg, int32(off), 0), int32(n)
-			p.BytesH2D += int64(n) * 8
-			return slotRef(slot, 0), ready
+			slot := g.Slot(kernelmodel.F64, int64(n))
+			g.Alloc(slot)
+			ready := g.FetchVec(arg, int32(off), int32(n), slot)
+			return SlotRef(slot, 0), ready
 		}
 		xRef, xReady := chunk(0)
 		yRef, yReady := chunk(1)
 
-		b.dep(xReady)
-		b.dep(yReady)
-		o, kid := b.emit()
-		o.Kind, o.Kernel = OpKernel, KAxpy
-		o.N = int32(n)
-		o.A, o.C = xRef, yRef
-		p.Subkernels++
+		kid := g.Axpy(int32(n), xRef, yRef, xReady, yReady)
 
 		if spec.LocY == model.OnHost {
-			b.dep(kid)
-			o, _ := b.emit()
-			o.Kind, o.Slot = OpWriteback, yRef.Slot
-			o.A, o.M = argRef(1, int32(off), 0), int32(n)
-			p.BytesD2H += int64(n) * 8
+			g.WritebackVec(yRef.Slot, 1, int32(off), int32(n), kid)
 		}
 	}
-	return finish(p)
+	return g.Finish()
 }

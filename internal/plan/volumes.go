@@ -30,6 +30,67 @@ func GemmVolumes(spec GemmSpec) Volumes {
 	return v
 }
 
+// lowerTileElems is the element count of the lower-triangle tile cover of
+// an n x n matrix tiled at T: sum over tiles (i >= j) of rows_i * rows_j.
+// With S = sum rows = n and Q = sum rows^2, the triangle-with-diagonal sum
+// is (S^2 + Q) / 2 (always even: the cross terms pair up).
+func lowerTileElems(n, T int) int64 {
+	nt := int64(ceil(n, T))
+	last := int64(n) - (nt-1)*int64(T)
+	q := (nt-1)*int64(T)*int64(T) + last*last
+	return (int64(n)*int64(n) + q) / 2
+}
+
+// CholeskyVolumes returns, in closed form, the traffic annotations of the
+// tiled Cholesky planner (BuildCholesky): each lower-triangle tile crosses
+// the link exactly once in each direction when A is host-resident, and the
+// schedule launches nt POTRF, nt(nt-1)/2 each of TRSM and SYRK, and
+// C(nt,3) GEMM tile kernels.
+func CholeskyVolumes(spec CholeskySpec) Volumes {
+	nt := int64(ceil(spec.N, spec.T))
+	v := Volumes{Subkernels: nt + nt*(nt-1) + nt*(nt-1)*(nt-2)/6}
+	if spec.LocA == model.OnHost {
+		bytes := lowerTileElems(spec.N, spec.T) * spec.Dtype.Size()
+		v.BytesH2D = bytes
+		v.BytesD2H = bytes
+	}
+	return v
+}
+
+// LUVolumes returns the closed-form annotations of the tiled LU planner
+// (BuildLU): the full matrix crosses once in each direction when
+// host-resident, with nt GETRF, nt(nt-1) TRSM and sum_{r=1}^{nt-1} r^2
+// GEMM tile kernels.
+func LUVolumes(spec LUSpec) Volumes {
+	nt := int64(ceil(spec.N, spec.T))
+	v := Volumes{Subkernels: nt + nt*(nt-1) + (nt-1)*nt*(2*nt-1)/6}
+	if spec.LocA == model.OnHost {
+		bytes := int64(spec.N) * int64(spec.N) * spec.Dtype.Size()
+		v.BytesH2D = bytes
+		v.BytesD2H = bytes
+	}
+	return v
+}
+
+// TrsmVolumes returns the closed-form annotations of the tiled triangular
+// solve (BuildTrsm): A's lower tile cover crosses once, B crosses once in
+// and once out, and each of B's nt column blocks takes mt diagonal solves
+// plus mt(mt-1)/2 update GEMMs.
+func TrsmVolumes(spec TrsmSpec) Volumes {
+	mt := int64(ceil(spec.M, spec.T))
+	nt := int64(ceil(spec.N, spec.T))
+	v := Volumes{Subkernels: nt * (mt + mt*(mt-1)/2)}
+	if spec.LocA == model.OnHost {
+		v.BytesH2D += lowerTileElems(spec.M, spec.T) * spec.Dtype.Size()
+	}
+	if spec.LocB == model.OnHost {
+		bytes := int64(spec.M) * int64(spec.N) * spec.Dtype.Size()
+		v.BytesH2D += bytes
+		v.BytesD2H = bytes
+	}
+	return v
+}
+
 // GemmNoReuseVolumes returns the closed-form annotations of the
 // stateless-sub-kernel planner (BuildGemmNoReuse): every sub-kernel
 // re-fetches its host-resident tiles (A crosses once per output column

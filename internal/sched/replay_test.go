@@ -165,6 +165,51 @@ func TestTapeReplayMatchesRun(t *testing.T) {
 			return p, []plan.Arg{{Vec: opts.X}, {Vec: opts.Y}}
 		})
 	})
+	t.Run("cholesky", func(t *testing.T) {
+		checkTapeMatchesRun(t, "cholesky", func(c *Context) (*plan.Plan, []plan.Arg) {
+			opts := CholeskyOpts{Dtype: kernelmodel.F64, N: 100, T: 32,
+				A: timingMat(t, c, 100, 100, H)}
+			p, err := c.PlanCholesky(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p, []plan.Arg{{Mat: opts.A}}
+		})
+	})
+	t.Run("cholesky-device", func(t *testing.T) {
+		checkTapeMatchesRun(t, "cholesky-device", func(c *Context) (*plan.Plan, []plan.Arg) {
+			opts := CholeskyOpts{Dtype: kernelmodel.F64, N: 96, T: 32,
+				A: timingMat(t, c, 96, 96, D)}
+			p, err := c.PlanCholesky(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p, []plan.Arg{{Mat: opts.A}}
+		})
+	})
+	t.Run("lu", func(t *testing.T) {
+		checkTapeMatchesRun(t, "lu", func(c *Context) (*plan.Plan, []plan.Arg) {
+			opts := LUOpts{Dtype: kernelmodel.F64, N: 100, T: 32,
+				A: timingMat(t, c, 100, 100, H)}
+			p, err := c.PlanLU(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p, []plan.Arg{{Mat: opts.A}}
+		})
+	})
+	t.Run("trsm", func(t *testing.T) {
+		checkTapeMatchesRun(t, "trsm", func(c *Context) (*plan.Plan, []plan.Arg) {
+			opts := TrsmOpts{Dtype: kernelmodel.F64, M: 96, N: 64, Alpha: 0.75, T: 32,
+				A: timingMat(t, c, 96, 96, H),
+				B: timingMat(t, c, 96, 64, H)}
+			p, err := c.PlanTrsm(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p, []plan.Arg{{Mat: opts.A}, {Mat: opts.B}}
+		})
+	})
 }
 
 // tapeFixture builds a warm timing-only context with a compiled gemm tape:
